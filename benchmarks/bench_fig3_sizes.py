@@ -1,0 +1,50 @@
+"""Figure 3: distribution of triple-pattern counts per source.
+
+Paper shape: 51.2% (52.6%) of queries have at most one triple pattern
+and 66.1% (75.9%) at most two; organic Wikidata queries skew larger
+than robotic ones.
+"""
+
+from conftest import emit
+from repro.logs import render_figure3
+
+
+def test_figure3_reproduction(benchmark, study, results_dir):
+    reports = study.reports
+
+    def compute():
+        return {
+            name: render_figure3(report)
+            for name, report in reports.items()
+        }
+
+    tables = benchmark(compute)
+    emit(
+        results_dir,
+        "figure3_triple_counts",
+        "\n\n".join(
+            f"== {name} ==\n{table}" for name, table in sorted(tables.items())
+        ),
+    )
+
+    combined = study.family_report("dbpedia")
+    valid_total, _ = combined.triple_histogram.totals()
+    at_most_two = sum(
+        combined.triple_histogram.valid.get(str(k), 0) for k in (0, 1, 2)
+    )
+    # the paper: 66.1% with at most two triple patterns
+    assert at_most_two / valid_total > 0.5
+
+    # organic queries tend to be larger than robotic ones
+    robotic = study.reports["WikiRobot"].triple_histogram
+    organic = study.reports["WikiOrganic"].triple_histogram
+
+    def mean_bucket(counter):
+        total = sum(counter.valid.values())
+        weighted = sum(
+            (11 if bucket == "11+" else int(bucket)) * count
+            for bucket, count in counter.valid.items()
+        )
+        return weighted / total
+
+    assert mean_bucket(organic) > mean_bucket(robotic)

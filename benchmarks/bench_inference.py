@@ -1,0 +1,90 @@
+"""Section 4.2.3: schema-inference quality and cost.
+
+Learns SOREs/CHAREs/k-OREs back from samples of known target
+expressions and reports recovery quality — the experiment design of the
+Bex et al. inference papers ("performs well even with little data").
+"""
+
+import random
+
+import pytest
+
+from conftest import emit
+from repro.regex import accepts, equivalent, parse, sample_words
+from repro.trees import infer_chare, infer_sore, learn_k_ore
+
+TARGETS = [
+    "ab?c",
+    "a(b+c)*d",
+    "(a+b)c*",
+    "ab*c?d",
+    "a?b?c?d?",
+    "a+b?",
+]
+
+
+@pytest.mark.parametrize("sample_size", [10, 50, 200])
+def test_sore_learning_cost(benchmark, sample_size):
+    rng = random.Random(sample_size)
+    samples = [
+        sample_words(parse(target), sample_size, rng, max_repeat=3)
+        for target in TARGETS
+    ]
+
+    def compute():
+        return [infer_sore(sample) for sample in samples]
+
+    learned = benchmark(compute)
+    # soundness: every sample word must be accepted
+    for sample, expr in zip(samples, learned):
+        for word in sample:
+            assert accepts(expr, word)
+
+
+def test_recovery_quality(benchmark, results_dir):
+    rng = random.Random(4)
+
+    def compute():
+        recovered = {"sore": 0, "chare": 0}
+        for target_text in TARGETS:
+            target = parse(target_text)
+            sample = sample_words(target, 120, rng, max_repeat=3)
+            if equivalent(infer_sore(sample), target):
+                recovered["sore"] += 1
+            if equivalent(infer_chare(sample), target):
+                recovered["chare"] += 1
+        return recovered
+
+    recovered = benchmark.pedantic(compute, rounds=1, iterations=1)
+    emit(
+        results_dir,
+        "inference_recovery",
+        f"targets: {len(TARGETS)}\n"
+        f"SORE learner recovered exactly:  {recovered['sore']}\n"
+        f"CHARE learner recovered exactly: {recovered['chare']}",
+    )
+    # the REWRITE learner recovers most SORE-expressible targets
+    assert recovered["sore"] >= len(TARGETS) - 2
+
+
+def test_k_ore_beats_sore_on_repeats(benchmark, results_dir):
+    """iDREGEx's motivation: targets with repeated symbols need k > 1."""
+    target = parse("ab(ab)?")  # 'a' and 'b' occur twice
+    rng = random.Random(9)
+    sample = sample_words(target, 150, rng)
+
+    def compute():
+        return learn_k_ore(sample, 1), learn_k_ore(sample, 2)
+
+    k1, k2 = benchmark(compute)
+    k1_exact = equivalent(k1, target)
+    k2_exact = equivalent(k2, target)
+    emit(
+        results_dir,
+        "inference_k_ore",
+        f"target ab(ab)?\n"
+        f"k=1 learned {k1} (exact: {k1_exact})\n"
+        f"k=2 learned {k2} (exact: {k2_exact})",
+    )
+    assert not k1_exact  # a SORE cannot express ab(ab)? exactly
+    assert k2_exact

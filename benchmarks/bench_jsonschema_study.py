@@ -1,0 +1,78 @@
+"""Section 4.5: the JSON Schema studies of Maiwald et al. and Baazizi
+et al.
+
+Paper numbers: 159 schemas from SchemaStore, 26 recursive; maximum
+nesting depths of non-recursive schemas between 3 and 43 (average 11);
+schema-full mode explicit in only 8 schemas; negation used in 2.6% of a
+separate 11.5k-schema GitHub corpus, often as a 'forbidden' workaround.
+"""
+
+import random
+
+from conftest import emit
+from repro.trees import corpus_study_json_schemas, random_json_schema
+
+
+def test_jsonschema_study(benchmark, results_dir):
+    rng = random.Random(2022)
+    schemas = [random_json_schema(rng) for _ in range(159)]
+
+    def compute():
+        return corpus_study_json_schemas(schemas)
+
+    study = benchmark(compute)
+    low, high = study["max_depth_range"]
+    lines = [
+        f"schemas:            {study['schemas']}   (study: 159)",
+        f"recursive:          {study['recursive']}   (study: 26)",
+        f"max depth range:    {low}-{high}   (study: 3-43)",
+        f"average depth:      {study['average_depth']:.1f}"
+        "   (study: 11)",
+        f"schema-full:        {study['schema_full']}   (study: 8)",
+        f"negation fraction:  {study['negation_fraction']:.1%}"
+        "   (Baazizi: 2.6%)",
+    ]
+    emit(results_dir, "jsonschema_study", "\n".join(lines))
+
+    assert study["schemas"] == 159
+    assert 5 <= study["recursive"] <= 60
+    assert study["schema_full"] <= 25
+    assert study["negation_fraction"] <= 0.15
+
+
+def test_recursive_schema_validation_cost(benchmark):
+    """Validating deep instances against a recursive schema."""
+    from repro.trees import JSONSchema
+
+    schema = JSONSchema(
+        {
+            "$ref": "#/definitions/node",
+            "definitions": {
+                "node": {
+                    "type": "object",
+                    "properties": {
+                        "label": {"type": "string"},
+                        "children": {
+                            "type": "array",
+                            "items": {"$ref": "#/definitions/node"},
+                        },
+                    },
+                    "required": ["label"],
+                }
+            },
+        }
+    )
+
+    def deep(levels: int):
+        node = {"label": "leaf"}
+        for _ in range(levels):
+            node = {"label": "n", "children": [node, {"label": "x"}]}
+        return node
+
+    instances = [deep(k) for k in (5, 20, 60)]
+
+    def compute():
+        return [schema.validate(instance) for instance in instances]
+
+    results = benchmark(compute)
+    assert results == [True, True, True]

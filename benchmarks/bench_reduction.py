@@ -1,0 +1,62 @@
+"""Appendix A: the executable coNP-hardness reduction.
+
+Validity of a DNF formula is decided two ways — brute force over
+assignments (exponential in #variables) and via the containment question
+``L(e1) ⊆ L(e2)`` on the constructed RE(a, a?) expressions — and the
+answers must agree.  The bench shows how the containment side scales
+with formula size, which is the content of Theorem 4.4(c–d): the
+reduction output is polynomial, the hardness lives in the containment.
+"""
+
+import random
+
+import pytest
+
+from conftest import emit
+from repro.regex import (
+    contains,
+    random_dnf,
+    validity_to_containment,
+)
+
+
+@pytest.mark.parametrize("variables,clauses", [(3, 2), (4, 3), (5, 3)])
+def test_reduction_scaling(benchmark, variables, clauses):
+    rng = random.Random(variables * 10 + clauses)
+    formulas = [
+        random_dnf(variables, clauses, max(1, variables - 1), rng)
+        for _ in range(5)
+    ]
+
+    def compute():
+        return [
+            contains(*validity_to_containment(formula))
+            for formula in formulas
+        ]
+
+    results = benchmark(compute)
+    assert results == [formula.is_valid() for formula in formulas]
+
+
+def test_reduction_correctness_sweep(benchmark, results_dir):
+    rng = random.Random(2022)
+    formulas = [
+        random_dnf(rng.randint(1, 4), rng.randint(1, 3), 2, rng)
+        for _ in range(40)
+    ]
+
+    def compute():
+        agreements = 0
+        for formula in formulas:
+            e1, e2 = validity_to_containment(formula)
+            agreements += contains(e1, e2) == formula.is_valid()
+        return agreements
+
+    agreements = benchmark.pedantic(compute, rounds=1, iterations=1)
+    emit(
+        results_dir,
+        "reduction_appendix_a",
+        f"Appendix A reduction agrees with brute-force validity on "
+        f"{agreements}/40 random DNF formulas",
+    )
+    assert agreements == 40

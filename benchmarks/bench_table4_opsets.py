@@ -1,0 +1,26 @@
+"""Table 4: operator-set fragments for the DBpedia–BritM family.
+
+Paper numbers: none 33.3% (36.3%), And 4.7% (8.9%), Filter 9.5%
+(16.9%), And+Filter 3.0% (4.8%), CQ+F subtotal 50.5% (66.9%).  The
+shape to reproduce: the CQ+F subtotal is roughly half of all queries,
+and the "none" row (single-atom queries) is the largest single row.
+"""
+
+from conftest import emit
+from repro.logs import render_table45
+
+
+def test_table4_reproduction(benchmark, study, results_dir):
+    def compute():
+        report = study.family_report("dbpedia")
+        return report, render_table45(report, with_paths=False)
+
+    report, table = benchmark(compute)
+    emit(results_dir, "table4_opsets_dbpedia", table)
+
+    cqf_valid, cqf_unique = report.cq_f_subtotal()
+    assert 0.3 < cqf_valid / report.valid < 0.75
+    # 'none' is the largest of the four CQ+F rows
+    none_count = report.operator_sets.valid.get((), 0)
+    for key in (("And",), ("Filter",), ("And", "Filter")):
+        assert none_count >= report.operator_sets.valid.get(key, 0) * 0.5

@@ -1,0 +1,45 @@
+"""Table 7: cumulative shape analysis of graph-CQ+F canonical graphs.
+
+Paper numbers (with constants): ≤ 1 edge 87.6% (83.1%), chain 96.7%
+(96.7%), star 98.8% (99.0%), tree 99.1%, forest 99.1%, tw ≤ 2 100%.
+Without constants the no-edge row alone holds 86.8% (84.1%).  The shape
+to reproduce: single edges and chains/stars dominate utterly, and
+dropping constant nodes empties most canonical graphs.
+"""
+
+from conftest import emit
+from repro.logs import render_table7
+
+
+def test_table7_reproduction(benchmark, study, results_dir):
+    def compute():
+        report = study.family_report("dbpedia")
+        return (
+            report,
+            render_table7(report, with_constants=True),
+            render_table7(report, with_constants=False),
+        )
+
+    report, with_constants, without_constants = benchmark(compute)
+    emit(
+        results_dir,
+        "table7_shapes",
+        "== with constants ==\n"
+        + with_constants
+        + "\n\n== without constants ==\n"
+        + without_constants,
+    )
+
+    counter = report.shapes_with_constants
+    valid_total, _ = counter.totals()
+    assert valid_total > 0
+    simple = sum(
+        counter.valid.get(shape, 0)
+        for shape in ("no-edge", "le-1-edge", "chain", "star")
+    )
+    assert simple / valid_total > 0.8  # simple shapes reign supreme
+
+    # without constants, graphs lose edges: the no-edge share grows
+    with_no_edge = counter.valid.get("no-edge", 0)
+    without_no_edge = report.shapes_without_constants.valid.get("no-edge", 0)
+    assert without_no_edge >= with_no_edge

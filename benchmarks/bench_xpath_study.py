@@ -1,0 +1,54 @@
+"""Section 5: the XPath corpus studies of Baelde et al. and Pasqua.
+
+Paper numbers: 21.1k queries; a power law on syntax-tree sizes with the
+majority at size ≤ 13 but 256 queries of size ≥ 100; axes in 46.5% of
+expressions (child 31.1%, attribute 17.1%, descendant 3.6%); over 90%
+of Pasqua's 95k expressions are tree patterns, dropping to 68% among
+the 10% largest.
+"""
+
+import random
+
+from conftest import emit
+from repro.trees import XPathGenerator, xpath_corpus_study
+from repro.trees.xpath import ATTRIBUTE, CHILD, DESCENDANT
+
+
+def test_xpath_corpus_study(benchmark, results_dir):
+    corpus = XPathGenerator(rng=random.Random(2022)).generate_corpus(1000)
+
+    def compute():
+        return xpath_corpus_study(corpus)
+
+    study = benchmark(compute)
+    fractions = study["axis_fractions"]
+    lines = [
+        f"queries:                  {study['queries']}",
+        f"median syntax size:       {study['median_size']}",
+        f"share with size <= 13:    {study['size_at_most_13']:.1%}"
+        "   (study: majority)",
+        f"max size:                 {study['max_size']}"
+        "   (study: heavy tail, up to 100+)",
+        f"child axis share:         {fractions[CHILD]:.1%}"
+        "   (study: 31.1% of all expressions)",
+        f"attribute axis share:     {fractions[ATTRIBUTE]:.1%}"
+        "   (study: 17.1%)",
+        f"descendant axis share:    {fractions[DESCENDANT]:.1%}"
+        "   (study: 3.6%)",
+        f"tree patterns:            {study['tree_pattern_fraction']:.1%}"
+        "   (Pasqua: >90%)",
+        f"tree patterns (largest):  "
+        f"{study['tree_pattern_fraction_large']:.1%}"
+        "   (Pasqua: 68% in top decile)",
+        f"downward fragment:        {study['downward_fraction']:.1%}",
+    ]
+    emit(results_dir, "xpath_study", "\n".join(lines))
+
+    assert study["size_at_most_13"] > 0.5
+    assert study["max_size"] > 13
+    assert fractions[CHILD] > fractions[DESCENDANT]
+    assert study["tree_pattern_fraction"] > 0.7
+    assert (
+        study["tree_pattern_fraction_large"]
+        <= study["tree_pattern_fraction"] + 0.05
+    )

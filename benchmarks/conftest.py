@@ -1,0 +1,44 @@
+"""Shared fixtures for the benchmark harness.
+
+Each ``bench_*`` module regenerates one of the paper's tables/figures
+(see DESIGN.md §4).  The corpora are generated once per session; every
+bench both *times* its analysis (pytest-benchmark) and *emits* the
+rendered table to ``benchmarks/results/`` so a benchmark run leaves the
+full set of reproduced tables behind.
+"""
+
+import os
+import pathlib
+
+import pytest
+
+from repro.core import PracticalStudy, StudyScale
+
+RESULTS_DIR = pathlib.Path(__file__).parent / "results"
+
+#: per-source log size for the bench corpora; override with
+#: REPRO_BENCH_QUERIES for a larger run.
+BENCH_QUERIES = int(os.environ.get("REPRO_BENCH_QUERIES", "150"))
+
+
+@pytest.fixture(scope="session")
+def study() -> PracticalStudy:
+    instance = PracticalStudy(
+        StudyScale(queries_per_source=BENCH_QUERIES, seed=2022)
+    )
+    instance.analyze()
+    return instance
+
+
+@pytest.fixture(scope="session")
+def results_dir() -> pathlib.Path:
+    RESULTS_DIR.mkdir(exist_ok=True)
+    return RESULTS_DIR
+
+
+def emit(results_dir: pathlib.Path, name: str, content: str) -> None:
+    """Write a reproduced table and echo it to stdout."""
+    path = results_dir / f"{name}.txt"
+    path.write_text(content + "\n")
+    print(f"\n===== {name} =====")
+    print(content)

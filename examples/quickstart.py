@@ -1,0 +1,132 @@
+"""Quickstart: a tour of the repro toolkit.
+
+Runs the paper's headline examples end to end:
+
+1. regular-expression determinism (Section 4.2.1),
+2. DTD validation of the Figure 1 tree (Example 4.2),
+3. an RDF graph with a regular path query (Section 9.2),
+4. structural analysis of the paper's Wikidata example query
+   (Sections 9.4–9.6).
+
+Usage::
+
+    python examples/quickstart.py
+"""
+
+from repro.graphs import TripleStore, evaluate_rpq
+from repro.regex import (
+    contains,
+    equivalent,
+    is_deterministic,
+    is_deterministic_definable,
+    parse,
+)
+from repro.sparql import (
+    PathPattern,
+    count_triple_patterns,
+    is_cq_f,
+    operator_set,
+    parse_query,
+    path_type,
+    query_features,
+    query_shape,
+    table8_bucket,
+)
+from repro.trees import DTD, Tree
+
+
+def section(title: str) -> None:
+    print()
+    print(f"== {title} ==")
+
+
+def regex_demo() -> None:
+    section("1. Deterministic regular expressions (Section 4.2.1)")
+    e = parse("(a+b)*a")
+    e_det = parse("b*a(b*a)*")
+    print(f"{e}  deterministic? {is_deterministic(e)}")
+    print(f"{e_det}  deterministic? {is_deterministic(e_det)}")
+    print(f"equivalent? {equivalent(e, e_det)}")
+    bkw = parse("(a+b)*a(a+b)")
+    print(
+        f"{bkw}  has ANY deterministic equivalent? "
+        f"{is_deterministic_definable(bkw)}  (famously: no)"
+    )
+    print(
+        "containment (a+b)*a ⊆ (a+b)*:",
+        contains(parse("(a+b)*a"), parse("(a+b)*")),
+    )
+
+
+def dtd_demo() -> None:
+    section("2. DTD validation (Example 4.2 / Figure 1)")
+    dtd = DTD.from_rules(
+        {
+            "persons": "person*",
+            "person": "name birthplace",
+            "birthplace": "city state country?",
+        },
+        start=["persons"],
+    )
+    tree = Tree.build(
+        "persons",
+        ("person", "name", ("birthplace", "city", "state", "country")),
+    )
+    print("Figure 1 tree valid:", dtd.validate(tree))
+    broken = Tree.build("persons", ("person", "name"))
+    print("missing birthplace:", dtd.first_violation(broken))
+    print("DTD recursive:", dtd.is_recursive())
+    print("max document depth:", dtd.max_document_depth())
+
+
+def graph_demo() -> None:
+    section("3. RDF + regular path queries (Section 9.2)")
+    store = TripleStore(
+        [
+            ("lion", "subclassOf", "bigCat"),
+            ("bigCat", "subclassOf", "mammal"),
+            ("mammal", "subclassOf", "animal"),
+            ("simba", "instanceOf", "lion"),
+        ]
+    )
+    # the wdt:P31/wdt:P279* idiom: instanceOf then subclassOf*
+    expr = parse("instanceOf (subclassOf)*", multi_char=True)
+    answers = evaluate_rpq(store, expr, sources=["simba"])
+    print("simba instanceOf/subclassOf* reaches:")
+    for _source, target in sorted(answers):
+        print("   ", target)
+
+
+def sparql_demo() -> None:
+    section("4. SPARQL query analysis (Sections 9.3–9.6)")
+    query = parse_query(
+        """
+        SELECT ?label ?coord ?subj
+        WHERE { ?subj wdt:P31/wdt:P279* wd:Q839954 .
+                ?subj wdt:P625 ?coord .
+                ?subj rdfs:label ?label FILTER(lang(?label)="en") }
+        """
+    )
+    print("triple patterns:", count_triple_patterns(query))
+    print("features:", ", ".join(sorted(query_features(query))))
+    print("operator set:", sorted(operator_set(query)))
+    print("CQ+F (ignoring the path atom)?", is_cq_f(query))
+    paths = [
+        node.path
+        for node in query.pattern.walk()
+        if isinstance(node, PathPattern)
+    ]
+    for path in paths:
+        print(
+            f"property path {path}: type {path_type(path)}, "
+            f"Table 8 bucket {table8_bucket(path)!r}"
+        )
+    print("canonical graph shape:", query_shape(query))
+
+
+if __name__ == "__main__":
+    regex_demo()
+    dtd_demo()
+    graph_demo()
+    sparql_demo()
+    print("\nDone.")

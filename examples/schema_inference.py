@@ -1,0 +1,94 @@
+"""Scenario: schema inference from an XML corpus (Sections 3–4).
+
+The workflow a data engineer inherits: a pile of XML files, no schema.
+We (1) check well-formedness and classify the errors the way the
+Grijzenhout–Marx study did, (2) repair what is mechanically repairable,
+(3) infer a DTD from the recovered trees with the SORE/CHARE learners,
+and (4) verify the inferred schema is deterministic (XML-standard
+compliant) and validates the corpus — including in streaming mode.
+
+Usage::
+
+    python examples/schema_inference.py
+"""
+
+from collections import Counter
+
+from repro.trees import (
+    attempt_repair,
+    check_well_formedness,
+    events_of,
+    generate_corpus,
+    infer_dtd,
+    memory_bound,
+    validate_stream,
+)
+
+
+def main() -> None:
+    corpus = generate_corpus(
+        300, seed=2022, well_formed_rate=0.85, num_dtds=4
+    )
+    print(f"corpus: {len(corpus.documents)} XML files")
+
+    # 1. the well-formedness study
+    reports = [
+        check_well_formedness(doc.content) for doc in corpus.documents
+    ]
+    ok = [r for r in reports if r.well_formed]
+    print(
+        f"well-formed: {len(ok)} "
+        f"({100.0 * len(ok) / len(reports):.1f}%; the study found 85%)"
+    )
+    categories = Counter(
+        r.primary_category for r in reports if not r.well_formed
+    )
+    print("error taxonomy (the study's top three dominate):")
+    for category, count in categories.most_common():
+        print(f"   {category:18s} {count}")
+
+    # 2. repair
+    repaired = 0
+    trees = [r.tree for r in ok]
+    for document, report in zip(corpus.documents, reports):
+        if report.well_formed:
+            continue
+        if isinstance(document.content, bytes):
+            continue  # encoding damage is below the text layer
+        tree = attempt_repair(document.content)
+        if tree is not None:
+            trees.append(tree)
+            repaired += 1
+    print(f"mechanically repaired: {repaired} additional files")
+
+    # 3. inference
+    for method in ("sore", "chare"):
+        dtd = infer_dtd(trees, method=method)
+        accepted = sum(dtd.validate(tree) for tree in trees)
+        deterministic = dtd.all_content_models_deterministic()
+        print(
+            f"inferred {method.upper()} DTD: {len(dtd.rules)} rules, "
+            f"validates {accepted}/{len(trees)} trees, "
+            f"deterministic content models: {deterministic}"
+        )
+
+    # 4. streaming validation with the constant-memory guarantee
+    dtd = infer_dtd(trees, method="sore")
+    bound = memory_bound(dtd)
+    checked = sum(
+        validate_stream(dtd, events_of(tree)) for tree in trees[:50]
+    )
+    print(
+        f"streaming validation: {checked}/50 pass; "
+        f"memory bound (max stack depth): "
+        f"{bound if bound is not None else 'unbounded (recursive DTD)'}"
+    )
+
+    # show a couple of inferred content models
+    print("sample inferred rules:")
+    for label, body in list(dtd.rules.items())[:4]:
+        print(f"   {label} -> {body}")
+
+
+if __name__ == "__main__":
+    main()

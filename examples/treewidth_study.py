@@ -1,0 +1,75 @@
+"""Scenario: the treewidth-of-real-data study (Section 7.1, Table 1).
+
+Maniu et al. computed treewidth *intervals* for 25 real graph data sets;
+this example regenerates the qualitative finding on the synthetic
+analogues of DESIGN.md §2: hierarchical data is nearly a tree, road
+networks sit in the middle, and web-like graphs have treewidth so large
+that decomposition-based algorithms are hopeless — while the tree-like
+fringe can still be peeled off.
+
+Usage::
+
+    python examples/treewidth_study.py
+"""
+
+import random
+
+from repro.graphs import (
+    hierarchy_graph,
+    lower_bound_degeneracy,
+    p2p_network,
+    road_network,
+    treewidth_interval,
+    upper_bound_min_degree,
+    web_graph,
+)
+
+
+def fringe_fraction(graph) -> float:
+    """Fraction of nodes peelable with degree <= 2 — the 'tree-like
+    fringe' of Newman–Strogatz–Watts the paper mentions: partial
+    decompositions can still handle this part."""
+    work = {node: set(neigh) for node, neigh in graph.items()}
+    peeled = 0
+    changed = True
+    while changed:
+        changed = False
+        for node in list(work):
+            if len(work[node]) <= 2:
+                for neighbour in work[node]:
+                    work[neighbour].discard(node)
+                del work[node]
+                peeled += 1
+                changed = True
+    return peeled / max(len(graph), 1)
+
+
+def main() -> None:
+    rng = random.Random(2022)
+    datasets = [
+        ("Royal-like (genealogy)", hierarchy_graph(1500, rng)),
+        ("HongKong-like (road grid)", road_network(18, 18, rng)),
+        ("Paris-like (road grid)", road_network(28, 24, rng)),
+        ("Gnutella-like (P2P)", p2p_network(1200, 2700, rng)),
+        ("Wikipedia-like (web PA)", web_graph(800, 8, rng)),
+    ]
+    print(
+        f"{'Dataset':28s} {'nodes':>7s} {'edges':>7s} "
+        f"{'lower tw':>9s} {'upper tw':>9s} {'fringe':>7s}"
+    )
+    for name, graph in datasets:
+        interval = treewidth_interval(graph, use_min_fill=False)
+        fringe = fringe_fraction(graph)
+        print(
+            f"{name:28s} {interval.nodes:7d} {interval.edges:7d} "
+            f"{interval.lower:9d} {interval.upper:9d} {fringe:6.0%}"
+        )
+    print(
+        "\nReading: the ordering matches Table 1 — hierarchy << road << "
+        "web-like.\nThe large fringe of road networks is what makes "
+        "partial decompositions useful."
+    )
+
+
+if __name__ == "__main__":
+    main()

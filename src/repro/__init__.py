@@ -1,0 +1,34 @@
+"""repro — a toolkit for empirical theory-of-data studies.
+
+Open-source reproduction of the systems surveyed in Wim Martens,
+"Towards Theory for Real-World Data" (PODS 2022).  Subpackages:
+
+* :mod:`repro.regex` — regular expressions, automata, fragments,
+  decision procedures (Sections 2, 4.2, Appendix A).
+* :mod:`repro.trees` — tree-structured data: XML/JSON, DTDs, extended
+  DTDs, pattern-based schemas, streaming validation, schema inference
+  (Sections 3–6).
+* :mod:`repro.graphs` — graph-structured data: RDF stores, dataset
+  generators, treewidth estimation, regular path queries (Section 7).
+* :mod:`repro.sparql` — the SPARQL fragment: parsing, evaluation and the
+  structural analyses behind Tables 3–8 (Section 9).
+* :mod:`repro.logs` — query-log corpora, calibrated workload generators,
+  and the SHARQL-style analysis pipeline (Sections 9, 11).
+* :mod:`repro.core` — the practical-study orchestration layer tying the
+  pieces together.
+"""
+
+__version__ = "1.0.0"
+
+from . import core, errors, graphs, logs, regex, sparql, trees
+
+__all__ = [
+    "core",
+    "errors",
+    "graphs",
+    "logs",
+    "regex",
+    "sparql",
+    "trees",
+    "__version__",
+]

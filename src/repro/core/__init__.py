@@ -1,0 +1,5 @@
+"""Orchestration: the practical-study methodology as a library."""
+
+from .study import PracticalStudy, StudyScale, perspective_note
+
+__all__ = ["PracticalStudy", "StudyScale", "perspective_note"]

@@ -1,0 +1,81 @@
+"""Exception hierarchy for the :mod:`repro` toolkit.
+
+All exceptions raised by the library derive from :class:`ReproError`, so
+callers can catch library failures with a single ``except`` clause while
+still distinguishing parse errors from semantic/validation errors.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro toolkit."""
+
+
+class ParseError(ReproError):
+    """Raised when a textual artifact (regex, XML, JSON, DTD, SPARQL query)
+    cannot be parsed.
+
+    Attributes
+    ----------
+    message:
+        Human-readable description of the problem.
+    position:
+        Character offset in the input where the error was detected, or
+        ``None`` when not applicable.
+    category:
+        Optional machine-readable error category (used by the XML
+        well-formedness study, which classifies errors into a taxonomy).
+    """
+
+    def __init__(self, message, position=None, category=None):
+        super().__init__(message)
+        self.message = message
+        self.position = position
+        self.category = category
+
+    def __str__(self):
+        if self.position is None:
+            return self.message
+        return f"{self.message} (at position {self.position})"
+
+
+class RegexParseError(ParseError):
+    """Raised for malformed regular expressions."""
+
+
+class XMLParseError(ParseError):
+    """Raised for XML documents that are not well-formed."""
+
+
+class JSONParseError(ParseError):
+    """Raised for malformed JSON documents."""
+
+
+class DTDParseError(ParseError):
+    """Raised for malformed DTD rule sets."""
+
+
+class SPARQLParseError(ParseError):
+    """Raised for SPARQL queries outside the supported subset or malformed."""
+
+
+class ValidationError(ReproError):
+    """Raised when a document fails schema validation and the caller asked
+    for an exception rather than a boolean result."""
+
+
+class SchemaError(ReproError):
+    """Raised when a schema itself is ill-formed (e.g. an EDTD whose type map
+    is inconsistent, or a DTD referencing undeclared labels in strict mode)."""
+
+
+class FragmentError(ReproError):
+    """Raised when an algorithm specialized to a fragment is applied to an
+    expression outside that fragment (e.g. CHARE-only containment on a
+    non-CHARE expression)."""
+
+
+class UnsupportedFeatureError(ReproError):
+    """Raised when a query or schema uses a feature the evaluator does not
+    implement (analysis code never raises this; only evaluation does)."""

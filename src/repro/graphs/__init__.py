@@ -1,0 +1,82 @@
+"""Graph-structured data: the RDF substrate of Sections 7–10.
+
+Public surface:
+
+* Store: :class:`TripleStore`
+* Generators: :func:`road_network`, :func:`web_graph`, :func:`p2p_network`,
+  :func:`hierarchy_graph`, :func:`foaf_rdf`, :func:`rdf_from_graph`
+* Treewidth: :func:`treewidth_interval`, upper/lower bound heuristics,
+  :class:`TreeDecomposition`, :func:`is_valid_decomposition`
+* Power laws: :func:`fit_power_law`, :func:`ccdf`, :func:`looks_heavy_tailed`
+* Path queries: :func:`evaluate_rpq`, :func:`exists_simple_path`,
+  :func:`exists_trail`, :func:`exists_simple_path_smart`
+"""
+
+from .generator import (
+    foaf_rdf,
+    hierarchy_graph,
+    p2p_network,
+    rdf_from_graph,
+    road_network,
+    web_graph,
+)
+from .paths import (
+    count_walk_answers,
+    evaluate_rpq,
+    exists_simple_path,
+    exists_simple_path_smart,
+    exists_trail,
+    reachable_by_rpq,
+)
+from .powerlaw import (
+    PowerLawFit,
+    ccdf,
+    degree_histogram,
+    fit_power_law,
+    looks_heavy_tailed,
+)
+from .rdf import Triple, TripleStore
+from .treewidth import (
+    TreeDecomposition,
+    TreewidthInterval,
+    exact_treewidth_small,
+    is_valid_decomposition,
+    lower_bound_degeneracy,
+    lower_bound_mmd_plus,
+    make_graph,
+    treewidth_interval,
+    upper_bound_min_degree,
+    upper_bound_min_fill,
+)
+
+__all__ = [
+    "foaf_rdf",
+    "hierarchy_graph",
+    "p2p_network",
+    "rdf_from_graph",
+    "road_network",
+    "web_graph",
+    "count_walk_answers",
+    "evaluate_rpq",
+    "exists_simple_path",
+    "exists_simple_path_smart",
+    "exists_trail",
+    "reachable_by_rpq",
+    "PowerLawFit",
+    "ccdf",
+    "degree_histogram",
+    "fit_power_law",
+    "looks_heavy_tailed",
+    "Triple",
+    "TripleStore",
+    "TreeDecomposition",
+    "TreewidthInterval",
+    "exact_treewidth_small",
+    "is_valid_decomposition",
+    "lower_bound_degeneracy",
+    "lower_bound_mmd_plus",
+    "make_graph",
+    "treewidth_interval",
+    "upper_bound_min_degree",
+    "upper_bound_min_fill",
+]

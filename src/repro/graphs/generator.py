@@ -1,0 +1,191 @@
+"""Synthetic graph-data generators — structural analogues of the data
+sets in the practical studies (DESIGN.md §2, Table 1).
+
+Each generator mirrors one of the domain classes of Maniu et al.:
+
+* :func:`road_network` — a grid with perturbations (HongKong, Paris):
+  planar-ish, low degree, moderate treewidth that grows with grid size;
+* :func:`web_graph` — preferential attachment (Wikipedia-like): heavy
+  tail, dense core, huge treewidth relative to size;
+* :func:`p2p_network` — sparse uniform random graph (Gnutella-like);
+* :func:`hierarchy_graph` — a genealogy: a tree plus a few marriage
+  edges (Royal), treewidth barely above 1;
+* :func:`foaf_rdf` — an edge-labeled FOAF-like RDF data set with
+  power-law degrees and near-constant predicate lists, feeding the
+  Section 7 metrics.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import Dict, List, Optional as Opt, Set, Tuple
+
+from .rdf import TripleStore
+from .treewidth import Adjacency, make_graph
+
+
+def road_network(
+    width: int, height: int, rng: Opt[random.Random] = None,
+    extra_edge_rate: float = 0.05, missing_edge_rate: float = 0.05,
+) -> Adjacency:
+    """A width × height grid with a few diagonals added and a few street
+    segments removed — the structure of real road networks.
+
+    Treewidth of an intact n × n grid is exactly n, so the generated
+    family has the moderate-but-growing treewidth Table 1 reports for
+    HongKong and Paris.
+    """
+    rng = rng or random.Random()
+    edges: List[Tuple[int, int]] = []
+
+    def node(x: int, y: int) -> int:
+        return y * width + x
+
+    for y in range(height):
+        for x in range(width):
+            if x + 1 < width:
+                edges.append((node(x, y), node(x + 1, y)))
+            if y + 1 < height:
+                edges.append((node(x, y), node(x, y + 1)))
+            if (
+                x + 1 < width
+                and y + 1 < height
+                and rng.random() < extra_edge_rate
+            ):
+                edges.append((node(x, y), node(x + 1, y + 1)))
+    kept = [edge for edge in edges if rng.random() >= missing_edge_rate]
+    graph = make_graph(kept)
+    for y in range(height):
+        for x in range(width):
+            graph.setdefault(node(x, y), set())
+    return graph
+
+
+def web_graph(
+    num_nodes: int, attachments: int = 3, rng: Opt[random.Random] = None
+) -> Adjacency:
+    """Barabási–Albert preferential attachment: each new node attaches to
+    ``attachments`` existing nodes chosen proportionally to degree.
+    Produces the power-law degree distributions and dense cores of
+    web-like data (Wikipedia in Table 1)."""
+    rng = rng or random.Random()
+    if num_nodes < attachments + 1:
+        raise ValueError("need more nodes than attachments")
+    edges: List[Tuple[int, int]] = []
+    # seed clique
+    seeds = list(range(attachments + 1))
+    for i in seeds:
+        for j in seeds[i + 1 :]:
+            edges.append((i, j))
+    # repeated-endpoint list implements proportional sampling
+    endpoint_pool: List[int] = [n for edge in edges for n in edge]
+    for new in range(attachments + 1, num_nodes):
+        chosen: Set[int] = set()
+        while len(chosen) < attachments:
+            chosen.add(rng.choice(endpoint_pool))
+        for target in chosen:
+            edges.append((new, target))
+            endpoint_pool.extend((new, target))
+    return make_graph(edges)
+
+
+def p2p_network(
+    num_nodes: int, num_edges: int, rng: Opt[random.Random] = None
+) -> Adjacency:
+    """A sparse uniform random graph (Erdős–Rényi G(n, m)), the shape of
+    unstructured peer-to-peer overlays like Gnutella."""
+    rng = rng or random.Random()
+    edges: Set[Tuple[int, int]] = set()
+    attempts = 0
+    while len(edges) < num_edges and attempts < 20 * num_edges:
+        attempts += 1
+        u = rng.randrange(num_nodes)
+        v = rng.randrange(num_nodes)
+        if u == v:
+            continue
+        edges.add((min(u, v), max(u, v)))
+    graph = make_graph(edges)
+    for node in range(num_nodes):
+        graph.setdefault(node, set())
+    return graph
+
+
+def hierarchy_graph(
+    num_nodes: int,
+    rng: Opt[random.Random] = None,
+    marriage_rate: float = 0.08,
+    max_children: int = 4,
+) -> Adjacency:
+    """A genealogy: a random tree plus a few 'marriage' cross edges
+    between nodes at the same depth.  Treewidth stays tiny (Royal in
+    Table 1)."""
+    rng = rng or random.Random()
+    edges: List[Tuple[int, int]] = []
+    depth: Dict[int, int] = {0: 0}
+    frontier = [0]
+    next_id = 1
+    while next_id < num_nodes and frontier:
+        parent = frontier.pop(0)
+        for _ in range(rng.randint(1, max_children)):
+            if next_id >= num_nodes:
+                break
+            edges.append((parent, next_id))
+            depth[next_id] = depth[parent] + 1
+            frontier.append(next_id)
+            next_id += 1
+    by_depth: Dict[int, List[int]] = {}
+    for node, d in depth.items():
+        by_depth.setdefault(d, []).append(node)
+    for nodes in by_depth.values():
+        for node in nodes:
+            if len(nodes) > 1 and rng.random() < marriage_rate:
+                partner = rng.choice(nodes)
+                if partner != node:
+                    edges.append((node, partner))
+    graph = make_graph(edges)
+    for node in range(num_nodes):
+        graph.setdefault(node, set())
+    return graph
+
+
+def foaf_rdf(
+    num_people: int,
+    rng: Opt[random.Random] = None,
+    knows_attachments: int = 2,
+) -> TripleStore:
+    """A FOAF-like RDF data set: every person has the same predicate list
+    (name, mbox, knows*), and the 'knows' graph is preferential-attachment
+    so in-degrees are heavy-tailed — reproducing both headline findings
+    of Section 7 (predicate-list concentration and power-law degrees)."""
+    rng = rng or random.Random()
+    store = TripleStore()
+    people = [f"person{i}" for i in range(num_people)]
+    for i, person in enumerate(people):
+        store.add(person, "rdf:type", "foaf:Person")
+        store.add(person, "foaf:name", f'"Name {i}"')
+        store.add(person, "foaf:mbox", f"mailto:user{i}@example.org")
+    endpoint_pool: List[int] = [0]
+    for i in range(1, num_people):
+        chosen: Set[int] = set()
+        want = min(knows_attachments, i)
+        while len(chosen) < want:
+            chosen.add(rng.choice(endpoint_pool))
+        for target in chosen:
+            store.add(people[i], "foaf:knows", people[target])
+            endpoint_pool.extend((i, target))
+        endpoint_pool.append(i)
+    return store
+
+
+def rdf_from_graph(
+    graph: Adjacency, predicate: str = "edge"
+) -> TripleStore:
+    """Wrap an unlabeled graph as single-predicate RDF (both directions
+    are materialized as separate triples only once: u -> v for u < v to
+    keep the store the same size as the graph)."""
+    store = TripleStore()
+    for u, neighbours in graph.items():
+        for v in neighbours:
+            if str(u) <= str(v):
+                store.add(str(u), predicate, str(v))
+    return store

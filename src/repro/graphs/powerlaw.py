@@ -1,0 +1,112 @@
+"""Discrete power-law fitting for degree distributions (Section 7.1.1).
+
+Practical studies repeatedly observe power laws in RDF data: triples per
+document (Ding & Finin), in-/out-degrees (Bachlechner & Strang,
+Fernandez et al.).  This module provides the standard tooling to make
+such observations reproducible:
+
+* :func:`fit_power_law` — maximum-likelihood estimate of the exponent α
+  for a discrete power law ``p(k) ∝ k^(−α)`` with ``k ≥ k_min``, using
+  the Clauset–Shalizi–Newman approximation
+  ``α ≈ 1 + n / Σ ln(k_i / (k_min − ½))``;
+* :func:`ccdf` — the empirical complementary CDF (the straight line on a
+  log-log plot that studies eyeball);
+* :func:`looks_heavy_tailed` — a pragmatic classifier comparing the
+  tail's CCDF decay against an exponential alternative.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Sequence, Tuple
+
+
+@dataclass
+class PowerLawFit:
+    """Result of :func:`fit_power_law`."""
+
+    alpha: float
+    k_min: int
+    tail_size: int
+
+    def pdf(self, k: int) -> float:
+        """Normalized (approximately, via the Hurwitz zeta truncated sum)
+        probability of degree ``k`` under the fitted law."""
+        if k < self.k_min:
+            return 0.0
+        normalization = sum(
+            j ** (-self.alpha) for j in range(self.k_min, self.k_min + 10000)
+        )
+        return (k ** (-self.alpha)) / normalization
+
+
+def fit_power_law(values: Iterable[int], k_min: int = 1) -> PowerLawFit:
+    """MLE exponent for the tail ``{v ≥ k_min}`` of a discrete sample."""
+    tail = [v for v in values if v >= k_min]
+    if not tail:
+        raise ValueError("no observations at or above k_min")
+    if k_min < 1:
+        raise ValueError("k_min must be >= 1")
+    denominator = sum(math.log(v / (k_min - 0.5)) for v in tail)
+    alpha = 1.0 + len(tail) / denominator
+    return PowerLawFit(alpha, k_min, len(tail))
+
+
+def ccdf(values: Iterable[int]) -> List[Tuple[int, float]]:
+    """Empirical complementary CDF: pairs ``(k, P[X ≥ k])`` for each
+    distinct observed value, sorted ascending."""
+    data = sorted(values)
+    n = len(data)
+    if n == 0:
+        return []
+    out: List[Tuple[int, float]] = []
+    i = 0
+    while i < n:
+        k = data[i]
+        out.append((k, (n - i) / n))
+        while i < n and data[i] == k:
+            i += 1
+    return out
+
+
+def degree_histogram(values: Iterable[int]) -> Dict[int, int]:
+    histogram: Dict[int, int] = {}
+    for value in values:
+        histogram[value] = histogram.get(value, 0) + 1
+    return histogram
+
+
+def looks_heavy_tailed(
+    values: Sequence[int], min_max_ratio: float = 10.0
+) -> bool:
+    """A pragmatic heavy-tail detector for study reports: the maximum
+    degree must dwarf the mean (Bachlechner & Strang report max 7739 vs
+    mean 9.56), and the log-log CCDF must be closer to linear than the
+    lin-log CCDF (power law beats exponential)."""
+    data = [v for v in values if v >= 1]
+    if len(data) < 10:
+        return False
+    mean = sum(data) / len(data)
+    if max(data) < min_max_ratio * mean:
+        return False
+    points = ccdf(data)
+    if len(points) < 4:
+        return False
+    loglog = [(math.log(k), math.log(p)) for k, p in points if p > 0]
+    linlog = [(float(k), math.log(p)) for k, p in points if p > 0]
+
+    def linearity(points_xy: List[Tuple[float, float]]) -> float:
+        n = len(points_xy)
+        sx = sum(x for x, _y in points_xy)
+        sy = sum(y for _x, y in points_xy)
+        sxx = sum(x * x for x, _y in points_xy)
+        sxy = sum(x * y for x, y in points_xy)
+        syy = sum(y * y for _x, y in points_xy)
+        num = n * sxy - sx * sy
+        den = math.sqrt(
+            max(n * sxx - sx * sx, 1e-12) * max(n * syy - sy * sy, 1e-12)
+        )
+        return abs(num / den)
+
+    return linearity(loglog) >= linearity(linlog)

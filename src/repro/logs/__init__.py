@@ -1,0 +1,86 @@
+"""Query-log corpora, calibrated workloads, and the analysis pipeline.
+
+Public surface:
+
+* Workloads: :class:`SourceProfile`, :class:`QueryGenerator`,
+  :func:`generate_source_log`, the per-source profiles
+  (:data:`DBPEDIA`, :data:`WIKIDATA_ROBOTIC`, …)
+* Corpora: :class:`QueryLogCorpus`, :func:`normalize_text`
+* Analysis: :func:`analyze_corpus`, :func:`analyze_query`,
+  :class:`LogReport`, :func:`combine_reports`
+* Reports: the ``render_table*`` functions of :mod:`repro.logs.report`
+"""
+
+from .analyzer import (
+    LogReport,
+    VUCounter,
+    analyze_corpus,
+    analyze_many,
+    analyze_query,
+    combine_reports,
+)
+from .corpus import (
+    ParsedEntry,
+    QueryLogCorpus,
+    merge_table2,
+    normalize_text,
+)
+from .report import (
+    render_figure3,
+    render_path_classes,
+    render_table2,
+    render_table3,
+    render_table45,
+    render_table6,
+    render_table7,
+    render_table8,
+    render_well_designed,
+)
+from .workload import (
+    ALL_PROFILES,
+    BIOPORTAL,
+    BRITISH_MUSEUM,
+    DBPEDIA,
+    DBPEDIA_FAMILY,
+    LGD,
+    QueryGenerator,
+    SourceProfile,
+    WIKIDATA_FAMILY,
+    WIKIDATA_ORGANIC,
+    WIKIDATA_ROBOTIC,
+    generate_source_log,
+)
+
+__all__ = [
+    "LogReport",
+    "VUCounter",
+    "analyze_corpus",
+    "analyze_many",
+    "analyze_query",
+    "combine_reports",
+    "ParsedEntry",
+    "QueryLogCorpus",
+    "merge_table2",
+    "normalize_text",
+    "render_figure3",
+    "render_path_classes",
+    "render_table2",
+    "render_table3",
+    "render_table45",
+    "render_table6",
+    "render_table7",
+    "render_table8",
+    "render_well_designed",
+    "ALL_PROFILES",
+    "BIOPORTAL",
+    "BRITISH_MUSEUM",
+    "DBPEDIA",
+    "DBPEDIA_FAMILY",
+    "LGD",
+    "QueryGenerator",
+    "SourceProfile",
+    "WIKIDATA_FAMILY",
+    "WIKIDATA_ORGANIC",
+    "WIKIDATA_ROBOTIC",
+    "generate_source_log",
+]

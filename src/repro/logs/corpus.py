@@ -1,0 +1,122 @@
+"""Query-log corpora: the Total / Valid / Unique bookkeeping of Table 2.
+
+Studies on SPARQL logs report three numbers per source: all log entries
+(*Total*), the syntactically correct ones (*Valid*, a multiset), and the
+result of duplicate elimination (*Unique*).  Analyses are then run
+"V (U)" — with respect to both.  :class:`QueryLogCorpus` materializes
+exactly this: it parses every entry with the real parser, keeps parse
+failures counted, and deduplicates by whitespace-normalized text (the
+textual dedup real studies perform).
+"""
+
+from __future__ import annotations
+
+import re as _re
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional as Opt, Tuple
+
+from ..errors import SPARQLParseError
+from ..sparql.ast import Query
+from ..sparql.parser import parse_query
+
+_WHITESPACE_RE = _re.compile(r"\s+")
+
+
+def normalize_text(text: str) -> str:
+    """The dedup key: collapse whitespace and strip (comments were
+    already removed by the tokenizer, but dedup happens on raw text, so
+    only whitespace is normalized — matching the published studies)."""
+    return _WHITESPACE_RE.sub(" ", text).strip()
+
+
+@dataclass
+class ParsedEntry:
+    """One valid log entry: the raw text, its normalized key, its parsed
+    query, and how often it occurred in the raw log."""
+
+    text: str
+    key: str
+    query: Query
+    occurrences: int = 1
+
+
+@dataclass
+class QueryLogCorpus:
+    """A parsed and deduplicated query log for one source."""
+
+    source: str
+    total: int = 0
+    invalid: int = 0
+    entries: List[ParsedEntry] = field(default_factory=list)
+    _index: Dict[str, int] = field(default_factory=dict, repr=False)
+
+    @classmethod
+    def from_texts(
+        cls, source: str, texts: Iterable[str]
+    ) -> "QueryLogCorpus":
+        corpus = cls(source)
+        for text in texts:
+            corpus.add(text)
+        return corpus
+
+    def add(self, text: str) -> Opt[ParsedEntry]:
+        """Ingest one raw log entry; returns its entry when valid."""
+        self.total += 1
+        key = normalize_text(text)
+        existing = self._index.get(key)
+        if existing is not None:
+            entry = self.entries[existing]
+            entry.occurrences += 1
+            return entry
+        try:
+            query = parse_query(text)
+        except SPARQLParseError:
+            self.invalid += 1
+            return None
+        except RecursionError:
+            self.invalid += 1
+            return None
+        entry = ParsedEntry(text, key, query)
+        self._index[key] = len(self.entries)
+        self.entries.append(entry)
+        return entry
+
+    # -- Table 2 numbers ----------------------------------------------------------
+
+    @property
+    def valid(self) -> int:
+        """|Valid|: total entries that parse (with multiplicity)."""
+        return sum(entry.occurrences for entry in self.entries)
+
+    @property
+    def unique(self) -> int:
+        """|Unique|: distinct valid queries."""
+        return len(self.entries)
+
+    def table2_row(self) -> Tuple[str, int, int, int]:
+        return (self.source, self.total, self.valid, self.unique)
+
+    # -- iteration helpers ----------------------------------------------------------
+
+    def iter_valid(self) -> Iterable[Tuple[Query, int]]:
+        """(query, multiplicity) pairs — analyses weight by multiplicity
+        for the V numbers and by 1 for the U numbers."""
+        for entry in self.entries:
+            yield entry.query, entry.occurrences
+
+    def __len__(self) -> int:
+        return self.total
+
+
+def merge_table2(
+    corpora: Iterable[QueryLogCorpus],
+) -> List[Tuple[str, int, int, int]]:
+    """Table 2 rows plus the Total line."""
+    rows = [corpus.table2_row() for corpus in corpora]
+    total = (
+        "Total",
+        sum(row[1] for row in rows),
+        sum(row[2] for row in rows),
+        sum(row[3] for row in rows),
+    )
+    return rows + [total]

@@ -1,0 +1,449 @@
+"""Calibrated synthetic SPARQL query-log generators.
+
+The paper's corpora (Table 2: 546M valid queries from DBpedia, Wikidata,
+LinkedGeoData, BioPortal, …) are not redistributable; per DESIGN.md §2
+we substitute per-source stochastic generators whose parameters are read
+off the published distributions:
+
+* triple-pattern counts follow the Figure 3 histograms (0–2 triples
+  dominate; organic and timeout queries skew larger);
+* operator probabilities follow Table 3 (DBpedia–BritM: Filter 46%,
+  Optional 33%, Union 26%, Service ≈ 0; Wikidata: Service 8%, Values
+  32%, property paths 24%);
+* join shapes are drawn star-heavy, matching Table 7;
+* property-path types are drawn from the Table 8 mix (``a*`` half of
+  all robotic paths, then ``ab*``/``a+``, plain sequences, …);
+* a per-source share of queries is syntactically invalid and a share is
+  exact duplicates, reproducing the Total / Valid / Unique split.
+
+Every generated query is plain SPARQL text; the pipeline parses it with
+the real parser, so the analysis code paths are identical to those a
+real log would exercise.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import List, Optional as Opt, Tuple
+
+# (bucket template, weight) — weights from Table 8 (Valid, robotic).
+PATH_TYPE_MIX_WIKIDATA: Tuple[Tuple[str, float], ...] = (
+    ("a*", 50.5),
+    ("ab*", 12.0),
+    ("a+", 5.0),
+    ("ab*c*", 1.5),
+    ("A*", 0.6),
+    ("ab*c", 0.2),
+    ("a*b*", 0.1),
+    ("abc*", 0.05),
+    ("a?b*", 0.03),
+    ("A+", 0.01),
+    ("seq2", 15.0),  # a1 a2
+    ("seq3", 6.0),  # a1 a2 a3
+    ("seq4", 3.3),
+    ("A", 5.5),
+    ("^a", 0.04),
+    ("abc?", 0.01),
+)
+
+PATH_TYPE_MIX_DBPEDIA: Tuple[Tuple[str, float], ...] = (
+    ("a*", 40.0),
+    ("a+", 20.0),
+    ("ab*", 15.0),
+    ("seq2", 15.0),
+    ("A", 9.0),
+    ("a*b*", 1.0),
+)
+
+
+@dataclass
+class SourceProfile:
+    """Calibration parameters for one log source."""
+
+    name: str
+    robotic: bool = True
+    invalid_rate: float = 0.03
+    unique_rate: float = 0.45  # |Unique| / |Valid|
+    # triple-count histogram: P[k triples] for k = 0, 1, 2, ...; the last
+    # entry is the tail weight spread over larger sizes
+    triple_histogram: Tuple[float, ...] = (
+        0.02,
+        0.50,
+        0.22,
+        0.10,
+        0.06,
+        0.04,
+        0.03,
+        0.03,
+    )
+    max_tail_triples: int = 14
+    # operator probabilities (per query)
+    p_filter: float = 0.46
+    p_optional: float = 0.33
+    p_union: float = 0.26
+    p_distinct: float = 0.30
+    p_limit: float = 0.14
+    p_offset: float = 0.03
+    p_order_by: float = 0.01
+    p_group_by: float = 0.03
+    p_values: float = 0.02
+    p_service: float = 0.0
+    p_minus: float = 0.007
+    p_not_exists: float = 0.008
+    p_graph: float = 0.08
+    p_property_path: float = 0.004
+    p_ask: float = 0.02
+    p_construct: float = 0.02
+    p_describe: float = 0.03
+    # structure
+    p_star_join: float = 0.65  # vs chain join
+    p_constant_object: float = 0.45
+    p_constant_subject: float = 0.10
+    path_type_mix: Tuple[Tuple[str, float], ...] = PATH_TYPE_MIX_DBPEDIA
+    vocabulary_size: int = 60
+
+
+DBPEDIA = SourceProfile(name="DBpedia")
+
+LGD = SourceProfile(
+    name="LGD",
+    unique_rate=0.3,
+    p_filter=0.5,
+    p_distinct=0.2,
+    triple_histogram=(0.01, 0.6, 0.2, 0.09, 0.04, 0.03, 0.02, 0.01),
+)
+
+BIOPORTAL = SourceProfile(
+    name="BioPortal",
+    unique_rate=0.1,
+    p_filter=0.3,
+    p_optional=0.15,
+    p_union=0.1,
+    triple_histogram=(0.02, 0.7, 0.18, 0.05, 0.02, 0.01, 0.01, 0.01),
+)
+
+BRITISH_MUSEUM = SourceProfile(
+    name="BritM",
+    unique_rate=0.09,
+    p_filter=0.2,
+    p_optional=0.1,
+    p_union=0.05,
+    # template queries: larger and concentrated
+    triple_histogram=(0.0, 0.05, 0.1, 0.2, 0.25, 0.2, 0.1, 0.1),
+)
+
+WIKIDATA_ROBOTIC = SourceProfile(
+    name="WikiRobot",
+    robotic=True,
+    invalid_rate=0.002,
+    unique_rate=0.17,
+    p_filter=0.18,
+    p_optional=0.15,
+    p_union=0.09,
+    p_distinct=0.08,
+    p_limit=0.18,
+    p_offset=0.07,
+    p_order_by=0.09,
+    p_group_by=0.004,
+    p_values=0.32,
+    p_service=0.08,
+    p_graph=0.0,
+    p_property_path=0.24,
+    path_type_mix=PATH_TYPE_MIX_WIKIDATA,
+    triple_histogram=(0.04, 0.52, 0.18, 0.10, 0.06, 0.04, 0.03, 0.03),
+)
+
+WIKIDATA_ORGANIC = SourceProfile(
+    name="WikiOrganic",
+    robotic=False,
+    invalid_rate=0.016,
+    unique_rate=0.39,
+    p_filter=0.25,
+    p_optional=0.3,
+    p_union=0.1,
+    p_distinct=0.2,
+    p_limit=0.25,
+    p_service=0.13,
+    p_graph=0.0,
+    p_property_path=0.39,
+    path_type_mix=PATH_TYPE_MIX_WIKIDATA,
+    # organic queries have more triple patterns (Figure 3)
+    triple_histogram=(0.02, 0.30, 0.22, 0.16, 0.10, 0.08, 0.06, 0.06),
+    max_tail_triples=20,
+)
+
+ALL_PROFILES = (
+    DBPEDIA,
+    LGD,
+    BIOPORTAL,
+    BRITISH_MUSEUM,
+    WIKIDATA_ROBOTIC,
+    WIKIDATA_ORGANIC,
+)
+
+DBPEDIA_FAMILY = (DBPEDIA, LGD, BIOPORTAL, BRITISH_MUSEUM)
+WIKIDATA_FAMILY = (WIKIDATA_ROBOTIC, WIKIDATA_ORGANIC)
+
+
+class QueryGenerator:
+    """Generates SPARQL query texts for one source profile."""
+
+    def __init__(self, profile: SourceProfile, rng: Opt[random.Random] = None):
+        self.profile = profile
+        self.rng = rng or random.Random()
+        self._var_counter = 0
+
+    # -- small helpers ----------------------------------------------------------
+
+    def _fresh_var(self) -> str:
+        self._var_counter += 1
+        return f"?v{self._var_counter}"
+
+    def _predicate(self) -> str:
+        return f"<http://ex.org/p{self.rng.randrange(self.profile.vocabulary_size)}>"
+
+    def _constant(self) -> str:
+        return f"<http://ex.org/e{self.rng.randrange(self.profile.vocabulary_size * 4)}>"
+
+    def _triple_count(self) -> int:
+        histogram = self.profile.triple_histogram
+        roll = self.rng.random()
+        cumulative = 0.0
+        for count, weight in enumerate(histogram[:-1]):
+            cumulative += weight
+            if roll < cumulative:
+                return count
+        return self.rng.randint(
+            len(histogram) - 1, self.profile.max_tail_triples
+        )
+
+    def _property_path(self) -> str:
+        kinds = [kind for kind, _w in self.profile.path_type_mix]
+        weights = [w for _k, w in self.profile.path_type_mix]
+        kind = self.rng.choices(kinds, weights=weights)[0]
+        p = self._predicate
+        if kind == "a*":
+            return f"{p()}*"
+        if kind == "a+":
+            return f"{p()}+"
+        if kind == "ab*":
+            return f"{p()}/{p()}*"
+        if kind == "ab*c*":
+            return f"{p()}/{p()}*/{p()}*"
+        if kind == "A*":
+            return f"({p()}|{p()})*"
+        if kind == "ab*c":
+            return f"{p()}/{p()}*/{p()}"
+        if kind == "a*b*":
+            return f"{p()}*/{p()}*"
+        if kind == "abc*":
+            return f"{p()}/{p()}/{p()}*"
+        if kind == "a?b*":
+            return f"{p()}?/{p()}*"
+        if kind == "A+":
+            return f"({p()}|{p()})+"
+        if kind == "seq2":
+            return f"{p()}/{p()}"
+        if kind == "seq3":
+            return f"{p()}/{p()}/{p()}"
+        if kind == "seq4":
+            return f"{p()}/{p()}/{p()}/{p()}"
+        if kind == "A":
+            return f"{p()}|{p()}"
+        if kind == "^a":
+            return f"^{p()}"
+        if kind == "abc?":
+            return f"{p()}/{p()}/{p()}?"
+        raise ValueError(f"unknown path kind {kind!r}")
+
+    # -- body -------------------------------------------------------------------
+
+    def _triples_block(self, count: int) -> Tuple[List[str], List[str]]:
+        """Returns (triple texts, variables used)."""
+        rng = self.rng
+        profile = self.profile
+        triples: List[str] = []
+        variables: List[str] = []
+        if count == 0:
+            return triples, variables
+        hub = self._fresh_var()
+        variables.append(hub)
+        previous = hub
+        star = rng.random() < profile.p_star_join
+        for _ in range(count):
+            use_path = rng.random() < profile.p_property_path
+            predicate = self._property_path() if use_path else self._predicate()
+            if rng.random() < profile.p_constant_object:
+                obj = self._constant()
+            else:
+                obj = self._fresh_var()
+                variables.append(obj)
+            subject = hub if star else previous
+            if rng.random() < profile.p_constant_subject and len(triples) == 0:
+                subject = self._constant()
+            triples.append(f"{subject} {predicate} {obj}")
+            if not star and obj.startswith("?"):
+                previous = obj
+        return triples, variables
+
+    def _body(self) -> Tuple[str, List[str]]:
+        rng = self.rng
+        profile = self.profile
+        count = self._triple_count()
+        triples, variables = self._triples_block(count)
+        parts: List[str] = list(triples)
+
+        if rng.random() < profile.p_optional and variables:
+            anchor = rng.choice(variables)
+            extra = self._fresh_var()
+            variables.append(extra)
+            parts.append(
+                f"OPTIONAL {{ {anchor} {self._predicate()} {extra} }}"
+            )
+        if rng.random() < profile.p_minus and variables:
+            anchor = rng.choice(variables)
+            parts.append(
+                f"MINUS {{ {anchor} {self._predicate()} {self._constant()} }}"
+            )
+        if rng.random() < profile.p_not_exists and variables:
+            anchor = rng.choice(variables)
+            parts.append(
+                f"FILTER NOT EXISTS {{ {anchor} {self._predicate()} "
+                f"{self._constant()} }}"
+            )
+        if rng.random() < profile.p_values and variables:
+            anchor = rng.choice(variables)
+            values = " ".join(self._constant() for _ in range(rng.randint(1, 3)))
+            parts.append(f"VALUES {anchor} {{ {values} }}")
+        if rng.random() < profile.p_service and variables:
+            anchor = rng.choice(variables)
+            extra = self._fresh_var()
+            parts.append(
+                f"SERVICE <http://ex.org/label> "
+                f"{{ {anchor} <http://ex.org/labelOf> {extra} }}"
+            )
+            variables.append(extra)
+        if rng.random() < profile.p_filter and variables:
+            anchor = rng.choice(variables)
+            style = rng.random()
+            if style < 0.6 or len(variables) < 2:
+                parts.append(f"FILTER({anchor} != {self._constant()})")
+            elif style < 0.85:
+                other = rng.choice(variables)
+                parts.append(f"FILTER({anchor} = {other})")
+            else:
+                other = rng.choice(variables)
+                parts.append(f"FILTER({anchor} != {other})")
+
+        body = " . ".join(parts) if parts else ""
+        if rng.random() < profile.p_union:
+            alt_triples, alt_vars = self._triples_block(
+                max(1, min(count, 2))
+            )
+            variables.extend(alt_vars)
+            alternative = " . ".join(alt_triples)
+            if body:
+                body = f"{{ {body} }} UNION {{ {alternative} }}"
+            else:
+                body = alternative
+        if rng.random() < profile.p_graph and body:
+            body = f"GRAPH {self._constant()} {{ {body} }}"
+        return body, variables
+
+    # -- full queries ------------------------------------------------------------
+
+    def generate_valid(self) -> str:
+        rng = self.rng
+        profile = self.profile
+        self._var_counter = 0
+        body, variables = self._body()
+        roll = rng.random()
+        if roll < profile.p_ask:
+            return f"ASK {{ {body} }}"
+        if roll < profile.p_ask + profile.p_construct and variables:
+            anchor = variables[0]
+            return (
+                f"CONSTRUCT {{ {anchor} <http://ex.org/out> "
+                f"{self._constant()} }} WHERE {{ {body} }}"
+            )
+        if (
+            roll
+            < profile.p_ask + profile.p_construct + profile.p_describe
+        ):
+            target = variables[0] if variables else self._constant()
+            if target.startswith("?"):
+                return f"DESCRIBE {target} WHERE {{ {body} }}"
+            return f"DESCRIBE {target}"
+
+        distinct = "DISTINCT " if rng.random() < profile.p_distinct else ""
+        if rng.random() < profile.p_group_by and variables:
+            anchor = variables[0]
+            head = f"SELECT {anchor} (COUNT(*) AS ?cnt)"
+            tail = f" GROUP BY {anchor}"
+        else:
+            head = f"SELECT {distinct}*"
+            tail = ""
+        query = f"{head} WHERE {{ {body} }}{tail}"
+        if rng.random() < profile.p_order_by and variables:
+            query += f" ORDER BY {rng.choice(variables)}"
+        if rng.random() < profile.p_limit:
+            query += f" LIMIT {rng.choice((1, 10, 50, 100, 1000))}"
+            if rng.random() < min(
+                1.0, profile.p_offset / max(profile.p_limit, 1e-9)
+            ):
+                query += f" OFFSET {rng.choice((10, 100, 1000))}"
+        return query
+
+    def generate_invalid(self) -> str:
+        """A syntactically broken query (Total minus Valid in Table 2).
+
+        Corruption styles mirror real log noise (unbalanced braces,
+        typo'd keywords, stray tokens); the result is checked against
+        the parser so every produced entry genuinely fails to parse.
+        """
+        from ..errors import SPARQLParseError
+        from ..sparql.parser import parse_query as _parse
+
+        base = self.generate_valid()
+        candidates = [
+            "} " + base,  # stray leading brace
+            base.replace("WHERE", "WHRE", 1),
+            base.replace("SELECT", "SELECT FORM", 1),
+            base[: base.rfind("}")] if "}" in base else base + "(",
+            base + " )",
+        ]
+        self.rng.shuffle(candidates)
+        for candidate in candidates:
+            try:
+                _parse(candidate)
+            except SPARQLParseError:
+                return candidate
+            except RecursionError:
+                return candidate
+        return "SELECT * WHERE {"
+
+    def generate_log(self, total: int) -> List[str]:
+        """A raw log of ``total`` entries with the profile's invalid and
+        duplication rates.
+
+        A pool of unique valid queries of size ≈ ``valid × unique_rate``
+        is generated first; the log samples from the pool (creating the
+        duplicates a real log has) and mixes in invalid entries.
+        """
+        rng = self.rng
+        invalid_count = int(round(total * self.profile.invalid_rate))
+        valid_count = total - invalid_count
+        pool_size = max(1, int(round(valid_count * self.profile.unique_rate)))
+        pool = [self.generate_valid() for _ in range(pool_size)]
+        log = [rng.choice(pool) for _ in range(valid_count)]
+        log.extend(self.generate_invalid() for _ in range(invalid_count))
+        rng.shuffle(log)
+        return log
+
+
+def generate_source_log(
+    profile: SourceProfile, total: int, seed: int = 0
+) -> List[str]:
+    """Convenience wrapper: a reproducible raw log for one source."""
+    return QueryGenerator(profile, random.Random(seed)).generate_log(total)

@@ -1,0 +1,447 @@
+"""Abstract syntax trees for regular expressions over an infinite label set.
+
+The paper (Section 2) defines regular expressions over a countably infinite
+set ``Lab`` of labels; every concrete expression only mentions a finite
+alphabet.  This module provides immutable AST nodes mirroring that
+definition::
+
+    e ::= EMPTY | EPSILON | a | e1 . e2 | e1 + e2 | e* | e? | e+
+
+Nodes are hashable and comparable structurally, so they can be used as
+dictionary keys (the schema-inference and log-analysis code relies on this).
+
+Two layers of constructors exist:
+
+* The raw dataclass constructors (``Concat((e1, e2))``) preserve syntax
+  exactly.  The parser uses these, because fragment classification
+  (chain REs, k-OREs, determinism) is *syntactic* and must see the
+  expression as written.
+* The smart constructors :func:`concat`, :func:`union`, :func:`star`,
+  :func:`plus`, :func:`optional` fold the trivial identities involving
+  ``EMPTY``/``EPSILON`` and flatten nested n-ary operators.  Algorithmic
+  code that synthesizes expressions (inference, the Appendix-A reduction)
+  uses these.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from functools import lru_cache
+from typing import Iterable, Iterator, Tuple
+
+
+class Regex:
+    """Base class for regular-expression AST nodes.
+
+    Subclasses are frozen dataclasses; instances are immutable and hashable.
+    """
+
+    __slots__ = ()
+
+    # -- structural statistics ------------------------------------------------
+
+    def alphabet(self) -> frozenset:
+        """The finite set of labels occurring in this expression."""
+        out = set()
+        for node in self.walk():
+            if isinstance(node, Symbol):
+                out.add(node.label)
+        return frozenset(out)
+
+    def size(self) -> int:
+        """Number of AST nodes (a standard measure of expression size)."""
+        return sum(1 for _node in self.walk())
+
+    def parse_depth(self) -> int:
+        """Height of the syntax tree.
+
+        Choi's study (Section 4.2.1) reports parse depths of 1 to 9 for
+        real-world DTD expressions; this is the statistic he measured.
+        """
+        children = list(self.children())
+        if not children:
+            return 1
+        return 1 + max(child.parse_depth() for child in children)
+
+    def star_height(self) -> int:
+        """Maximal nesting depth of ``*``/``+`` operators."""
+        inner = max((c.star_height() for c in self.children()), default=0)
+        if isinstance(self, (Star, Plus)):
+            return inner + 1
+        return inner
+
+    def occurrence_counts(self) -> dict:
+        """Map each label to the number of times it occurs syntactically.
+
+        An expression is a *k-occurrence regular expression* (k-ORE) when no
+        label occurs more than ``k`` times (Section 4.2.3).
+        """
+        counts: dict = {}
+        for node in self.walk():
+            if isinstance(node, Symbol):
+                counts[node.label] = counts.get(node.label, 0) + 1
+        return counts
+
+    # -- traversal -------------------------------------------------------------
+
+    def children(self) -> Tuple["Regex", ...]:
+        """Immediate sub-expressions (empty for leaves)."""
+        return ()
+
+    def walk(self) -> Iterator["Regex"]:
+        """Pre-order traversal of the syntax tree."""
+        stack = [self]
+        while stack:
+            node = stack.pop()
+            yield node
+            stack.extend(reversed(node.children()))
+
+    # -- semantics helpers -----------------------------------------------------
+
+    @property
+    def nullable(self) -> bool:
+        """Whether the empty word belongs to the language."""
+        raise NotImplementedError
+
+    def matches_nothing(self) -> bool:
+        """Whether the language is empty (contains no word at all)."""
+        raise NotImplementedError
+
+    def __str__(self) -> str:
+        return self.to_string()
+
+    def to_string(self) -> str:
+        raise NotImplementedError
+
+    def _atom_string(self) -> str:
+        """Render with parentheses if this node binds looser than an atom."""
+        return f"({self.to_string()})"
+
+
+@dataclass(frozen=True, slots=True)
+class Empty(Regex):
+    """The expression with the empty language (written ``[]``)."""
+
+    @property
+    def nullable(self) -> bool:
+        return False
+
+    def matches_nothing(self) -> bool:
+        return True
+
+    def to_string(self) -> str:
+        return "[]"
+
+    def _atom_string(self) -> str:
+        return "[]"
+
+
+@dataclass(frozen=True, slots=True)
+class Epsilon(Regex):
+    """The expression whose language is exactly the empty word."""
+
+    @property
+    def nullable(self) -> bool:
+        return True
+
+    def matches_nothing(self) -> bool:
+        return False
+
+    def to_string(self) -> str:
+        return "()"
+
+    def _atom_string(self) -> str:
+        return "()"
+
+
+@dataclass(frozen=True, slots=True)
+class Symbol(Regex):
+    """A single label from ``Lab``.
+
+    Labels are arbitrary strings; graph-database labels such as
+    ``wdt:P31`` or reverse atoms like ``^a`` are simply symbols at this
+    level (the SPARQL path layer adds its own inverse operator).
+    """
+
+    label: str
+
+    @property
+    def nullable(self) -> bool:
+        return False
+
+    def matches_nothing(self) -> bool:
+        return False
+
+    def to_string(self) -> str:
+        return self.label
+
+    def _atom_string(self) -> str:
+        if len(self.label) == 1:
+            return self.label
+        return self.label
+
+
+@dataclass(frozen=True, slots=True)
+class Concat(Regex):
+    """Concatenation ``e1 . e2 . ... . en`` (n-ary, n >= 2)."""
+
+    parts: Tuple[Regex, ...]
+
+    def __post_init__(self):
+        if len(self.parts) < 2:
+            raise ValueError("Concat requires at least two parts")
+
+    def children(self) -> Tuple[Regex, ...]:
+        return self.parts
+
+    @property
+    def nullable(self) -> bool:
+        return all(part.nullable for part in self.parts)
+
+    def matches_nothing(self) -> bool:
+        return any(part.matches_nothing() for part in self.parts)
+
+    def to_string(self) -> str:
+        rendered = []
+        for part in self.parts:
+            if isinstance(part, (Union, Concat)):
+                rendered.append(f"({part.to_string()})")
+            else:
+                rendered.append(part.to_string())
+        return " ".join(rendered)
+
+
+@dataclass(frozen=True, slots=True)
+class Union(Regex):
+    """Disjunction ``e1 + e2 + ... + en`` (n-ary, n >= 2)."""
+
+    parts: Tuple[Regex, ...]
+
+    def __post_init__(self):
+        if len(self.parts) < 2:
+            raise ValueError("Union requires at least two parts")
+
+    def children(self) -> Tuple[Regex, ...]:
+        return self.parts
+
+    @property
+    def nullable(self) -> bool:
+        return any(part.nullable for part in self.parts)
+
+    def matches_nothing(self) -> bool:
+        return all(part.matches_nothing() for part in self.parts)
+
+    def to_string(self) -> str:
+        rendered = []
+        for part in self.parts:
+            if isinstance(part, Union):
+                rendered.append(f"({part.to_string()})")
+            else:
+                rendered.append(part.to_string())
+        return " + ".join(rendered)
+
+
+class _Unary(Regex):
+    """Shared behaviour of the postfix operators ``*``, ``+``, ``?``."""
+
+    __slots__ = ()
+
+    _operator = "?"
+
+    def children(self) -> Tuple[Regex, ...]:
+        return (self.child,)  # type: ignore[attr-defined]
+
+    def matches_nothing(self) -> bool:
+        return False if self.nullable else self.child.matches_nothing()  # type: ignore[attr-defined]
+
+    def to_string(self) -> str:
+        child = self.child  # type: ignore[attr-defined]
+        if isinstance(child, (Symbol, Empty, Epsilon)):
+            inner = child._atom_string()
+            if isinstance(child, Symbol) and len(child.label) > 1:
+                inner = f"({inner})"
+        else:
+            inner = f"({child.to_string()})"
+        return inner + self._operator
+
+
+@dataclass(frozen=True, slots=True)
+class Star(_Unary):
+    """Kleene closure ``e*``."""
+
+    child: Regex
+    _operator = "*"
+
+    @property
+    def nullable(self) -> bool:
+        return True
+
+    def matches_nothing(self) -> bool:
+        return False
+
+
+@dataclass(frozen=True, slots=True)
+class Plus(_Unary):
+    """One-or-more repetition ``e+``."""
+
+    child: Regex
+    _operator = "+"
+
+    @property
+    def nullable(self) -> bool:
+        return self.child.nullable
+
+    def to_string(self) -> str:  # '+' would clash with union rendering
+        child = self.child
+        if isinstance(child, (Symbol, Empty, Epsilon)):
+            inner = child._atom_string()
+            if isinstance(child, Symbol) and len(child.label) > 1:
+                inner = f"({inner})"
+        else:
+            inner = f"({child.to_string()})"
+        return inner + "+"
+
+
+@dataclass(frozen=True, slots=True)
+class Optional(_Unary):
+    """Zero-or-one occurrence ``e?``."""
+
+    child: Regex
+    _operator = "?"
+
+    @property
+    def nullable(self) -> bool:
+        return True
+
+    def matches_nothing(self) -> bool:
+        return False
+
+
+EMPTY = Empty()
+EPSILON = Epsilon()
+
+
+def symbol(label: str) -> Symbol:
+    """Create a :class:`Symbol` for ``label``."""
+    return Symbol(label)
+
+
+def symbols(labels: Iterable[str]) -> list:
+    """Create a list of symbols, handy for building factor disjunctions."""
+    return [Symbol(label) for label in labels]
+
+
+def concat(*parts: Regex) -> Regex:
+    """Smart concatenation: folds EPSILON, propagates EMPTY, flattens."""
+    flat = []
+    for part in parts:
+        if isinstance(part, Empty):
+            return EMPTY
+        if isinstance(part, Epsilon):
+            continue
+        if isinstance(part, Concat):
+            flat.extend(part.parts)
+        else:
+            flat.append(part)
+    if not flat:
+        return EPSILON
+    if len(flat) == 1:
+        return flat[0]
+    return Concat(tuple(flat))
+
+
+def union(*parts: Regex) -> Regex:
+    """Smart disjunction: drops EMPTY branches, flattens, dedups."""
+    flat = []
+    seen = set()
+    for part in parts:
+        if isinstance(part, Empty):
+            continue
+        subparts = part.parts if isinstance(part, Union) else (part,)
+        for sub in subparts:
+            if sub not in seen:
+                seen.add(sub)
+                flat.append(sub)
+    if not flat:
+        return EMPTY
+    if len(flat) == 1:
+        return flat[0]
+    return Union(tuple(flat))
+
+
+def star(child: Regex) -> Regex:
+    """Smart Kleene star: ``[]* = ()* = ()``, ``(e*)* = e*``."""
+    if isinstance(child, (Empty, Epsilon)):
+        return EPSILON
+    if isinstance(child, Star):
+        return child
+    if isinstance(child, (Plus, Optional)):
+        return Star(child.child)
+    return Star(child)
+
+
+def plus(child: Regex) -> Regex:
+    """Smart one-or-more: ``[]+ = []``, ``()+ = ()``, ``(e*)+ = e*``."""
+    if isinstance(child, Empty):
+        return EMPTY
+    if isinstance(child, Epsilon):
+        return EPSILON
+    if isinstance(child, Star):
+        return child
+    if isinstance(child, Plus):
+        return child
+    if isinstance(child, Optional):
+        return Star(child.child)
+    return Plus(child)
+
+
+def optional(child: Regex) -> Regex:
+    """Smart zero-or-one: ``[]? = ()``, folds already-nullable children."""
+    if isinstance(child, Empty):
+        return EPSILON
+    if child.nullable:
+        return child
+    return Optional(child)
+
+
+def word(labels: Iterable[str]) -> Regex:
+    """The expression denoting exactly one word (concatenation of symbols)."""
+    return concat(*[Symbol(label) for label in labels])
+
+
+def literal(text: str) -> Regex:
+    """Expression for a word given as a string of single-character labels."""
+    return word(list(text))
+
+
+@lru_cache(maxsize=4096)
+def _shortest_word_length(expr: Regex):
+    """Length of a shortest word in L(expr), or None for the empty language."""
+    if isinstance(expr, Empty):
+        return None
+    if isinstance(expr, Epsilon):
+        return 0
+    if isinstance(expr, Symbol):
+        return 1
+    if isinstance(expr, Concat):
+        total = 0
+        for part in expr.parts:
+            sub = _shortest_word_length(part)
+            if sub is None:
+                return None
+            total += sub
+        return total
+    if isinstance(expr, Union):
+        lengths = [_shortest_word_length(p) for p in expr.parts]
+        lengths = [length for length in lengths if length is not None]
+        return min(lengths) if lengths else None
+    if isinstance(expr, (Star, Optional)):
+        return 0
+    if isinstance(expr, Plus):
+        return _shortest_word_length(expr.child)
+    raise TypeError(f"unknown node {expr!r}")
+
+
+def shortest_word_length(expr: Regex):
+    """Public wrapper around the cached shortest-word computation."""
+    return _shortest_word_length(expr)

@@ -1,0 +1,371 @@
+"""Fragment-specific decision procedures for chain regular expressions.
+
+Theorems 4.4 and 4.5 of the paper pin down the complexity of containment
+and intersection for the RE(…) fragments.  This module implements the
+*polynomial* cases with direct algorithms (the point being that the usual
+worst-case automata constructions are unnecessary there), plus the
+polynomial *equivalence* tests for RE(a, a*) and RE(a, a?) — which is
+remarkable because containment for those same fragments is coNP-complete.
+
+Summary of what is implemented and why it is correct:
+
+* ``RE(a, a+)``: after merging adjacent factors with the same letter, the
+  language is a sequence of *blocks* ``(letter, m, unbounded?)`` meaning
+  "exactly m" or "at least m" repetitions.  Containment and intersection
+  are block-wise comparisons (Theorem 4.4(a), 4.5(a)).
+* ``RE(a, (+a))``: every word has the same length; the language is a
+  product ``S1 × … × Sn`` of letter sets; containment is position-wise
+  inclusion and intersection is position-wise non-disjointness
+  (Theorem 4.4(b), 4.5(b)).
+* ``RE(a, a*)`` and ``RE(a, a?)``: equivalence is decided by comparing
+  *canonical block forms* (letter, min, max/unbounded after merging) —
+  polynomial, in contrast with coNP-complete containment
+  (Theorem 4.4(c, d) and the remark following it).
+* Downward-closed chains (all factors optional or starred): containment of
+  an arbitrary expression in such a chain is polynomial via a greedy
+  left-to-right matching (Abdulla et al.), because the chain admits a
+  linear-size DFA whose states are "next factor to try".
+
+Calling a specialized function on an expression outside its fragment
+raises :class:`~repro.errors.FragmentError`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional as Opt, Sequence, Tuple
+
+from ..errors import FragmentError
+from .ast import Regex
+from .automata import DFA, glushkov
+from .classes import SimpleFactor, chare_factors, in_fragment
+
+
+# ---------------------------------------------------------------------------
+# Block normal forms
+# ---------------------------------------------------------------------------
+
+
+@dataclass(frozen=True)
+class Block:
+    """A maximal run of same-letter factors in a chain expression.
+
+    ``minimum`` is the least number of repetitions, ``maximum`` the largest
+    (``None`` means unbounded).
+    """
+
+    letter: str
+    minimum: int
+    maximum: Opt[int]
+
+    @property
+    def unbounded(self) -> bool:
+        return self.maximum is None
+
+
+def _factor_bounds(factor: SimpleFactor) -> Tuple[int, Opt[int]]:
+    """(min, max) contribution of one single-letter factor."""
+    if factor.modifier == "":
+        return 1, 1
+    if factor.modifier == "?":
+        return 0, 1
+    if factor.modifier == "*":
+        return 0, None
+    if factor.modifier == "+":
+        return 1, None
+    raise AssertionError(factor.modifier)
+
+
+def block_form(expr: Regex) -> List[Block]:
+    """Canonical block decomposition of a single-letter-factor chain.
+
+    Requires every factor to be over one letter (fragments RE(a, a?),
+    RE(a, a*), RE(a, a+) or mixtures).  Adjacent same-letter factors are
+    merged; blocks with ``minimum = 0`` and ``maximum = 0`` cannot occur.
+    Blocks that may be entirely absent (min 0) are kept — they matter for
+    the language.
+    """
+    factors = chare_factors(expr)
+    if factors is None:
+        raise FragmentError(f"not a chain regular expression: {expr}")
+    blocks: List[Block] = []
+    for factor in factors:
+        if len(factor.labels) != 1:
+            raise FragmentError(
+                f"factor {factor} uses a disjunction; block form needs "
+                "single-letter factors"
+            )
+        low, high = _factor_bounds(factor)
+        letter = factor.labels[0]
+        if blocks and blocks[-1].letter == letter:
+            prev = blocks[-1]
+            new_max = (
+                None
+                if prev.maximum is None or high is None
+                else prev.maximum + high
+            )
+            blocks[-1] = Block(letter, prev.minimum + low, new_max)
+        else:
+            blocks.append(Block(letter, low, high))
+    return blocks
+
+
+def canonical_block_form(expr: Regex) -> Tuple[Block, ...]:
+    """Block form with empty-capable zero blocks normalized.
+
+    A block ``(x, 0, 0)`` never arises; a block ``(x, 0, max)`` is kept.
+    Adjacent same-letter blocks cannot remain after :func:`block_form`,
+    so the tuple is canonical: two expressions of RE(a, a?) (or of
+    RE(a, a*)) are equivalent iff their canonical block forms are equal,
+    which is the polynomial equivalence test of Martens, Neven &
+    Schwentick mentioned after Theorem 4.4.
+    """
+    return tuple(block_form(expr))
+
+
+# ---------------------------------------------------------------------------
+# RE(a, a+): containment and intersection in PTIME
+# ---------------------------------------------------------------------------
+
+
+def _require_fragment(expr: Regex, types: Sequence[str], name: str) -> None:
+    if not in_fragment(expr, types):
+        raise FragmentError(f"{expr} is not in {name}")
+
+
+def containment_a_aplus(e1: Regex, e2: Regex) -> bool:
+    """``L(e1) ⊆ L(e2)`` for e1, e2 ∈ RE(a, a+) — Theorem 4.4(a), PTIME.
+
+    Blocks must match letter-for-letter;  "exactly m" fits in
+    "exactly m'" iff m = m', in "at least m'" iff m ≥ m';  "at least m"
+    only fits in "at least m'" with m ≥ m'.
+    """
+    _require_fragment(e1, ("a", "a+"), "RE(a, a+)")
+    _require_fragment(e2, ("a", "a+"), "RE(a, a+)")
+    blocks1 = block_form(e1)
+    blocks2 = block_form(e2)
+    if len(blocks1) != len(blocks2):
+        return False
+    for b1, b2 in zip(blocks1, blocks2):
+        if b1.letter != b2.letter:
+            return False
+        if b2.unbounded:
+            if b1.minimum < b2.minimum:
+                return False
+        else:
+            if b1.unbounded or b1.minimum != b2.minimum:
+                return False
+            # both exact: in RE(a, a+) maximum == minimum when bounded
+    return True
+
+
+def intersection_a_aplus(expressions: Sequence[Regex]) -> bool:
+    """Non-emptiness of the intersection for RE(a, a+) — Theorem 4.5(a).
+
+    All expressions must share the same block letter sequence; per block
+    the constraints ``= m`` / ``≥ m`` must admit a common count.
+    """
+    if not expressions:
+        raise ValueError("need at least one expression")
+    forms = []
+    for expr in expressions:
+        _require_fragment(expr, ("a", "a+"), "RE(a, a+)")
+        forms.append(block_form(expr))
+    first = forms[0]
+    for form in forms[1:]:
+        if len(form) != len(first):
+            return False
+        if any(b.letter != c.letter for b, c in zip(form, first)):
+            return False
+    for position in range(len(first)):
+        exact = None
+        lower = 0
+        for form in forms:
+            block = form[position]
+            if block.unbounded:
+                lower = max(lower, block.minimum)
+            else:
+                if exact is not None and exact != block.minimum:
+                    return False
+                exact = block.minimum
+        if exact is not None and exact < lower:
+            return False
+    return True
+
+
+# ---------------------------------------------------------------------------
+# RE(a, (+a)): fixed-length languages
+# ---------------------------------------------------------------------------
+
+
+def _letter_sets(expr: Regex) -> List[frozenset]:
+    factors = chare_factors(expr)
+    assert factors is not None
+    return [frozenset(factor.labels) for factor in factors]
+
+
+def containment_a_disj(e1: Regex, e2: Regex) -> bool:
+    """``L(e1) ⊆ L(e2)`` for RE(a, (+a)) — Theorem 4.4(b), PTIME.
+
+    Both languages are products of letter sets; containment is pointwise
+    inclusion (lengths must agree).
+    """
+    _require_fragment(e1, ("a", "(+a)"), "RE(a, (+a))")
+    _require_fragment(e2, ("a", "(+a)"), "RE(a, (+a))")
+    sets1, sets2 = _letter_sets(e1), _letter_sets(e2)
+    if len(sets1) != len(sets2):
+        return False
+    return all(s1 <= s2 for s1, s2 in zip(sets1, sets2))
+
+
+def intersection_a_disj(expressions: Sequence[Regex]) -> bool:
+    """Intersection non-emptiness for RE(a, (+a)) — Theorem 4.5(b)."""
+    if not expressions:
+        raise ValueError("need at least one expression")
+    sets = []
+    for expr in expressions:
+        _require_fragment(expr, ("a", "(+a)"), "RE(a, (+a))")
+        sets.append(_letter_sets(expr))
+    length = len(sets[0])
+    if any(len(s) != length for s in sets):
+        return False
+    for position in range(length):
+        common = frozenset.intersection(*[s[position] for s in sets])
+        if not common:
+            return False
+    return True
+
+
+# ---------------------------------------------------------------------------
+# RE(a, a*) and RE(a, a?): polynomial equivalence
+# ---------------------------------------------------------------------------
+
+
+def equivalent_blocks(e1: Regex, e2: Regex) -> bool:
+    """Equivalence for RE(a, a*) or RE(a, a?) (also mixtures with a+).
+
+    Equivalence of chain expressions with single-letter factors reduces to
+    equality of canonical block forms.  This is the PTIME equivalence
+    result highlighted after Theorem 4.4 — notable because *containment*
+    for the same fragments is coNP-complete.
+    """
+    return canonical_block_form(e1) == canonical_block_form(e2)
+
+
+# ---------------------------------------------------------------------------
+# Downward-closed chains: greedy containment (Abdulla et al.)
+# ---------------------------------------------------------------------------
+
+
+def is_downward_closed_chain(expr: Regex) -> bool:
+    """Whether ``expr`` is a chain whose factors are all optional/starred
+    (hence its language is closed under subsequences)."""
+    factors = chare_factors(expr)
+    if factors is None:
+        return False
+    return all(f.modifier in ("?", "*") for f in factors)
+
+
+def greedy_chain_dfa(expr: Regex) -> DFA:
+    """Linear-size DFA for a downward-closed chain.
+
+    States are "next factor index to try" (0..n), plus a sink.  On letter
+    ``x`` from state ``i``, move to the first factor ``j ≥ i`` whose label
+    set contains ``x``; stay at ``j`` when it is starred, advance to
+    ``j + 1`` otherwise.  Greedy matching is optimal for downward-closed
+    chains: matching ``x`` as early as possible only leaves more factors
+    available for the remaining suffix.
+    Every state is accepting (the language is subsequence-closed and
+    contains ε); the sink is the only rejecting state.
+    """
+    factors = chare_factors(expr)
+    if factors is None or not is_downward_closed_chain(expr):
+        raise FragmentError(f"{expr} is not a downward-closed chain")
+    alphabet = set()
+    for factor in factors:
+        alphabet.update(factor.labels)
+    n = len(factors)
+    sink = n + 1
+    transitions: List[dict] = [{} for _ in range(n + 2)]
+    for state in range(n + 1):
+        for letter in alphabet:
+            target = sink
+            for j in range(state, n):
+                if letter in factors[j].labels:
+                    target = j if factors[j].modifier == "*" else j + 1
+                    break
+            transitions[state][letter] = target
+    for letter in alphabet:
+        transitions[sink][letter] = sink
+    finals = set(range(n + 1))
+    return DFA(n + 2, 0, finals, transitions, alphabet)
+
+
+def containment_in_downward_closed(e1: Regex, e2: Regex) -> bool:
+    """``L(e1) ⊆ L(e2)`` where ``e2`` is a downward-closed chain — PTIME.
+
+    The left side may be an arbitrary regular expression.  Implements the
+    greedy strategy of Abdulla et al. cited after Theorem 4.4: product of
+    the Glushkov automaton of ``e1`` with the linear greedy DFA of ``e2``.
+    """
+    dfa = greedy_chain_dfa(e2)
+    nfa = glushkov(e1)
+    extra = nfa.alphabet - dfa.alphabet
+    # letters unknown to e2 go straight to the sink
+    sink = dfa.num_states - 1
+    start = (frozenset(nfa.epsilon_closure(nfa.initial)), dfa.initial)
+    if (start[0] & nfa.finals) and dfa.initial not in dfa.finals:
+        return False
+    seen = {start}
+    stack = [start]
+    while stack:
+        lstates, dstate = stack.pop()
+        labels = set()
+        for state in lstates:
+            labels.update(lbl for lbl in nfa.transitions[state] if lbl)
+        for label in labels:
+            lnext = nfa.step(lstates, label)
+            if not lnext:
+                continue
+            if label in extra:
+                dnext = sink
+            else:
+                dnext = dfa.transitions[dstate][label]
+            pair = (lnext, dnext)
+            if pair in seen:
+                continue
+            if (lnext & nfa.finals) and dnext not in dfa.finals:
+                return False
+            seen.add(pair)
+            stack.append(pair)
+    return True
+
+
+# ---------------------------------------------------------------------------
+# Dispatch helpers used by the benchmarks
+# ---------------------------------------------------------------------------
+
+
+def best_containment(e1: Regex, e2: Regex) -> bool:
+    """Containment using the cheapest applicable specialized algorithm,
+    falling back to the general automata construction."""
+    from .ops import is_contained
+
+    if in_fragment(e1, ("a", "a+")) and in_fragment(e2, ("a", "a+")):
+        return containment_a_aplus(e1, e2)
+    if in_fragment(e1, ("a", "(+a)")) and in_fragment(e2, ("a", "(+a)")):
+        return containment_a_disj(e1, e2)
+    if is_downward_closed_chain(e2):
+        return containment_in_downward_closed(e1, e2)
+    return is_contained(e1, e2)
+
+
+def best_intersection(expressions: Sequence[Regex]) -> bool:
+    """Intersection non-emptiness via the cheapest applicable algorithm."""
+    from .ops import intersection_nonempty
+
+    if all(in_fragment(e, ("a", "a+")) for e in expressions):
+        return intersection_a_aplus(expressions)
+    if all(in_fragment(e, ("a", "(+a)")) for e in expressions):
+        return intersection_a_disj(expressions)
+    return intersection_nonempty(list(expressions))

@@ -1,0 +1,338 @@
+"""Classification of regular expressions into the fragments studied in the
+paper.
+
+The central notions (Sections 4.2.2, 4.2.3, 9.6):
+
+* **Simple factor** — ``(a1+…+ak)``, ``(a1+…+ak)?``, ``(a1+…+ak)*`` or
+  ``(a1+…+ak)+`` (Definition 4.3).  A single symbol is the ``k = 1`` case.
+* **Sequential / chain regular expression (CHARE)** — a concatenation
+  ``f1 … fn`` of simple factors.  Over 92% of regular expressions found in
+  real DTDs are of this shape (Bex et al.).
+* **Factor types** — the grammar ``RE(f1,…,fk)`` of Theorem 4.4, where
+  each ``fi ∈ {a, a?, a*, a+, (+a), (+a)?, (+a)*, (+a)+}``.
+* **k-ORE / SORE** — at most ``k`` (resp. one) syntactic occurrences per
+  label (Section 4.2.3); over 99% of practical schema expressions are
+  SOREs.
+* **Simple transitive expression (STE)** — a chain with at most one
+  transitive (starred) factor, covering > 99% of property paths in the
+  DBpedia-corpus logs (Martens & Trautner; Section 9.6).
+* **Ctract / Ttract** — the tractability classes for simple-path and
+  trail semantics of regular path queries (Bagan et al.; Martens,
+  Niewerth & Trautner).  Membership is decided here for chain-shaped
+  expressions via the "bounded prefix · downward-closed middle · bounded
+  suffix" characterization; see the function docstrings for the precise
+  rules implemented and their provenance.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional as Opt, Sequence, Tuple
+
+from .ast import (
+    Concat,
+    Empty,
+    Epsilon,
+    Optional,
+    Plus,
+    Regex,
+    Star,
+    Symbol,
+    Union,
+)
+
+# The eight factor types of Theorem 4.4, in display order.
+FACTOR_TYPES = ("a", "a?", "a*", "a+", "(+a)", "(+a)?", "(+a)*", "(+a)+")
+
+
+@dataclass(frozen=True)
+class SimpleFactor:
+    """A parsed simple factor.
+
+    Attributes
+    ----------
+    labels:
+        The symbols of the disjunction, in syntactic order.
+    modifier:
+        One of ``""``, ``"?"``, ``"*"``, ``"+"``.
+    """
+
+    labels: Tuple[str, ...]
+    modifier: str
+
+    @property
+    def factor_type(self) -> str:
+        """The RE(…) factor type string, e.g. ``"(+a)*"`` or ``"a?"``."""
+        base = "a" if len(self.labels) == 1 else "(+a)"
+        return base + self.modifier
+
+    @property
+    def is_transitive(self) -> bool:
+        """Whether the factor matches unboundedly long words (* or +)."""
+        return self.modifier in ("*", "+")
+
+    @property
+    def is_optional(self) -> bool:
+        """Whether the factor matches the empty word (? or *)."""
+        return self.modifier in ("?", "*")
+
+    def __str__(self) -> str:
+        if len(self.labels) == 1:
+            base = self.labels[0]
+            if self.modifier and len(base) > 1:
+                base = f"({base})"
+        else:
+            base = "(" + "+".join(self.labels) + ")"
+        return base + self.modifier
+
+
+def _disjunction_labels(expr: Regex) -> Opt[Tuple[str, ...]]:
+    """Labels of ``a1 + … + ak`` when ``expr`` is a disjunction of symbols
+    (possibly a single symbol); otherwise ``None``."""
+    if isinstance(expr, Symbol):
+        return (expr.label,)
+    if isinstance(expr, Union):
+        labels = []
+        for part in expr.parts:
+            if not isinstance(part, Symbol):
+                return None
+            labels.append(part.label)
+        return tuple(labels)
+    return None
+
+
+def as_simple_factor(expr: Regex) -> Opt[SimpleFactor]:
+    """Parse ``expr`` as a simple factor, or return ``None``."""
+    modifier = ""
+    inner = expr
+    if isinstance(expr, Star):
+        modifier, inner = "*", expr.child
+    elif isinstance(expr, Plus):
+        modifier, inner = "+", expr.child
+    elif isinstance(expr, Optional):
+        modifier, inner = "?", expr.child
+    labels = _disjunction_labels(inner)
+    if labels is None:
+        return None
+    return SimpleFactor(labels, modifier)
+
+
+def chare_factors(expr: Regex) -> Opt[List[SimpleFactor]]:
+    """Decompose a sequential (chain) regular expression into its factors.
+
+    Returns ``None`` when ``expr`` is not a CHARE.  Epsilon counts as the
+    empty chain (zero factors); the empty-language expression is not a
+    CHARE.
+    """
+    if isinstance(expr, Epsilon):
+        return []
+    if isinstance(expr, Empty):
+        return None
+    parts = expr.parts if isinstance(expr, Concat) else (expr,)
+    factors: List[SimpleFactor] = []
+    for part in parts:
+        factor = as_simple_factor(part)
+        if factor is None:
+            return None
+        factors.append(factor)
+    return factors
+
+
+def is_chare(expr: Regex) -> bool:
+    """Whether ``expr`` is a sequential (chain) regular expression."""
+    return chare_factors(expr) is not None
+
+
+def factor_type_signature(expr: Regex) -> Opt[Tuple[str, ...]]:
+    """The sorted set of factor types used by a CHARE, or ``None``.
+
+    ``factor_type_signature(parse("ab*a*ab"))`` is ``("a", "a*")``, i.e.
+    the expression lies in the fragment RE(a, a*) of Theorem 4.4.
+    """
+    factors = chare_factors(expr)
+    if factors is None:
+        return None
+    return tuple(sorted({factor.factor_type for factor in factors}))
+
+
+def in_fragment(expr: Regex, allowed_types: Sequence[str]) -> bool:
+    """Whether ``expr`` is in RE(f1,…,fk) for the given factor types.
+
+    Factor types use the notation of Theorem 4.4; a bare symbol factor
+    (type ``"a"``) is also accepted by any disjunction type ``"(+a)…"``
+    with the same modifier, since ``a`` is the ``k = 1`` disjunction.
+    """
+    factors = chare_factors(expr)
+    if factors is None:
+        return False
+    allowed = set(allowed_types)
+    for factor in factors:
+        ftype = factor.factor_type
+        if ftype in allowed:
+            continue
+        if len(factor.labels) == 1:
+            widened = "(+a)" + factor.modifier
+            if widened in allowed:
+                continue
+        return False
+    return True
+
+
+# ---------------------------------------------------------------------------
+# Occurrence-bounded expressions
+# ---------------------------------------------------------------------------
+
+
+def max_occurrences(expr: Regex) -> int:
+    """The largest number of syntactic occurrences of any single label."""
+    counts = expr.occurrence_counts()
+    return max(counts.values(), default=0)
+
+
+def is_k_ore(expr: Regex, k: int) -> bool:
+    """Whether ``expr`` is a k-occurrence regular expression."""
+    return max_occurrences(expr) <= k
+
+
+def is_sore(expr: Regex) -> bool:
+    """Whether ``expr`` is a single-occurrence regular expression (1-ORE)."""
+    return is_k_ore(expr, 1)
+
+
+# ---------------------------------------------------------------------------
+# Simple transitive expressions and tractability classes
+# ---------------------------------------------------------------------------
+
+
+def is_simple_transitive(expr: Regex) -> bool:
+    """Whether ``expr`` is a *simple transitive expression*.
+
+    Following Martens & Trautner ("Dichotomies for Evaluating Simple
+    Regular Path Queries"), an STE is a chain of atomic factors
+    (``a``, ``A``, ``a?``, ``A?``) with at most one transitive factor
+    (``A*`` or ``A+``).  This is the class that covered over 99% of the
+    property paths in the DBpedia–BritM logs; the main reason practical
+    paths fall outside it is a second starred subexpression, as in
+    ``a*b*`` (Section 9.6).
+    """
+    factors = chare_factors(expr)
+    if factors is None:
+        return False
+    transitive = sum(1 for f in factors if f.is_transitive)
+    return transitive <= 1
+
+
+@dataclass(frozen=True)
+class _MergedBlock:
+    """A maximal run of adjacent factors over the same label set, merged.
+
+    Merging makes the tractability tests robust to syntactic noise such
+    as ``a*aa*`` (semantically ``a+``, a single transitive block).
+    """
+
+    labels: frozenset
+    transitive: bool  # contains a * or + factor
+    mandatory: bool  # minimum repetition count >= 1
+
+
+def _merged_blocks(factors: List[SimpleFactor]) -> List[_MergedBlock]:
+    blocks: List[_MergedBlock] = []
+    for factor in factors:
+        labels = frozenset(factor.labels)
+        transitive = factor.is_transitive
+        mandatory = not factor.is_optional
+        if blocks and blocks[-1].labels == labels:
+            prev = blocks[-1]
+            blocks[-1] = _MergedBlock(
+                labels,
+                prev.transitive or transitive,
+                prev.mandatory or mandatory,
+            )
+        else:
+            blocks.append(_MergedBlock(labels, transitive, mandatory))
+    return blocks
+
+
+def is_ctract(expr: Regex) -> Opt[bool]:
+    """Membership in the tractable class for *simple-path* semantics.
+
+    Bagan, Bonifati & Groz's trichotomy shows that evaluating a regular
+    path query under simple-path semantics is tractable exactly for the
+    class ``C_tract`` of languages expressible as finite unions of
+    ``W1 · D · W2`` with ``W1, W2`` finite and ``D`` *downward closed*
+    under the subword order.  Intuition: inside ``D``, cycles of a
+    matching walk can always be cut out, so a matching walk yields a
+    matching simple path once the bounded borders are fixed.
+
+    For chain-shaped expressions we implement the syntactic certificate:
+    after merging adjacent same-alphabet factors, a chain is certified in
+    ``C_tract`` when **no mandatory non-transitive block occurs strictly
+    between two transitive blocks** — then the maximal transitive/optional
+    middle is downward closed and the borders are finite.  Examples:
+    ``a*``, ``ab*c``, ``ab*c*``, ``a*b*``, ``a*aa*`` (≡ ``a+``) are in;
+    ``a*ba*`` is out.
+
+    Returns ``True`` for certified members, ``False`` for chains without
+    a certificate, and ``None`` ("unknown") for non-chain expressions —
+    deciding the general class requires the full BBG machinery, which no
+    observed property-path type in the logs needs (Table 8).
+    """
+    factors = chare_factors(expr)
+    if factors is None:
+        if isinstance(expr, Union):
+            verdicts = [is_ctract(p) for p in expr.parts]
+            if all(v is True for v in verdicts):
+                return True  # finite unions preserve membership
+            return None  # a False/unknown branch leaves the union open
+        return None
+    blocks = _merged_blocks(factors)
+    transitive_positions = [
+        i for i, b in enumerate(blocks) if b.transitive
+    ]
+    if len(transitive_positions) <= 1:
+        return True  # simple transitive expressions are always in C_tract
+    first, last = transitive_positions[0], transitive_positions[-1]
+    for i in range(first + 1, last):
+        block = blocks[i]
+        if block.mandatory and not block.transitive:
+            return False
+    return True
+
+
+def is_ttract(expr: Regex) -> Opt[bool]:
+    """Membership in the tractable class for *trail* semantics.
+
+    Martens, Niewerth & Trautner's trichotomy gives a class ``T_tract``
+    strictly containing ``C_tract``: trails may revisit *vertices*, so
+    some languages whose simple-path problem is hard remain tractable for
+    trails.  We implement the documented approximation
+    ``C_tract ∪ {chains whose mandatory between-star blocks use labels
+    disjoint from every transitive block's alphabet}`` — the
+    "conflict-free separation" core of their characterization.  On every
+    property-path type observed in the paper's logs (Table 8) this
+    coincides with the published classification; EXPERIMENTS.md records
+    the approximation.
+    """
+    ctract = is_ctract(expr)
+    if ctract is True:
+        return True
+    if ctract is None:
+        return None
+    factors = chare_factors(expr)
+    if factors is None:
+        return None
+    blocks = _merged_blocks(factors)
+    transitive_positions = [
+        i for i, b in enumerate(blocks) if b.transitive
+    ]
+    starred_labels: set = set()
+    for i in transitive_positions:
+        starred_labels.update(blocks[i].labels)
+    first, last = transitive_positions[0], transitive_positions[-1]
+    for i in range(first + 1, last):
+        block = blocks[i]
+        if not block.mandatory or block.transitive:
+            continue
+        if set(block.labels) & starred_labels:
+            return False
+    return True

@@ -1,0 +1,99 @@
+"""Conversion from automata back to regular expressions (state
+elimination), plus language intersection as an expression.
+
+Used by the BonXai translation (:mod:`repro.trees.bonxai`): when several
+pattern rules select the same node set, the induced content model is the
+*intersection* of their expressions, which we materialize as a single
+regular expression via product construction + state elimination.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Sequence, Tuple
+
+from .ast import (
+    EMPTY,
+    EPSILON,
+    Regex,
+    Symbol,
+    concat as smart_concat,
+    optional as smart_optional,
+    plus as smart_plus,
+    star as smart_star,
+    union as smart_union,
+)
+from .automata import NFA, glushkov, product_intersection
+
+
+def nfa_to_regex(nfa: NFA) -> Regex:
+    """A regular expression for ``L(nfa)`` via state elimination.
+
+    Builds the generalized NFA with fresh initial/final states and
+    eliminates states in increasing-degree order (a standard heuristic
+    that keeps intermediate expressions small).
+    """
+    n = nfa.num_states
+    init, final = n, n + 1
+    # edge map: (src, dst) -> Regex
+    edges: Dict[Tuple[int, int], Regex] = {}
+
+    def add_edge(src: int, dst: int, expr: Regex) -> None:
+        if expr == EMPTY:
+            return
+        if (src, dst) in edges:
+            edges[(src, dst)] = smart_union(edges[(src, dst)], expr)
+        else:
+            edges[(src, dst)] = expr
+
+    for src, trans in enumerate(nfa.transitions):
+        for label, targets in trans.items():
+            expr = EPSILON if label == "" else Symbol(label)
+            for dst in targets:
+                add_edge(src, dst, expr)
+    for state in nfa.initial:
+        add_edge(init, state, EPSILON)
+    for state in nfa.finals:
+        add_edge(state, final, EPSILON)
+
+    remaining = list(range(n))
+
+    def degree(state: int) -> int:
+        return sum(1 for (s, d) in edges if s == state or d == state)
+
+    while remaining:
+        remaining.sort(key=degree)
+        victim = remaining.pop(0)
+        loop = edges.pop((victim, victim), None)
+        loop_expr = smart_star(loop) if loop is not None else EPSILON
+        incoming = [
+            (s, e) for (s, d), e in list(edges.items()) if d == victim
+        ]
+        outgoing = [
+            (d, e) for (s, d), e in list(edges.items()) if s == victim
+        ]
+        for (s, _e) in incoming:
+            edges.pop((s, victim), None)
+        for (d, _e) in outgoing:
+            edges.pop((victim, d), None)
+        for s, in_expr in incoming:
+            for d, out_expr in outgoing:
+                add_edge(s, d, smart_concat(in_expr, loop_expr, out_expr))
+
+    return edges.get((init, final), EMPTY)
+
+
+def intersection_regex(expressions: Sequence[Regex]) -> Regex:
+    """A single regular expression for ``L(e1) ∩ … ∩ L(en)``.
+
+    Regular languages are closed under intersection but expressions have
+    no intersection operator; the classical route is the product
+    automaton followed by state elimination.  The result can be
+    exponentially larger — the price Theorem 4.5's hardness results put a
+    name to.
+    """
+    if not expressions:
+        raise ValueError("need at least one expression")
+    if len(expressions) == 1:
+        return expressions[0]
+    product = product_intersection([glushkov(e) for e in expressions])
+    return nfa_to_regex(product)

@@ -1,0 +1,396 @@
+"""Determinism (one-unambiguity) of regular expressions.
+
+Two distinct questions from Section 4.2.1 are implemented:
+
+1. *Is this expression deterministic?* — a syntactic property of the
+   expression as written, required of DTD content models by the XML
+   standard ("deterministic content models") and of XML Schema by the
+   Unique Particle Attribution constraint.  Decided in polynomial time via
+   the Glushkov automaton: an expression is deterministic iff its Glushkov
+   automaton is deterministic (Brüggemann-Klein & Wood 1998).
+
+2. *Does this regular language have SOME deterministic expression?* — a
+   semantic property.  Brüggemann-Klein & Wood characterized the definable
+   languages via the *orbit property* of the minimal DFA; deciding it for
+   a language given by an arbitrary expression is PSPACE-complete
+   (Czerwinski et al.; Lu, Bremer & Chen), which our implementation
+   reflects by first building the minimal DFA.  The recursive BKW test is
+   implemented in :func:`is_deterministic_definable`.
+
+The paper's running examples hold here::
+
+    >>> from repro.regex.parser import parse
+    >>> is_deterministic(parse("(a+b)*a"))
+    False
+    >>> is_deterministic(parse("b*a(b*a)*"))
+    True
+    >>> is_deterministic_definable(parse("(a+b)*a"))       # equivalent DRE exists
+    True
+    >>> is_deterministic_definable(parse("(a+b)*a(a+b)"))  # famously not
+    False
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Dict, List, Set, Tuple
+
+from .ast import Regex
+from .automata import DFA, glushkov, glushkov_position_labels, minimal_dfa
+
+
+def is_deterministic(expr: Regex) -> bool:
+    """Whether ``expr`` is a deterministic (one-unambiguous) expression.
+
+    Equivalent formulation: while reading a word left to right, the symbol
+    occurrence of the expression that matches the next input symbol is
+    always uniquely determined without lookahead.
+    """
+    return determinism_violation(expr) is None
+
+
+def determinism_violation(expr: Regex):
+    """Return ``None`` for deterministic expressions, else a diagnostic
+    triple ``(state, label, positions)``: from Glushkov state ``state``,
+    reading ``label`` may continue to any of the (≥ 2) listed positions.
+    """
+    nfa = glushkov(expr)
+    labels = glushkov_position_labels(expr)
+    labels[0] = "^"  # initial state, for readability of diagnostics
+    for state, transitions in enumerate(nfa.transitions):
+        for label, targets in transitions.items():
+            if len(targets) > 1:
+                return (state, label, tuple(sorted(targets)))
+    return None
+
+
+# ---------------------------------------------------------------------------
+# BKW test: is the *language* definable by a deterministic expression?
+# ---------------------------------------------------------------------------
+
+
+def _trim(dfa: DFA) -> DFA:
+    """Drop the sink (non-coaccessible states): BKW works on partial DFAs.
+
+    Returns a partial DFA: transitions into states from which no final
+    state is reachable are removed entirely.
+    """
+    # states from which a final state is reachable
+    reverse: List[Set[int]] = [set() for _ in range(dfa.num_states)]
+    for src in range(dfa.num_states):
+        for dst in dfa.transitions[src].values():
+            reverse[dst].add(src)
+    alive = set(dfa.finals)
+    queue = deque(alive)
+    while queue:
+        state = queue.popleft()
+        for prev in reverse[state]:
+            if prev not in alive:
+                alive.add(prev)
+                queue.append(prev)
+    keep = sorted(alive | {dfa.initial})
+    remap = {old: new for new, old in enumerate(keep)}
+    trans = []
+    for old in keep:
+        row = {
+            label: remap[dst]
+            for label, dst in dfa.transitions[old].items()
+            if dst in alive
+        }
+        trans.append(row)
+    return DFA(
+        len(keep),
+        remap[dfa.initial],
+        {remap[f] for f in dfa.finals if f in remap},
+        trans,
+        set(dfa.alphabet),
+    )
+
+
+def _orbits(trans: List[Dict[str, int]], states: Set[int]):
+    """Strongly connected components (Tarjan, iterative) of the transition
+    graph restricted to ``states``.  Returns a map state -> orbit id and
+    the list of orbits (as sets)."""
+    index_of: Dict[int, int] = {}
+    lowlink: Dict[int, int] = {}
+    on_stack: Set[int] = set()
+    stack: List[int] = []
+    orbits: List[Set[int]] = []
+    orbit_of: Dict[int, int] = {}
+    counter = [0]
+
+    for root in states:
+        if root in index_of:
+            continue
+        work: List[Tuple[int, iter]] = [
+            (root, iter(sorted(set(trans[root].values()) & states)))
+        ]
+        index_of[root] = lowlink[root] = counter[0]
+        counter[0] += 1
+        stack.append(root)
+        on_stack.add(root)
+        while work:
+            node, successors = work[-1]
+            advanced = False
+            for nxt in successors:
+                if nxt not in index_of:
+                    index_of[nxt] = lowlink[nxt] = counter[0]
+                    counter[0] += 1
+                    stack.append(nxt)
+                    on_stack.add(nxt)
+                    work.append(
+                        (nxt, iter(sorted(set(trans[nxt].values()) & states)))
+                    )
+                    advanced = True
+                    break
+                if nxt in on_stack:
+                    lowlink[node] = min(lowlink[node], index_of[nxt])
+            if advanced:
+                continue
+            work.pop()
+            if work:
+                parent = work[-1][0]
+                lowlink[parent] = min(lowlink[parent], lowlink[node])
+            if lowlink[node] == index_of[node]:
+                orbit: Set[int] = set()
+                while True:
+                    member = stack.pop()
+                    on_stack.discard(member)
+                    orbit.add(member)
+                    if member == node:
+                        break
+                orbit_id = len(orbits)
+                orbits.append(orbit)
+                for member in orbit:
+                    orbit_of[member] = orbit_id
+    return orbit_of, orbits
+
+
+def _gates(
+    trans: List[Dict[str, int]], finals: Set[int], orbit: Set[int]
+) -> Set[int]:
+    """Gates of an orbit: members that are final or have an out-of-orbit
+    transition."""
+    gates = set()
+    for state in orbit:
+        if state in finals:
+            gates.add(state)
+            continue
+        for dst in trans[state].values():
+            if dst not in orbit:
+                gates.add(state)
+                break
+    return gates
+
+
+def _has_orbit_property(
+    trans: List[Dict[str, int]], finals: Set[int], orbits: List[Set[int]]
+) -> bool:
+    """All gates of each orbit agree on finality and out-of-orbit moves."""
+    for orbit in orbits:
+        gates = sorted(_gates(trans, finals, orbit))
+        if len(gates) <= 1:
+            continue
+        reference = gates[0]
+        ref_final = reference in finals
+        ref_out = {
+            label: dst
+            for label, dst in trans[reference].items()
+            if dst not in orbit
+        }
+        for gate in gates[1:]:
+            if (gate in finals) != ref_final:
+                return False
+            out = {
+                label: dst
+                for label, dst in trans[gate].items()
+                if dst not in orbit
+            }
+            if out != ref_out:
+                return False
+    return True
+
+
+def _consistent_symbols(
+    trans: List[Dict[str, int]], finals: Set[int], alphabet: Set[str]
+) -> Dict[str, int]:
+    """Symbols ``a`` that are M-consistent: every final state has an
+    ``a``-transition and all these transitions share one target ``f(a)``."""
+    consistent: Dict[str, int] = {}
+    if not finals:
+        return consistent
+    for label in alphabet:
+        targets = set()
+        ok = True
+        for state in finals:
+            dst = trans[state].get(label)
+            if dst is None:
+                ok = False
+                break
+            targets.add(dst)
+        if ok and len(targets) == 1:
+            consistent[label] = next(iter(targets))
+    return consistent
+
+
+def _minimize_partial(
+    trans: List[Dict[str, int]], finals: Set[int], alphabet: Set[str]
+):
+    """Behaviour-merge a partial DFA (ignoring the initial state, which is
+    irrelevant inside a strongly connected orbit): complete with a sink,
+    run Hopcroft, and strip the sink again.
+
+    Returns ``(trans, finals)`` of the merged partial automaton.
+    """
+    n = len(trans)
+    sink = n
+    complete = []
+    for row in trans:
+        complete.append(
+            {label: row.get(label, sink) for label in alphabet}
+        )
+    complete.append({label: sink for label in alphabet})
+    # Moore partition refinement (initial state is irrelevant here: inside
+    # an orbit every state is reachable from every other).
+    partition_id = {q: (1 if q in finals else 0) for q in range(n + 1)}
+    while True:
+        signature = {}
+        for q in range(n + 1):
+            signature[q] = (
+                partition_id[q],
+                tuple(
+                    partition_id[complete[q][label]]
+                    for label in sorted(alphabet)
+                ),
+            )
+        fresh: Dict[tuple, int] = {}
+        new_id = {}
+        for q in range(n + 1):
+            sig = signature[q]
+            if sig not in fresh:
+                fresh[sig] = len(fresh)
+            new_id[q] = fresh[sig]
+        if new_id == partition_id:
+            break
+        partition_id = new_id
+    # rebuild partial automaton over blocks, dropping the sink's block
+    # (a block is "sink-like" iff no final is reachable from it)
+    block_states: Dict[int, List[int]] = {}
+    for q in range(n + 1):
+        block_states.setdefault(partition_id[q], []).append(q)
+    sink_block = partition_id[sink]
+    blocks = sorted(b for b in block_states if b != sink_block)
+    remap = {b: i for i, b in enumerate(blocks)}
+    new_trans: List[Dict[str, int]] = []
+    new_finals: Set[int] = set()
+    for b in blocks:
+        representative = block_states[b][0]
+        row = {}
+        for label in alphabet:
+            dst_block = partition_id[complete[representative][label]]
+            if dst_block != sink_block:
+                row[label] = remap[dst_block]
+        new_trans.append(row)
+        if representative in finals:
+            new_finals.add(remap[b])
+    return new_trans, new_finals
+
+
+def _count_transitions(trans: List[Dict[str, int]]) -> int:
+    return sum(len(row) for row in trans)
+
+
+def _bkw(
+    trans: List[Dict[str, int]],
+    finals: Set[int],
+    alphabet: Set[str],
+    depth: int,
+) -> bool:
+    """The recursive BKW decision procedure on a (behaviour-minimal,
+    partial) DFA.
+
+    Follows Brüggemann-Klein & Wood, "One-Unambiguous Regular Languages":
+    cut the maximal set of M-consistent symbols (maximality is optimal by
+    their consistency lemma), check the orbit property of the cut, and
+    recurse into the (re-minimized) orbit automata with gates as final
+    states.  Progress is guaranteed because each cut strictly removes
+    transitions and each orbit restriction strictly shrinks a multi-orbit
+    automaton; when neither step makes progress on a non-trivial automaton
+    the language is not one-unambiguous.
+    """
+    if depth > 500:  # structural recursion always terminates; safety net
+        raise RecursionError("BKW recursion too deep")
+    if not any(row for row in trans):
+        return True  # finite/trivial: any acyclic minimal DFA is definable
+        # here only the no-transitions base case arrives.
+
+    consistent = _consistent_symbols(trans, finals, alphabet)
+    cut = [
+        {
+            label: dst
+            for label, dst in row.items()
+            if not (src in finals and label in consistent)
+        }
+        for src, row in enumerate(trans)
+    ]
+    made_cut = _count_transitions(cut) < _count_transitions(trans)
+
+    states = set(range(len(cut)))
+    _orbit_of, orbits = _orbits(cut, states)
+
+    nontrivial = [
+        orbit
+        for orbit in orbits
+        if len(orbit) > 1
+        or any(
+            dst in orbit for dst in cut[next(iter(orbit))].values()
+        )
+    ]
+
+    if not made_cut and len(nontrivial) == 1 and len(
+        nontrivial[0]
+    ) == len(states):
+        # single nontrivial orbit covering everything, nothing cuttable:
+        # the recursion cannot make progress; by BKW this language is not
+        # one-unambiguous.
+        return False
+
+    if not _has_orbit_property(cut, finals, orbits):
+        return False
+
+    for orbit in nontrivial:
+        members = sorted(orbit)
+        remap = {old: new for new, old in enumerate(members)}
+        sub_trans = [
+            {
+                label: remap[dst]
+                for label, dst in cut[old].items()
+                if dst in orbit
+            }
+            for old in members
+        ]
+        sub_finals = {remap[g] for g in _gates(cut, finals, orbit)}
+        sub_alphabet = {label for row in sub_trans for label in row}
+        if not sub_finals:
+            # an orbit with no gate can never occur in a trim automaton
+            continue
+        sub_trans, sub_finals = _minimize_partial(
+            sub_trans, sub_finals, sub_alphabet
+        )
+        if not _bkw(sub_trans, sub_finals, sub_alphabet, depth + 1):
+            return False
+    return True
+
+
+def is_deterministic_definable(expr: Regex) -> bool:
+    """Whether ``L(expr)`` is definable by SOME deterministic expression.
+
+    Implements the Brüggemann-Klein–Wood decision procedure on the minimal
+    DFA.  The overall problem is PSPACE-complete in the size of ``expr``
+    (the blow-up is in the determinization step); the BKW test itself is
+    polynomial in the minimal DFA.
+    """
+    dfa = _trim(minimal_dfa(expr))
+    if not dfa.finals:
+        return True  # the empty language is defined by the DRE '[]'
+    return _bkw(dfa.transitions, set(dfa.finals), set(dfa.alphabet), 0)

@@ -1,0 +1,177 @@
+"""Decision problems on regular expressions: containment, equivalence,
+intersection non-emptiness.
+
+These are the general, worst-case-PSPACE automata-theoretic algorithms that
+the paper's Theorems 4.4–4.6 compare against.  The fragment-specific
+polynomial algorithms live in :mod:`repro.regex.chare`; the benchmark
+``bench_regex_decisions`` contrasts the two.
+
+Containment L(e1) ⊆ L(e2) is decided by an on-the-fly product of the
+Glushkov NFA of ``e1`` with the lazily-determinized Glushkov NFA of ``e2``:
+we search for a word that ``e1`` accepts while the subset-state of ``e2``
+is non-accepting.  Only the reachable part of the (worst-case exponential)
+subset automaton is built, which is what makes the general algorithm
+usable on real-world schema expressions.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Iterable, List, Optional as Opt, Sequence, Tuple
+
+from .ast import Regex
+from .automata import NFA, glushkov, product_intersection
+
+
+def contains(e1: Regex, e2: Regex, witness: bool = False):
+    """Decide the R-Containment problem of Section 4.2.2: ``L(e1) ⊆ L(e2)``.
+
+    With ``witness=True`` returns a pair ``(result, counterexample)`` where
+    the counterexample is a word in ``L(e1) \\ L(e2)`` (or ``None`` when
+    the containment holds).
+    """
+    left = glushkov(e1)
+    right = glushkov(e2)
+    result, cex = _containment_search(left, right)
+    if witness:
+        return result, cex
+    return result
+
+
+def is_contained(e1: Regex, e2: Regex) -> bool:
+    """``L(e1) ⊆ L(e2)`` (alias with unambiguous argument order)."""
+    left = glushkov(e1)
+    right = glushkov(e2)
+    result, _cex = _containment_search(left, right)
+    return result
+
+
+def containment_counterexample(e1: Regex, e2: Regex):
+    """A word in ``L(e1) \\ L(e2)``, or ``None`` when ``L(e1) ⊆ L(e2)``."""
+    left = glushkov(e1)
+    right = glushkov(e2)
+    _result, cex = _containment_search(left, right)
+    return cex
+
+
+def _containment_search(left: NFA, right: NFA):
+    """BFS over (subset-of-left, subset-of-right) pairs looking for a word
+    accepted by ``left`` but not by ``right``.
+
+    Returns ``(contained, counterexample)``.
+    """
+    left_start = left.epsilon_closure(left.initial)
+    right_start = right.epsilon_closure(right.initial)
+    start = (left_start, right_start)
+    if (left_start & left.finals) and not (right_start & right.finals):
+        return False, ()
+    seen = {start}
+    queue = deque([(start, ())])
+    while queue:
+        (lstates, rstates), prefix = queue.popleft()
+        labels = set()
+        for state in lstates:
+            labels.update(lbl for lbl in left.transitions[state] if lbl)
+        for label in sorted(labels):
+            lnext = left.step(lstates, label)
+            if not lnext:
+                continue
+            rnext = right.step(rstates, label)
+            pair = (lnext, rnext)
+            if pair in seen:
+                continue
+            word = prefix + (label,)
+            if (lnext & left.finals) and not (rnext & right.finals):
+                return False, word
+            seen.add(pair)
+            queue.append((pair, word))
+    return True, None
+
+
+def equivalent(e1: Regex, e2: Regex) -> bool:
+    """Whether ``L(e1) = L(e2)`` (containment in both directions)."""
+    return is_contained(e1, e2) and is_contained(e2, e1)
+
+
+def intersection_nonempty(
+    expressions: Sequence[Regex], witness: bool = False
+):
+    """The R-Intersection problem: is ``L(e1) ∩ … ∩ L(en)`` non-empty?
+
+    With ``witness=True`` returns ``(result, word)`` where ``word`` is a
+    shortest word in the intersection (or ``None``).  Uses the on-the-fly
+    product of Glushkov automata; PSPACE-complete in general (Theorem 4.5
+    preamble), polynomial for a *fixed* number of expressions.
+    """
+    if not expressions:
+        raise ValueError("need at least one expression")
+    automata = [glushkov(e) for e in expressions]
+    product = product_intersection(automata)
+    word = product.shortest_accepted_word()
+    result = word is not None
+    if witness:
+        return result, word
+    return result
+
+
+def intersection_witness(expressions: Sequence[Regex]):
+    """A shortest word in the intersection, or ``None`` when empty."""
+    _result, word = intersection_nonempty(expressions, witness=True)
+    return word
+
+
+def accepts(expr: Regex, word: Iterable[str]) -> bool:
+    """Membership ``word ∈ L(expr)`` via Glushkov simulation."""
+    return glushkov(expr).accepts(word)
+
+
+def language_is_empty(expr: Regex) -> bool:
+    """Whether ``L(expr) = ∅``."""
+    return glushkov(expr).is_empty()
+
+
+def language_is_universal(expr: Regex, alphabet: Opt[set] = None) -> bool:
+    """Whether ``L(expr) = Σ*`` for ``alphabet`` Σ (default: the
+    expression's own alphabet)."""
+    sigma = set(alphabet) if alphabet is not None else set(expr.alphabet())
+    dfa = glushkov(expr).determinize(sigma)
+    return dfa.complement().is_empty()
+
+
+def enumerate_words(
+    expr: Regex, max_words: int = 100, max_length: Opt[int] = None
+) -> List[Tuple[str, ...]]:
+    """Enumerate words of ``L(expr)`` in length-lexicographic order.
+
+    Stops after ``max_words`` words or once all words of length
+    ``max_length`` have been produced.  Useful in tests and for building
+    characteristic samples for the inference algorithms (Definition 4.7).
+    """
+    nfa = glushkov(expr)
+    out: List[Tuple[str, ...]] = []
+    start = nfa.epsilon_closure(nfa.initial)
+    frontier = [((), start)]
+    length = 0
+    if start & nfa.finals:
+        out.append(())
+    while frontier and len(out) < max_words:
+        if max_length is not None and length >= max_length:
+            break
+        length += 1
+        nxt_frontier = []
+        for prefix, states in frontier:
+            labels = set()
+            for state in states:
+                labels.update(lbl for lbl in nfa.transitions[state] if lbl)
+            for label in sorted(labels):
+                nxt = nfa.step(states, label)
+                if not nxt:
+                    continue
+                word = prefix + (label,)
+                nxt_frontier.append((word, nxt))
+                if nxt & nfa.finals:
+                    out.append(word)
+                    if len(out) >= max_words:
+                        return out
+        frontier = nxt_frontier
+    return out

@@ -1,0 +1,109 @@
+"""Random sampling of words from regular expressions.
+
+Used by the schema-inference experiments (to build positive samples from
+a known target expression, Definition 4.7) and by the workload
+generators.  Sampling is purely syntax-directed — no automaton is built —
+so it is fast even for large expressions.
+"""
+
+from __future__ import annotations
+
+import random
+from typing import List, Optional as Opt, Tuple
+
+from ..errors import ReproError
+from .ast import (
+    Concat,
+    Empty,
+    Epsilon,
+    Optional,
+    Plus,
+    Regex,
+    Star,
+    Symbol,
+    Union,
+)
+
+
+class EmptyLanguageError(ReproError):
+    """Raised when asked to sample from an expression with empty language."""
+
+
+def sample_word(
+    expr: Regex,
+    rng: Opt[random.Random] = None,
+    star_continue: float = 0.5,
+    max_repeat: int = 16,
+) -> Tuple[str, ...]:
+    """Draw one random word from ``L(expr)``.
+
+    Repetition counts under ``*``/``+`` are geometric with continuation
+    probability ``star_continue``, capped at ``max_repeat`` to keep
+    samples bounded.  Union branches with empty languages are never
+    chosen; sampling from an empty language raises
+    :class:`EmptyLanguageError`.
+    """
+    rng = rng or random.Random()
+    if expr.matches_nothing():
+        raise EmptyLanguageError(f"cannot sample from {expr}")
+    out: List[str] = []
+    _emit(expr, rng, star_continue, max_repeat, out)
+    return tuple(out)
+
+
+def _emit(
+    expr: Regex,
+    rng: random.Random,
+    star_continue: float,
+    max_repeat: int,
+    out: List[str],
+) -> None:
+    if isinstance(expr, Epsilon):
+        return
+    if isinstance(expr, Empty):
+        raise EmptyLanguageError("empty language reached during sampling")
+    if isinstance(expr, Symbol):
+        out.append(expr.label)
+        return
+    if isinstance(expr, Concat):
+        for part in expr.parts:
+            _emit(part, rng, star_continue, max_repeat, out)
+        return
+    if isinstance(expr, Union):
+        viable = [p for p in expr.parts if not p.matches_nothing()]
+        _emit(rng.choice(viable), rng, star_continue, max_repeat, out)
+        return
+    if isinstance(expr, Star):
+        count = 0
+        while count < max_repeat and rng.random() < star_continue:
+            count += 1
+        for _ in range(count):
+            _emit(expr.child, rng, star_continue, max_repeat, out)
+        return
+    if isinstance(expr, Plus):
+        count = 1
+        while count < max_repeat and rng.random() < star_continue:
+            count += 1
+        for _ in range(count):
+            _emit(expr.child, rng, star_continue, max_repeat, out)
+        return
+    if isinstance(expr, Optional):
+        if rng.random() < 0.5:
+            _emit(expr.child, rng, star_continue, max_repeat, out)
+        return
+    raise TypeError(f"unknown node {expr!r}")
+
+
+def sample_words(
+    expr: Regex,
+    count: int,
+    rng: Opt[random.Random] = None,
+    star_continue: float = 0.5,
+    max_repeat: int = 16,
+) -> List[Tuple[str, ...]]:
+    """Draw ``count`` independent random words from ``L(expr)``."""
+    rng = rng or random.Random()
+    return [
+        sample_word(expr, rng, star_continue, max_repeat)
+        for _ in range(count)
+    ]

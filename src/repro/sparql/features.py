@@ -1,0 +1,339 @@
+"""Feature analysis of SPARQL queries (Section 9.4, Tables 3–5).
+
+Two kinds of analyses:
+
+* :func:`query_features` — which keywords/operators a query uses
+  (the Table 3 census: Distinct, Limit, Offset, OrderBy, Filter, And,
+  Optional, Union, Graph, Values, NotExists, Minus, Exists, GroupBy,
+  Count, Having, Avg, Min, Max, Sum, Service, property paths);
+* :func:`operator_set` and the fragment classifiers
+  (:func:`is_cq`, :func:`is_cq_f`, :func:`is_c2rpq_f`, …) — which
+  *fragment* the query's pattern falls into (Tables 4 and 5).
+
+Conventions follow Bonifati, Martens & Timm: the ``And`` feature means
+the pattern joins at least two atoms; blank nodes count as variables;
+``Describe`` queries are excluded from relative counts by the caller.
+"""
+
+from __future__ import annotations
+
+from typing import FrozenSet, Iterator, List, Set
+
+from .ast import (
+    And,
+    Bind,
+    BoolExpr,
+    Comparison,
+    ExistsExpr,
+    Expression,
+    Filter,
+    FunctionCall,
+    Graph,
+    Minus,
+    Optional as OptPattern,
+    PathPattern,
+    Pattern,
+    Query,
+    Service,
+    SubQuery,
+    TermExpr,
+    TriplePattern,
+    Union as UnionPattern,
+    Values,
+)
+
+#: The Table 3 feature names, in the paper's row order.
+TABLE3_FEATURES = (
+    "Distinct",
+    "Limit",
+    "Offset",
+    "OrderBy",
+    "Filter",
+    "And",
+    "Optional",
+    "Union",
+    "Graph",
+    "Values",
+    "NotExists",
+    "Minus",
+    "Exists",
+    "GroupBy",
+    "Count",
+    "Having",
+    "Avg",
+    "Min",
+    "Max",
+    "Sum",
+    "Service",
+    "PropertyPath",
+)
+
+
+def _walk_with_expressions(pattern: Pattern) -> Iterator[Pattern]:
+    """Walk the pattern tree, descending into EXISTS subpatterns too."""
+    stack: List[Pattern] = [pattern]
+    while stack:
+        node = stack.pop()
+        yield node
+        stack.extend(node.children())
+        if isinstance(node, Filter):
+            stack.extend(_exists_patterns(node.constraint))
+
+
+def _exists_patterns(expression: Expression) -> List[Pattern]:
+    out: List[Pattern] = []
+    stack: List[Expression] = [expression]
+    while stack:
+        node = stack.pop()
+        if isinstance(node, ExistsExpr):
+            out.append(node.pattern)
+        elif isinstance(node, Comparison):
+            stack.extend((node.left, node.right))
+        elif isinstance(node, BoolExpr):
+            stack.extend(node.operands)
+        elif isinstance(node, FunctionCall):
+            stack.extend(
+                arg for arg in node.args if isinstance(arg, Expression)
+            )
+    return out
+
+
+def count_triple_patterns(query: Query) -> int:
+    """Number of triple patterns in the query (Figure 3's metric).
+
+    Property path patterns count as triple patterns, as in the study;
+    patterns inside EXISTS and subqueries are counted too.
+    """
+    return sum(
+        1
+        for node in _walk_with_expressions(query.pattern)
+        if isinstance(node, (TriplePattern, PathPattern))
+    )
+
+
+def _filter_functions(expression: Expression) -> Iterator[FunctionCall]:
+    stack: List[Expression] = [expression]
+    while stack:
+        node = stack.pop()
+        if isinstance(node, FunctionCall):
+            yield node
+            stack.extend(
+                arg for arg in node.args if isinstance(arg, Expression)
+            )
+        elif isinstance(node, Comparison):
+            stack.extend((node.left, node.right))
+        elif isinstance(node, BoolExpr):
+            stack.extend(node.operands)
+
+
+def query_features(query: Query) -> FrozenSet[str]:
+    """The Table 3 feature set of one query."""
+    features: Set[str] = set()
+    modifier = query.modifier
+    if modifier.distinct:
+        features.add("Distinct")
+    if modifier.limit is not None:
+        features.add("Limit")
+    if modifier.offset is not None:
+        features.add("Offset")
+    if modifier.order_by:
+        features.add("OrderBy")
+    if modifier.group_by:
+        features.add("GroupBy")
+    if modifier.having:
+        features.add("Having")
+
+    aggregates = query.aggregates_used()
+    for name, feature in (
+        ("COUNT", "Count"),
+        ("AVG", "Avg"),
+        ("MIN", "Min"),
+        ("MAX", "Max"),
+        ("SUM", "Sum"),
+    ):
+        if name in aggregates:
+            features.add(feature)
+
+    atoms = 0
+    for node in _walk_with_expressions(query.pattern):
+        if isinstance(node, (TriplePattern, PathPattern)):
+            atoms += 1
+        if isinstance(node, PathPattern):
+            features.add("PropertyPath")
+        elif isinstance(node, Filter):
+            features.add("Filter")
+            for exists in _exists_list(node.constraint):
+                features.add("NotExists" if exists.negated else "Exists")
+        elif isinstance(node, OptPattern):
+            features.add("Optional")
+        elif isinstance(node, UnionPattern):
+            features.add("Union")
+        elif isinstance(node, Graph):
+            features.add("Graph")
+        elif isinstance(node, Values):
+            features.add("Values")
+        elif isinstance(node, Minus):
+            features.add("Minus")
+        elif isinstance(node, Service):
+            features.add("Service")
+        elif isinstance(node, SubQuery):
+            sub = node.query
+            features |= query_features(sub) - {"And"}
+    if any(
+        isinstance(node, And)
+        for node in _walk_with_expressions(query.pattern)
+    ):
+        features.add("And")
+    return frozenset(features)
+
+
+def _exists_list(expression: Expression) -> List[ExistsExpr]:
+    out: List[ExistsExpr] = []
+    stack: List[Expression] = [expression]
+    while stack:
+        node = stack.pop()
+        if isinstance(node, ExistsExpr):
+            out.append(node)
+        elif isinstance(node, Comparison):
+            stack.extend((node.left, node.right))
+        elif isinstance(node, BoolExpr):
+            stack.extend(node.operands)
+        elif isinstance(node, FunctionCall):
+            stack.extend(
+                arg for arg in node.args if isinstance(arg, Expression)
+            )
+    return out
+
+
+# ---------------------------------------------------------------------------
+# Operator sets and fragments (Tables 4 and 5)
+# ---------------------------------------------------------------------------
+
+#: Pattern operators relevant for the fragment lattice.
+PATTERN_OPERATORS = (
+    "And",
+    "Filter",
+    "Optional",
+    "Union",
+    "Graph",
+    "Values",
+    "Bind",
+    "Minus",
+    "Service",
+    "SubQuery",
+    "2RPQ",
+)
+
+
+def operator_set(query: Query) -> FrozenSet[str]:
+    """The set of *pattern* operators the query's body uses.
+
+    This is the classification behind Tables 4 and 5: ``frozenset()``
+    means a single atom ("none" row), ``{"And"}`` a pure join, etc.
+    ``2RPQ`` flags property-path atoms.
+    """
+    operators: Set[str] = set()
+    for node in _walk_with_expressions(query.pattern):
+        if isinstance(node, And):
+            operators.add("And")
+        elif isinstance(node, PathPattern):
+            operators.add("2RPQ")
+        elif isinstance(node, Filter):
+            operators.add("Filter")
+        elif isinstance(node, OptPattern):
+            operators.add("Optional")
+        elif isinstance(node, UnionPattern):
+            operators.add("Union")
+        elif isinstance(node, Graph):
+            operators.add("Graph")
+        elif isinstance(node, Values):
+            operators.add("Values")
+        elif isinstance(node, Bind):
+            operators.add("Bind")
+        elif isinstance(node, Minus):
+            operators.add("Minus")
+        elif isinstance(node, Service):
+            operators.add("Service")
+        elif isinstance(node, SubQuery):
+            operators.add("SubQuery")
+    return frozenset(operators)
+
+
+def is_cq(query: Query) -> bool:
+    """CQ: the pattern only uses And (Tables 4/5, "none" + "And")."""
+    return operator_set(query) <= {"And"}
+
+
+def is_cq_f(query: Query) -> bool:
+    """CQ+F: only And and Filter."""
+    return operator_set(query) <= {"And", "Filter"}
+
+
+def is_c2rpq(query: Query) -> bool:
+    """Pure C2RPQ: only And and property paths."""
+    return operator_set(query) <= {"And", "2RPQ"}
+
+
+def is_c2rpq_f(query: Query) -> bool:
+    """C2RPQ+F: And, Filter and property paths."""
+    return operator_set(query) <= {"And", "Filter", "2RPQ"}
+
+
+def uses_property_paths(query: Query) -> bool:
+    return "2RPQ" in operator_set(query)
+
+
+def is_opt_fragment(query: Query) -> bool:
+    """Only And, Filter and Optional — the precondition of the
+    well-designedness analysis (Section 9.4)."""
+    return operator_set(query) <= {"And", "Filter", "Optional"}
+
+
+# ---------------------------------------------------------------------------
+# Filter safety (Section 9.5)
+# ---------------------------------------------------------------------------
+
+
+def filter_constraints(pattern: Pattern) -> List[Expression]:
+    return [
+        node.constraint
+        for node in _walk_with_expressions(pattern)
+        if isinstance(node, Filter)
+    ]
+
+
+def _top_level_conjuncts(expression: Expression) -> List[Expression]:
+    if isinstance(expression, BoolExpr) and expression.op == "&&":
+        out: List[Expression] = []
+        for operand in expression.operands:
+            out.extend(_top_level_conjuncts(operand))
+        return out
+    return [expression]
+
+
+def is_safe_filter(expression: Expression) -> bool:
+    """Safe: a unary condition on one variable, or ``?x = ?y``
+    (conjunctions of safe conditions count as safe)."""
+    conjuncts = _top_level_conjuncts(expression)
+    for conjunct in conjuncts:
+        variables = conjunct.variables()
+        if len(variables) <= 1:
+            continue
+        if (
+            isinstance(conjunct, Comparison)
+            and conjunct.op == "="
+            and len(variables) == 2
+            and isinstance(conjunct.left, TermExpr)
+            and isinstance(conjunct.right, TermExpr)
+        ):
+            continue
+        return False
+    return True
+
+
+def is_simple_filter(expression: Expression) -> bool:
+    """Simple: each conjunct uses at most two variables."""
+    return all(
+        len(conjunct.variables()) <= 2
+        for conjunct in _top_level_conjuncts(expression)
+    )

@@ -1,0 +1,257 @@
+"""Hypergraph analysis of conjunctive queries (Section 9.5, Table 6).
+
+From a CQ+F query we build:
+
+* the **triple hypergraph**: one hyperedge per triple pattern, holding
+  its variables (blank nodes count as variables, constants are dropped);
+* the **canonical hypergraph**: additionally one hyperedge per filter
+  constraint, holding the constraint's variables.
+
+Analyses:
+
+* :func:`is_acyclic` — GYO reduction (ear removal);
+* :func:`is_free_connex_acyclic` — acyclic and still acyclic after
+  adding a hyperedge with the query's projected (free) variables — the
+  Bagan–Durand–Grandjean characterization used in the study's FCA row;
+* :func:`hypertree_width_at_most` — exact decision of *generalized
+  hypertree width* ≤ k by a memoized recursive-separator search over
+  bags that are unions of at most k hyperedges.  ghw ≤ htw ≤ 3·ghw + 1
+  in general; on the near-acyclic hypergraphs of real query logs the
+  two coincide (every Table 6 query has width ≤ 3), which is why the
+  study's det-k-decomp values are reproduced exactly.
+* :func:`hypertree_width` — the smallest k with ghw ≤ k.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from itertools import combinations
+from typing import Dict, FrozenSet, List, Set, Tuple
+
+from .ast import (
+    Filter,
+    PathPattern,
+    Query,
+    TriplePattern,
+)
+
+Hyperedge = FrozenSet[str]
+
+
+@dataclass(frozen=True)
+class Hypergraph:
+    """A hypergraph over variable names."""
+
+    edges: Tuple[Hyperedge, ...]
+
+    @property
+    def vertices(self) -> FrozenSet[str]:
+        out: Set[str] = set()
+        for edge in self.edges:
+            out |= edge
+        return frozenset(out)
+
+    def with_edge(self, edge: Hyperedge) -> "Hypergraph":
+        return Hypergraph(self.edges + (frozenset(edge),))
+
+    def nonempty_edges(self) -> List[Hyperedge]:
+        return [edge for edge in self.edges if edge]
+
+
+def triple_hypergraph(query: Query) -> Hypergraph:
+    """The triple hypergraph of a query (triple/path patterns only)."""
+    edges: List[Hyperedge] = []
+    for node in query.pattern.walk():
+        if isinstance(node, TriplePattern):
+            names = frozenset(
+                v.name for v in node._own_variables()
+            )
+            edges.append(names)
+        elif isinstance(node, PathPattern):
+            edges.append(frozenset(v.name for v in node._own_variables()))
+    return Hypergraph(tuple(edges))
+
+
+def canonical_hypergraph(query: Query) -> Hypergraph:
+    """Triple hypergraph plus one hyperedge per filter constraint."""
+    base = triple_hypergraph(query)
+    edges = list(base.edges)
+    for node in query.pattern.walk():
+        if isinstance(node, Filter):
+            names = frozenset(v.name for v in node.constraint.variables())
+            if names:
+                edges.append(names)
+    return Hypergraph(tuple(edges))
+
+
+# ---------------------------------------------------------------------------
+# GYO acyclicity
+# ---------------------------------------------------------------------------
+
+
+def is_acyclic(hypergraph: Hypergraph) -> bool:
+    """GYO reduction: repeatedly drop isolated vertices (vertices in one
+    edge only) and edges contained in other edges; acyclic iff everything
+    disappears."""
+    edges: List[Set[str]] = [set(edge) for edge in hypergraph.edges if edge]
+    changed = True
+    while changed and edges:
+        changed = False
+        # vertex occurring in exactly one edge -> remove it
+        occurrence: Dict[str, int] = {}
+        for edge in edges:
+            for vertex in edge:
+                occurrence[vertex] = occurrence.get(vertex, 0) + 1
+        for edge in edges:
+            lonely = {v for v in edge if occurrence[v] == 1}
+            if lonely:
+                edge -= lonely
+                changed = True
+        edges = [edge for edge in edges if edge]
+        # edge contained in another -> remove it
+        edges.sort(key=len)
+        kept: List[Set[str]] = []
+        for i, edge in enumerate(edges):
+            contained = any(
+                edge <= other for other in edges[i + 1 :]
+            ) or any(edge <= other and edge is not other for other in kept)
+            if contained:
+                changed = True
+            else:
+                kept.append(edge)
+        edges = kept
+    return not edges
+
+
+def is_free_connex_acyclic(query: Query, canonical: bool = True) -> bool:
+    """Free-connex acyclicity: the hypergraph is acyclic AND remains
+    acyclic after adding a hyperedge holding the projected variables."""
+    hypergraph = (
+        canonical_hypergraph(query) if canonical else triple_hypergraph(query)
+    )
+    if not is_acyclic(hypergraph):
+        return False
+    free = frozenset(v.name for v in query.projected_variables())
+    free = free & {
+        name for edge in hypergraph.edges for name in edge
+    }
+    if not free:
+        return True
+    return is_acyclic(hypergraph.with_edge(free))
+
+
+# ---------------------------------------------------------------------------
+# Generalized hypertree width
+# ---------------------------------------------------------------------------
+
+
+def _primal_adjacency(hypergraph: Hypergraph) -> Dict[str, Set[str]]:
+    adjacency: Dict[str, Set[str]] = {
+        vertex: set() for vertex in hypergraph.vertices
+    }
+    for edge in hypergraph.edges:
+        members = sorted(edge)
+        for i, u in enumerate(members):
+            for v in members[i + 1 :]:
+                adjacency[u].add(v)
+                adjacency[v].add(u)
+    return adjacency
+
+
+def hypertree_width_at_most(hypergraph: Hypergraph, k: int) -> bool:
+    """Exact decision of generalized hypertree width ≤ k.
+
+    Recursive-separator search on the primal graph with bags restricted
+    to unions of ≤ k hyperedges; memoized on (component, connector).
+    Every hyperedge induces a clique in the primal graph, so any valid
+    tree decomposition automatically covers every hyperedge.
+    """
+    edges = [edge for edge in hypergraph.nonempty_edges()]
+    if not edges:
+        return True
+    if k < 1:
+        return False
+    adjacency = _primal_adjacency(hypergraph)
+    all_vertices = frozenset(adjacency)
+    bag_candidates = [
+        frozenset().union(*combo)
+        for size in range(1, min(k, len(edges)) + 1)
+        for combo in combinations(set(edges), size)
+    ]
+    # deduplicate and prefer large bags first (fewer recursions)
+    bag_candidates = sorted(set(bag_candidates), key=len, reverse=True)
+
+    memo: Dict[Tuple[FrozenSet[str], FrozenSet[str]], bool] = {}
+
+    def components(
+        vertices: FrozenSet[str], removed: FrozenSet[str]
+    ) -> List[FrozenSet[str]]:
+        remaining = set(vertices) - removed
+        out: List[FrozenSet[str]] = []
+        while remaining:
+            seed = next(iter(remaining))
+            component = {seed}
+            stack = [seed]
+            while stack:
+                current = stack.pop()
+                for neighbour in adjacency[current]:
+                    if neighbour in remaining and neighbour not in component:
+                        component.add(neighbour)
+                        stack.append(neighbour)
+            remaining -= component
+            out.append(frozenset(component))
+        return out
+
+    def neighbourhood(component: FrozenSet[str]) -> FrozenSet[str]:
+        out: Set[str] = set()
+        for vertex in component:
+            out |= adjacency[vertex]
+        return frozenset(out - component)
+
+    def solve(component: FrozenSet[str], connector: FrozenSet[str]) -> bool:
+        key = (component, connector)
+        if key in memo:
+            return memo[key]
+        result = False
+        for bag in bag_candidates:
+            if not connector <= bag:
+                continue
+            if not (bag & component) and connector != bag & connector:
+                pass
+            sub_components = components(component, bag)
+            if sub_components == [component]:
+                continue  # no progress
+            ok = True
+            for sub in sub_components:
+                sub_connector = neighbourhood(sub) & (bag | connector)
+                if not solve(sub, frozenset(sub_connector)):
+                    ok = False
+                    break
+            if ok:
+                result = True
+                break
+        memo[key] = result
+        return result
+
+    for component in components(all_vertices, frozenset()):
+        if not solve(component, frozenset()):
+            return False
+    return True
+
+
+def hypertree_width(hypergraph: Hypergraph, max_k: int = 6) -> int:
+    """The least k with generalized hypertree width ≤ k (searches up to
+    ``max_k``)."""
+    if not hypergraph.nonempty_edges():
+        return 0
+    for k in range(1, max_k + 1):
+        if hypertree_width_at_most(hypergraph, k):
+            return k
+    raise ValueError(f"width exceeds max_k={max_k}")
+
+
+def query_hypertree_width(query: Query, canonical: bool = True) -> int:
+    hypergraph = (
+        canonical_hypergraph(query) if canonical else triple_hypergraph(query)
+    )
+    return hypertree_width(hypergraph)

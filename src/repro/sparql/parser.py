@@ -1,0 +1,943 @@
+"""A parser for the SPARQL 1.1 subset the paper's analyses need.
+
+Covers: prologue (BASE/PREFIX), SELECT (with DISTINCT/REDUCED,
+projection expressions and aggregates), ASK, CONSTRUCT, DESCRIBE, group
+graph patterns with ``.``-separated triples blocks, predicate-object
+lists (``;``) and object lists (``,``), OPTIONAL, UNION, MINUS, GRAPH,
+SERVICE [SILENT], BIND, VALUES, FILTER with a practical expression
+grammar (boolean connectives, comparisons, arithmetic, IN, function
+calls, EXISTS/NOT EXISTS), subqueries, property paths (``/ | ^ * + ?``,
+negated property sets, ``a`` as rdf:type), and the literal zoo (strings
+with language tags and datatypes, numbers, booleans, blank nodes).
+
+Everything parses into :mod:`repro.sparql.ast`.  Binary operators build
+left-deep trees (``t1 . t2 . t3`` becomes ``And(And(t1, t2), t3)``),
+matching the Bonifati et al. analysis conventions.
+"""
+
+from __future__ import annotations
+
+import re as _re
+from typing import List, Optional as Opt, Tuple
+
+from ..errors import SPARQLParseError
+from .ast import (
+    And,
+    Bind,
+    BlankNode,
+    BoolExpr,
+    Comparison,
+    EmptyPattern,
+    ExistsExpr,
+    Expression,
+    Filter,
+    FunctionCall,
+    Graph,
+    IRI,
+    Literal,
+    Minus,
+    Optional as OptPattern,
+    OrderCondition,
+    PathPattern,
+    Pattern,
+    Projection,
+    Query,
+    Service,
+    SolutionModifier,
+    StarExpr,
+    SubQuery,
+    Term,
+    TermExpr,
+    TriplePattern,
+    Union as UnionPattern,
+    Values,
+    Var,
+)
+from .paths_ast import (
+    PathAtom,
+    PathInverse,
+    PathNegatedSet,
+    PathOptional,
+    PathPlus,
+    PathStar,
+    PropertyPath,
+    alternative,
+    sequence,
+)
+
+_TOKEN_RE = _re.compile(
+    r"""
+    (?P<WS>\s+|\#[^\n]*)
+  | (?P<IRIREF><[^<>"{}|^`\\\s]*>)
+  | (?P<STRING>"(?:[^"\\]|\\.)*"|'(?:[^'\\]|\\.)*')
+  | (?P<VAR>[?$][A-Za-z_][A-Za-z_0-9]*)
+  | (?P<BNODE>_:[A-Za-z_0-9]+)
+  | (?P<NUMBER>[+-]?(?:\d+\.\d*|\.\d+|\d+)(?:[eE][+-]?\d+)?)
+  | (?P<PNAME>[A-Za-z_][A-Za-z_0-9.\-]*:[A-Za-z_0-9.\-]*|:[A-Za-z_0-9.\-]+)
+  | (?P<KEYWORD>[A-Za-z_][A-Za-z_0-9\-]*)
+  | (?P<OP>\^\^|&&|\|\||!=|<=|>=|[{}()\[\].;,*+?/|^!=<>@-])
+    """,
+    _re.VERBOSE,
+)
+
+_A_KEYWORD = "a"  # rdf:type shorthand
+RDF_TYPE = IRI("rdf:type")
+
+
+class _Token:
+    __slots__ = ("kind", "text", "pos")
+
+    def __init__(self, kind: str, text: str, pos: int):
+        self.kind = kind
+        self.text = text
+        self.pos = pos
+
+    def upper(self) -> str:
+        return self.text.upper()
+
+    def __repr__(self) -> str:
+        return f"{self.kind}({self.text!r})"
+
+
+def _tokenize(text: str) -> List[_Token]:
+    tokens: List[_Token] = []
+    pos = 0
+    n = len(text)
+    while pos < n:
+        match = _TOKEN_RE.match(text, pos)
+        if match is None:
+            raise SPARQLParseError(
+                f"unexpected character {text[pos]!r}", position=pos
+            )
+        kind = match.lastgroup or ""
+        if kind != "WS":
+            tokens.append(_Token(kind, match.group(), pos))
+        pos = match.end()
+    return tokens
+
+
+class _Parser:
+    def __init__(self, tokens: List[_Token], source: str):
+        self.tokens = tokens
+        self.source = source
+        self.index = 0
+        self.prefixes = {}
+        self.base: Opt[str] = None
+        self._bnode_counter = 0
+
+    # -- token plumbing --------------------------------------------------------
+
+    def peek(self, ahead: int = 0) -> Opt[_Token]:
+        pos = self.index + ahead
+        return self.tokens[pos] if pos < len(self.tokens) else None
+
+    def at_keyword(self, *words: str) -> bool:
+        token = self.peek()
+        return (
+            token is not None
+            and token.kind == "KEYWORD"
+            and token.upper() in words
+        )
+
+    def at_op(self, *ops: str) -> bool:
+        token = self.peek()
+        return token is not None and token.kind == "OP" and token.text in ops
+
+    def advance(self) -> _Token:
+        token = self.peek()
+        if token is None:
+            raise SPARQLParseError(
+                "unexpected end of query", position=len(self.source)
+            )
+        self.index += 1
+        return token
+
+    def expect_op(self, op: str) -> _Token:
+        token = self.peek()
+        if token is None or token.kind != "OP" or token.text != op:
+            at = token.pos if token else len(self.source)
+            raise SPARQLParseError(f"expected {op!r}", position=at)
+        return self.advance()
+
+    def expect_keyword(self, word: str) -> _Token:
+        token = self.peek()
+        if (
+            token is None
+            or token.kind != "KEYWORD"
+            or token.upper() != word
+        ):
+            at = token.pos if token else len(self.source)
+            raise SPARQLParseError(f"expected {word}", position=at)
+        return self.advance()
+
+    # -- entry point ------------------------------------------------------------
+
+    def parse_query(self) -> Query:
+        self.parse_prologue()
+        if self.at_keyword("SELECT"):
+            query = self.parse_select()
+        elif self.at_keyword("ASK"):
+            query = self.parse_ask()
+        elif self.at_keyword("CONSTRUCT"):
+            query = self.parse_construct()
+        elif self.at_keyword("DESCRIBE"):
+            query = self.parse_describe()
+        else:
+            token = self.peek()
+            at = token.pos if token else len(self.source)
+            raise SPARQLParseError(
+                "expected SELECT, ASK, CONSTRUCT or DESCRIBE", position=at
+            )
+        if self.index != len(self.tokens):
+            raise SPARQLParseError(
+                f"trailing input {self.peek().text!r}",
+                position=self.peek().pos,
+            )
+        return query
+
+    def parse_prologue(self) -> None:
+        while True:
+            if self.at_keyword("PREFIX"):
+                self.advance()
+                name_token = self.advance()
+                if name_token.kind not in ("PNAME",):
+                    raise SPARQLParseError(
+                        "expected prefix name", position=name_token.pos
+                    )
+                iri_token = self.advance()
+                if iri_token.kind != "IRIREF":
+                    raise SPARQLParseError(
+                        "expected IRI after prefix", position=iri_token.pos
+                    )
+                self.prefixes[name_token.text.rstrip(":")] = iri_token.text
+                continue
+            if self.at_keyword("BASE"):
+                self.advance()
+                iri_token = self.advance()
+                if iri_token.kind != "IRIREF":
+                    raise SPARQLParseError(
+                        "expected IRI after BASE", position=iri_token.pos
+                    )
+                self.base = iri_token.text
+                continue
+            break
+
+    # -- query forms -------------------------------------------------------------
+
+    def parse_select(self, subquery: bool = False) -> Query:
+        self.expect_keyword("SELECT")
+        distinct = reduced = False
+        if self.at_keyword("DISTINCT"):
+            self.advance()
+            distinct = True
+        elif self.at_keyword("REDUCED"):
+            self.advance()
+            reduced = True
+        projections: List[Projection] = []
+        star = False
+        while True:
+            token = self.peek()
+            if token is None:
+                break
+            if token.kind == "OP" and token.text == "*":
+                self.advance()
+                star = True
+                break
+            if token.kind == "VAR":
+                self.advance()
+                projections.append(Projection(Var(token.text[1:])))
+                continue
+            if token.kind == "OP" and token.text == "(":
+                self.advance()
+                expression = self.parse_expression()
+                self.expect_keyword("AS")
+                var_token = self.advance()
+                if var_token.kind != "VAR":
+                    raise SPARQLParseError(
+                        "expected variable after AS", position=var_token.pos
+                    )
+                self.expect_op(")")
+                projections.append(
+                    Projection(Var(var_token.text[1:]), expression)
+                )
+                continue
+            break
+        if not star and not projections:
+            token = self.peek()
+            at = token.pos if token else len(self.source)
+            raise SPARQLParseError(
+                "SELECT needs * or a projection list", position=at
+            )
+        if self.at_keyword("WHERE"):
+            self.advance()
+        pattern = self.parse_group_graph_pattern()
+        modifier = self.parse_solution_modifier(distinct, reduced)
+        return Query(
+            "SELECT",
+            pattern,
+            modifier,
+            tuple(projections),
+            text=None if subquery else self.source,
+        )
+
+    def parse_ask(self) -> Query:
+        self.expect_keyword("ASK")
+        if self.at_keyword("WHERE"):
+            self.advance()
+        pattern = self.parse_group_graph_pattern()
+        modifier = self.parse_solution_modifier(False, False)
+        return Query("ASK", pattern, modifier, text=self.source)
+
+    def parse_construct(self) -> Query:
+        self.expect_keyword("CONSTRUCT")
+        self.expect_op("{")
+        template: List[TriplePattern] = []
+        while not self.at_op("}"):
+            for pattern in self.parse_triples_same_subject():
+                if isinstance(pattern, TriplePattern):
+                    template.append(pattern)
+                else:
+                    raise SPARQLParseError(
+                        "property paths are not allowed in CONSTRUCT "
+                        "templates",
+                        position=self.peek().pos if self.peek() else 0,
+                    )
+            if self.at_op("."):
+                self.advance()
+        self.expect_op("}")
+        self.expect_keyword("WHERE")
+        pattern = self.parse_group_graph_pattern()
+        modifier = self.parse_solution_modifier(False, False)
+        return Query(
+            "CONSTRUCT",
+            pattern,
+            modifier,
+            construct_template=tuple(template),
+            text=self.source,
+        )
+
+    def parse_describe(self) -> Query:
+        self.expect_keyword("DESCRIBE")
+        terms: List[Term] = []
+        while True:
+            token = self.peek()
+            if token is None:
+                break
+            if token.kind == "VAR":
+                self.advance()
+                terms.append(Var(token.text[1:]))
+                continue
+            if token.kind in ("IRIREF", "PNAME"):
+                self.advance()
+                terms.append(IRI(token.text))
+                continue
+            if token.kind == "OP" and token.text == "*":
+                self.advance()
+                continue
+            break
+        pattern: Pattern = EmptyPattern()
+        if self.at_keyword("WHERE"):
+            self.advance()
+            pattern = self.parse_group_graph_pattern()
+        elif self.at_op("{"):
+            pattern = self.parse_group_graph_pattern()
+        modifier = self.parse_solution_modifier(False, False)
+        return Query(
+            "DESCRIBE",
+            pattern,
+            modifier,
+            describe_terms=tuple(terms),
+            text=self.source,
+        )
+
+    # -- solution modifiers --------------------------------------------------------
+
+    def parse_solution_modifier(
+        self, distinct: bool, reduced: bool
+    ) -> SolutionModifier:
+        group_by: List[Expression] = []
+        having: List[Expression] = []
+        order_by: List[OrderCondition] = []
+        limit: Opt[int] = None
+        offset: Opt[int] = None
+        while True:
+            if self.at_keyword("GROUP"):
+                self.advance()
+                self.expect_keyword("BY")
+                while True:
+                    token = self.peek()
+                    if token is None:
+                        break
+                    if token.kind == "VAR":
+                        self.advance()
+                        group_by.append(TermExpr(Var(token.text[1:])))
+                        continue
+                    if token.kind == "OP" and token.text == "(":
+                        self.advance()
+                        group_by.append(self.parse_expression())
+                        self.expect_op(")")
+                        continue
+                    break
+                continue
+            if self.at_keyword("HAVING"):
+                self.advance()
+                self.expect_op("(")
+                having.append(self.parse_expression())
+                self.expect_op(")")
+                continue
+            if self.at_keyword("ORDER"):
+                self.advance()
+                self.expect_keyword("BY")
+                while True:
+                    if self.at_keyword("ASC", "DESC"):
+                        descending = self.advance().upper() == "DESC"
+                        self.expect_op("(")
+                        expression = self.parse_expression()
+                        self.expect_op(")")
+                        order_by.append(
+                            OrderCondition(expression, descending)
+                        )
+                        continue
+                    token = self.peek()
+                    if token is not None and token.kind == "VAR":
+                        self.advance()
+                        order_by.append(
+                            OrderCondition(TermExpr(Var(token.text[1:])))
+                        )
+                        continue
+                    break
+                continue
+            if self.at_keyword("LIMIT"):
+                self.advance()
+                limit = int(self.advance().text)
+                continue
+            if self.at_keyword("OFFSET"):
+                self.advance()
+                offset = int(self.advance().text)
+                continue
+            break
+        return SolutionModifier(
+            distinct,
+            reduced,
+            tuple(group_by),
+            tuple(having),
+            tuple(order_by),
+            limit,
+            offset,
+        )
+
+    # -- group graph patterns ---------------------------------------------------------
+
+    def parse_group_graph_pattern(self) -> Pattern:
+        self.expect_op("{")
+        if self.at_keyword("SELECT"):
+            inner = self.parse_select(subquery=True)
+            self.expect_op("}")
+            return SubQuery(inner)
+        current: Opt[Pattern] = None
+        pending_filters: List[Expression] = []
+
+        def combine(new_pattern: Pattern) -> None:
+            nonlocal current
+            if current is None:
+                current = new_pattern
+            else:
+                current = And(current, new_pattern)
+
+        while not self.at_op("}"):
+            if self.at_keyword("OPTIONAL"):
+                self.advance()
+                right = self.parse_group_graph_pattern()
+                left = current if current is not None else EmptyPattern()
+                current = OptPattern(left, right)
+                self._maybe_dot()
+                continue
+            if self.at_keyword("MINUS"):
+                self.advance()
+                right = self.parse_group_graph_pattern()
+                left = current if current is not None else EmptyPattern()
+                current = Minus(left, right)
+                self._maybe_dot()
+                continue
+            if self.at_keyword("FILTER"):
+                self.advance()
+                pending_filters.append(self.parse_constraint())
+                self._maybe_dot()
+                continue
+            if self.at_keyword("BIND"):
+                self.advance()
+                self.expect_op("(")
+                expression = self.parse_expression()
+                self.expect_keyword("AS")
+                var_token = self.advance()
+                if var_token.kind != "VAR":
+                    raise SPARQLParseError(
+                        "expected variable after AS", position=var_token.pos
+                    )
+                self.expect_op(")")
+                combine(Bind(expression, Var(var_token.text[1:])))
+                self._maybe_dot()
+                continue
+            if self.at_keyword("VALUES"):
+                self.advance()
+                combine(self.parse_values())
+                self._maybe_dot()
+                continue
+            if self.at_keyword("GRAPH"):
+                self.advance()
+                graph_term = self.parse_term()
+                inner = self.parse_group_graph_pattern()
+                combine(Graph(graph_term, inner))
+                self._maybe_dot()
+                continue
+            if self.at_keyword("SERVICE"):
+                self.advance()
+                silent = False
+                if self.at_keyword("SILENT"):
+                    self.advance()
+                    silent = True
+                endpoint = self.parse_term()
+                inner = self.parse_group_graph_pattern()
+                combine(Service(endpoint, inner, silent))
+                self._maybe_dot()
+                continue
+            if self.at_op("{"):
+                inner = self.parse_group_graph_pattern()
+                # group followed by UNION?
+                while self.at_keyword("UNION"):
+                    self.advance()
+                    right = self.parse_group_graph_pattern()
+                    inner = UnionPattern(inner, right)
+                combine(inner)
+                self._maybe_dot()
+                continue
+            # triples block
+            patterns = self.parse_triples_same_subject()
+            for pattern in patterns:
+                combine(pattern)
+            if self.at_op("."):
+                self.advance()
+                continue
+            if self.at_op("}"):
+                break
+            # allow consecutive constructs without dots
+        self.expect_op("}")
+        result: Pattern = current if current is not None else EmptyPattern()
+        for constraint in pending_filters:
+            result = Filter(result, constraint)
+        return result
+
+    def _maybe_dot(self) -> None:
+        if self.at_op("."):
+            self.advance()
+
+    def parse_values(self) -> Values:
+        variables: List[Var] = []
+        token = self.peek()
+        if token is not None and token.kind == "VAR":
+            self.advance()
+            variables.append(Var(token.text[1:]))
+        else:
+            self.expect_op("(")
+            while not self.at_op(")"):
+                var_token = self.advance()
+                if var_token.kind != "VAR":
+                    raise SPARQLParseError(
+                        "expected variable in VALUES",
+                        position=var_token.pos,
+                    )
+                variables.append(Var(var_token.text[1:]))
+            self.expect_op(")")
+        self.expect_op("{")
+        rows: List[Tuple[Opt[Term], ...]] = []
+        while not self.at_op("}"):
+            if len(variables) == 1 and not self.at_op("("):
+                rows.append((self._parse_data_value(),))
+                continue
+            self.expect_op("(")
+            row: List[Opt[Term]] = []
+            while not self.at_op(")"):
+                row.append(self._parse_data_value())
+            self.expect_op(")")
+            if len(row) != len(variables):
+                raise SPARQLParseError(
+                    "VALUES row arity mismatch",
+                    position=self.peek().pos if self.peek() else 0,
+                )
+            rows.append(tuple(row))
+        self.expect_op("}")
+        return Values(tuple(variables), tuple(rows))
+
+    def _parse_data_value(self) -> Opt[Term]:
+        if self.at_keyword("UNDEF"):
+            self.advance()
+            return None
+        return self.parse_term()
+
+    # -- triples ----------------------------------------------------------------------
+
+    def parse_triples_same_subject(self) -> List[Pattern]:
+        subject = self.parse_term()
+        out: List[Pattern] = []
+        while True:
+            predicate = self.parse_verb()
+            while True:
+                obj = self.parse_term()
+                if isinstance(predicate, PropertyPath):
+                    if isinstance(predicate, PathAtom):
+                        out.append(
+                            TriplePattern(subject, IRI(predicate.iri), obj)
+                        )
+                    else:
+                        out.append(PathPattern(subject, predicate, obj))
+                else:
+                    out.append(TriplePattern(subject, predicate, obj))
+                if self.at_op(","):
+                    self.advance()
+                    continue
+                break
+            if self.at_op(";"):
+                self.advance()
+                if self.at_op(".", ";") or self.at_op("}"):
+                    continue  # dangling ';'
+                continue
+            break
+        return out
+
+    def parse_verb(self):
+        """A predicate: variable, or a property path (an IRI is the
+        trivial path and is lowered back to a TriplePattern)."""
+        token = self.peek()
+        if token is None:
+            raise SPARQLParseError(
+                "expected predicate", position=len(self.source)
+            )
+        if token.kind == "VAR":
+            self.advance()
+            return Var(token.text[1:])
+        return self.parse_path()
+
+    # property paths -------------------------------------------------------------
+
+    def parse_path(self) -> PropertyPath:
+        return self.parse_path_alternative()
+
+    def parse_path_alternative(self) -> PropertyPath:
+        parts = [self.parse_path_sequence()]
+        while self.at_op("|"):
+            self.advance()
+            parts.append(self.parse_path_sequence())
+        return alternative(*parts)
+
+    def parse_path_sequence(self) -> PropertyPath:
+        parts = [self.parse_path_elt()]
+        while self.at_op("/"):
+            self.advance()
+            parts.append(self.parse_path_elt())
+        return sequence(*parts)
+
+    def parse_path_elt(self) -> PropertyPath:
+        if self.at_op("^"):
+            self.advance()
+            inner = self.parse_path_primary_with_mod()
+            return PathInverse(inner)
+        return self.parse_path_primary_with_mod()
+
+    def parse_path_primary_with_mod(self) -> PropertyPath:
+        primary = self.parse_path_primary()
+        while True:
+            if self.at_op("*"):
+                self.advance()
+                primary = PathStar(primary)
+                continue
+            if self.at_op("+"):
+                self.advance()
+                primary = PathPlus(primary)
+                continue
+            if self.at_op("?"):
+                self.advance()
+                primary = PathOptional(primary)
+                continue
+            break
+        return primary
+
+    def parse_path_primary(self) -> PropertyPath:
+        token = self.peek()
+        if token is None:
+            raise SPARQLParseError(
+                "expected path", position=len(self.source)
+            )
+        if token.kind in ("IRIREF", "PNAME"):
+            self.advance()
+            return PathAtom(token.text)
+        if token.kind == "KEYWORD" and token.text == _A_KEYWORD:
+            self.advance()
+            return PathAtom(RDF_TYPE.value)
+        if token.kind == "OP" and token.text == "(":
+            self.advance()
+            inner = self.parse_path()
+            self.expect_op(")")
+            return inner
+        if token.kind == "OP" and token.text == "!":
+            self.advance()
+            return self.parse_negated_set()
+        raise SPARQLParseError(
+            f"unexpected token {token.text!r} in path", position=token.pos
+        )
+
+    def parse_negated_set(self) -> PathNegatedSet:
+        forward: List[str] = []
+        inverse: List[str] = []
+
+        def one() -> None:
+            if self.at_op("^"):
+                self.advance()
+                token = self.advance()
+                inverse.append(
+                    RDF_TYPE.value
+                    if token.kind == "KEYWORD" and token.text == _A_KEYWORD
+                    else token.text
+                )
+            else:
+                token = self.advance()
+                forward.append(
+                    RDF_TYPE.value
+                    if token.kind == "KEYWORD" and token.text == _A_KEYWORD
+                    else token.text
+                )
+
+        if self.at_op("("):
+            self.advance()
+            one()
+            while self.at_op("|"):
+                self.advance()
+                one()
+            self.expect_op(")")
+        else:
+            one()
+        return PathNegatedSet(tuple(forward), tuple(inverse))
+
+    # -- terms ------------------------------------------------------------------------
+
+    def parse_term(self) -> Term:
+        token = self.peek()
+        if token is None:
+            raise SPARQLParseError(
+                "expected term", position=len(self.source)
+            )
+        if token.kind == "VAR":
+            self.advance()
+            return Var(token.text[1:])
+        if token.kind in ("IRIREF", "PNAME"):
+            self.advance()
+            return IRI(token.text)
+        if token.kind == "BNODE":
+            self.advance()
+            return BlankNode(token.text[2:])
+        if token.kind == "STRING":
+            self.advance()
+            lexical = token.text[1:-1]
+            language = None
+            datatype = None
+            if self.at_op("@"):
+                self.advance()
+                lang_token = self.advance()
+                language = lang_token.text
+            elif self.at_op("^^"):
+                self.advance()
+                type_token = self.advance()
+                datatype = type_token.text
+            return Literal(lexical, language, datatype)
+        if token.kind == "NUMBER":
+            self.advance()
+            return Literal(token.text, datatype="xsd:decimal" if "." in token.text or "e" in token.text.lower() else "xsd:integer")
+        if token.kind == "KEYWORD" and token.upper() in ("TRUE", "FALSE"):
+            self.advance()
+            return Literal(token.text.lower(), datatype="xsd:boolean")
+        if token.kind == "KEYWORD" and token.text == _A_KEYWORD:
+            self.advance()
+            return RDF_TYPE
+        if token.kind == "OP" and token.text == "[":
+            self.advance()
+            self.expect_op("]")
+            self._bnode_counter += 1
+            return BlankNode(f"anon{self._bnode_counter}")
+        raise SPARQLParseError(
+            f"unexpected token {token.text!r}", position=token.pos
+        )
+
+    # -- expressions ---------------------------------------------------------------------
+
+    def parse_constraint(self) -> Expression:
+        token = self.peek()
+        if token is not None and token.kind == "OP" and token.text == "(":
+            self.advance()
+            expression = self.parse_expression()
+            self.expect_op(")")
+            return expression
+        if self.at_keyword("EXISTS"):
+            self.advance()
+            return ExistsExpr(self.parse_group_graph_pattern(), False)
+        if self.at_keyword("NOT"):
+            self.advance()
+            self.expect_keyword("EXISTS")
+            return ExistsExpr(self.parse_group_graph_pattern(), True)
+        # bare function call: FILTER regex(?x, "y")
+        return self.parse_primary_expression()
+
+    def parse_expression(self) -> Expression:
+        return self.parse_or()
+
+    def parse_or(self) -> Expression:
+        left = self.parse_and()
+        operands = [left]
+        while self.at_op("||"):
+            self.advance()
+            operands.append(self.parse_and())
+        if len(operands) == 1:
+            return left
+        return BoolExpr("||", tuple(operands))
+
+    def parse_and(self) -> Expression:
+        left = self.parse_relational()
+        operands = [left]
+        while self.at_op("&&"):
+            self.advance()
+            operands.append(self.parse_relational())
+        if len(operands) == 1:
+            return left
+        return BoolExpr("&&", tuple(operands))
+
+    def parse_relational(self) -> Expression:
+        left = self.parse_additive()
+        if self.at_op("=", "!=", "<", "<=", ">", ">="):
+            op = self.advance().text
+            right = self.parse_additive()
+            return Comparison(op, left, right)
+        if self.at_keyword("IN"):
+            self.advance()
+            return Comparison("IN", left, self.parse_expression_list())
+        if self.at_keyword("NOT"):
+            self.advance()
+            self.expect_keyword("IN")
+            return Comparison("NOT IN", left, self.parse_expression_list())
+        return left
+
+    def parse_expression_list(self) -> Expression:
+        self.expect_op("(")
+        args: List[Expression] = []
+        while not self.at_op(")"):
+            args.append(self.parse_expression())
+            if self.at_op(","):
+                self.advance()
+        self.expect_op(")")
+        return FunctionCall("LIST", tuple(args))
+
+    def parse_additive(self) -> Expression:
+        left = self.parse_multiplicative()
+        while self.at_op("+", "-"):
+            op = self.advance().text
+            right = self.parse_multiplicative()
+            left = Comparison(op, left, right)
+        return left
+
+    def parse_multiplicative(self) -> Expression:
+        left = self.parse_unary()
+        while self.at_op("*", "/"):
+            op = self.advance().text
+            right = self.parse_unary()
+            left = Comparison(op, left, right)
+        return left
+
+    def parse_unary(self) -> Expression:
+        if self.at_op("!"):
+            self.advance()
+            return BoolExpr("!", (self.parse_unary(),))
+        if self.at_op("-"):
+            self.advance()
+            inner = self.parse_unary()
+            return Comparison(
+                "-", TermExpr(Literal("0", datatype="xsd:integer")), inner
+            )
+        return self.parse_primary_expression()
+
+    def parse_primary_expression(self) -> Expression:
+        token = self.peek()
+        if token is None:
+            raise SPARQLParseError(
+                "expected expression", position=len(self.source)
+            )
+        if token.kind == "OP" and token.text == "(":
+            self.advance()
+            inner = self.parse_expression()
+            self.expect_op(")")
+            return inner
+        if self.at_keyword("EXISTS"):
+            self.advance()
+            return ExistsExpr(self.parse_group_graph_pattern(), False)
+        if self.at_keyword("NOT"):
+            self.advance()
+            self.expect_keyword("EXISTS")
+            return ExistsExpr(self.parse_group_graph_pattern(), True)
+        if token.kind == "KEYWORD":
+            nxt = self.peek(1)
+            if nxt is not None and nxt.kind == "OP" and nxt.text == "(":
+                return self.parse_function_call()
+            # bare keywords true/false handled by parse_term
+        if token.kind == "PNAME":
+            nxt = self.peek(1)
+            if nxt is not None and nxt.kind == "OP" and nxt.text == "(":
+                return self.parse_function_call()
+        return TermExpr(self.parse_term())
+
+    def parse_function_call(self) -> Expression:
+        name_token = self.advance()
+        name = name_token.text
+        self.expect_op("(")
+        distinct = False
+        if self.at_keyword("DISTINCT"):
+            self.advance()
+            distinct = True
+        args: List[Expression] = []
+        if self.at_op("*"):
+            self.advance()
+            args.append(StarExpr())
+        else:
+            while not self.at_op(")"):
+                args.append(self.parse_expression())
+                if self.at_op(","):
+                    self.advance()
+                    continue
+                if self.at_op(";"):  # GROUP_CONCAT(...; separator="…")
+                    self.advance()
+                    while not self.at_op(")"):
+                        self.advance()
+                    break
+        self.expect_op(")")
+        canonical = (
+            name.upper()
+            if name.upper()
+            in (
+                "COUNT",
+                "SUM",
+                "AVG",
+                "MIN",
+                "MAX",
+                "SAMPLE",
+                "GROUP_CONCAT",
+            )
+            else name.lower()
+        )
+        return FunctionCall(canonical, tuple(args), distinct)
+
+
+def parse_query(text: str) -> Query:
+    """Parse a SPARQL query string into a :class:`~repro.sparql.ast.Query`.
+
+    Raises :class:`~repro.errors.SPARQLParseError` for queries outside
+    the supported subset — the log pipeline counts those as invalid
+    (the Total vs Valid distinction of Table 2).
+    """
+    tokens = _tokenize(text)
+    parser = _Parser(tokens, text)
+    return parser.parse_query()

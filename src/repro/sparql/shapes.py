@@ -1,0 +1,270 @@
+"""Graph-shape analysis of conjunctive queries (Section 9.5, Table 7).
+
+A CQ+F query is *suitable for graph analysis* when every triple pattern
+has an IRI predicate or a predicate variable that appears nowhere else
+(a wildcard), and all filters are simple (at most binary).  Its
+**canonical graph** has
+
+* a node per subject/object term (variables, blank nodes *and*
+  constants — the "with constants" variant),
+* an undirected edge per triple pattern,
+* an undirected edge per binary filter constraint.
+
+The "without constants" variant drops IRI/literal nodes and their
+incident edges.  The shape ladder then classifies the graph as::
+
+    no edge ⊂ ≤1 edge ⊂ chain ⊂ star ⊂ tree ⊂ forest ⊂ tw≤2 ⊂ tw≤3 ⊂ …
+
+using the paper's definitions: a chain is a path; a star is a tree with
+at most one node of degree ≥ 3; self-loops (edges {x, x}) only arise
+from triple patterns like ``?x :p ?x`` and make the graph non-forest.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional as Opt, Set, Tuple
+
+from ..graphs.treewidth import exact_treewidth_small, upper_bound_min_fill
+from .ast import (
+    BlankNode,
+    Filter,
+    IRI,
+    Literal,
+    PathPattern,
+    Query,
+    TriplePattern,
+    Var,
+)
+from .features import is_simple_filter
+
+SHAPE_LADDER = (
+    "no-edge",
+    "le-1-edge",
+    "chain",
+    "star",
+    "tree",
+    "forest",
+    "tw<=2",
+    "tw<=3",
+    "other",
+)
+
+
+def _node_key(term) -> Opt[Tuple[str, str, bool]]:
+    """(kind, identity, is_constant) for subject/object terms."""
+    if isinstance(term, Var):
+        return ("var", term.name, False)
+    if isinstance(term, BlankNode):
+        return ("bnode", term.name, False)
+    if isinstance(term, IRI):
+        return ("iri", term.value, True)
+    if isinstance(term, Literal):
+        return ("lit", str(term), True)
+    return None
+
+
+def is_graph_pattern(query: Query) -> bool:
+    """Every triple pattern's predicate is an IRI or a variable not used
+    in any other triple pattern (a wildcard) — Section 9.5."""
+    predicate_vars: Dict[str, int] = {}
+    other_positions: Set[str] = set()
+    atoms = []
+    for node in query.pattern.walk():
+        if isinstance(node, TriplePattern):
+            atoms.append(node)
+            if isinstance(node.predicate, Var):
+                predicate_vars[node.predicate.name] = (
+                    predicate_vars.get(node.predicate.name, 0) + 1
+                )
+            for term in (node.subject, node.object):
+                if isinstance(term, Var):
+                    other_positions.add(term.name)
+        elif isinstance(node, PathPattern):
+            atoms.append(node)
+    for name, count in predicate_vars.items():
+        if count > 1 or name in other_positions:
+            return False
+    return True
+
+
+def is_suitable_for_graph_analysis(query: Query) -> bool:
+    """graph-CQ+F: a graph pattern whose filters are all simple."""
+    from .features import filter_constraints, is_cq_f
+
+    if not is_cq_f(query):
+        return False
+    if not is_graph_pattern(query):
+        return False
+    return all(
+        is_simple_filter(constraint)
+        for constraint in filter_constraints(query.pattern)
+    )
+
+
+@dataclass
+class CanonicalGraph:
+    """Undirected multigraph: adjacency plus self-loop bookkeeping."""
+
+    adjacency: Dict[Tuple[str, str, bool], Set[Tuple[str, str, bool]]]
+    edge_count: int
+    self_loops: int
+
+    def nodes(self):
+        return list(self.adjacency)
+
+    def degree(self, node) -> int:
+        return len(self.adjacency[node])
+
+
+def canonical_graph(
+    query: Query, with_constants: bool = True
+) -> CanonicalGraph:
+    """The canonical graph of a graph-CQ+F query."""
+    adjacency: Dict[Tuple[str, str, bool], Set] = {}
+    edge_count = 0
+    self_loops = 0
+
+    def ensure(node) -> None:
+        adjacency.setdefault(node, set())
+
+    def add_edge(a, b) -> None:
+        nonlocal edge_count, self_loops
+        if a is None or b is None:
+            for node in (a, b):
+                if node is not None:
+                    ensure(node)
+            return
+        ensure(a)
+        ensure(b)
+        if a == b:
+            self_loops += 1
+            edge_count += 1
+            return
+        if b not in adjacency[a]:
+            edge_count += 1
+        adjacency[a].add(b)
+        adjacency[b].add(a)
+
+    for node in query.pattern.walk():
+        if isinstance(node, (TriplePattern, PathPattern)):
+            subject = _node_key(node.subject)
+            obj = _node_key(node.object)
+            if not with_constants:
+                # drop constant nodes and their incident edges
+                if subject is not None and subject[2]:
+                    subject = None
+                if obj is not None and obj[2]:
+                    obj = None
+            add_edge(subject, obj)
+        elif isinstance(node, Filter):
+            variables = sorted(
+                node.constraint.variables(), key=lambda v: v.name
+            )
+            if len(variables) == 2:
+                add_edge(
+                    ("var", variables[0].name, False),
+                    ("var", variables[1].name, False),
+                )
+            elif len(variables) == 1:
+                ensure(("var", variables[0].name, False))
+    return CanonicalGraph(adjacency, edge_count, self_loops)
+
+
+# ---------------------------------------------------------------------------
+# Shape classification
+# ---------------------------------------------------------------------------
+
+
+def _connected_components(graph: CanonicalGraph) -> List[Set]:
+    remaining = set(graph.adjacency)
+    out: List[Set] = []
+    while remaining:
+        seed = next(iter(remaining))
+        component = {seed}
+        stack = [seed]
+        while stack:
+            current = stack.pop()
+            for neighbour in graph.adjacency[current]:
+                if neighbour in remaining and neighbour not in component:
+                    component.add(neighbour)
+                    stack.append(neighbour)
+        remaining -= component
+        out.append(component)
+    return out
+
+
+def _is_forest(graph: CanonicalGraph) -> bool:
+    if graph.self_loops:
+        return False
+    nodes = len(graph.adjacency)
+    simple_edges = sum(len(neigh) for neigh in graph.adjacency.values()) // 2
+    if simple_edges != graph.edge_count:
+        return False  # parallel edges collapse in adjacency: cyclic
+    components = _connected_components(graph)
+    return simple_edges == nodes - len(components)
+
+
+def _is_tree(graph: CanonicalGraph) -> bool:
+    return _is_forest(graph) and len(_connected_components(graph)) <= 1
+
+
+def _is_chain(graph: CanonicalGraph) -> bool:
+    if not _is_tree(graph):
+        return False
+    degrees = [graph.degree(node) for node in graph.nodes()]
+    return all(degree <= 2 for degree in degrees)
+
+
+def _is_star(graph: CanonicalGraph) -> bool:
+    """Paper definition: a tree with at most one node having more than
+    two neighbours."""
+    if not _is_tree(graph):
+        return False
+    big = sum(1 for node in graph.nodes() if graph.degree(node) >= 3)
+    return big <= 1
+
+
+def _treewidth_at_most(graph: CanonicalGraph, k: int) -> bool:
+    adjacency = {
+        node: set(neigh) for node, neigh in graph.adjacency.items()
+    }
+    if not adjacency:
+        return True
+    if len(adjacency) <= 12:
+        return exact_treewidth_small(adjacency) <= k
+    width, _dec = upper_bound_min_fill(adjacency)
+    return width <= k
+
+
+def shape_of(graph: CanonicalGraph) -> str:
+    """The most specific shape-ladder class of a canonical graph."""
+    if graph.edge_count == 0:
+        return "no-edge"
+    if graph.edge_count == 1 and not graph.self_loops:
+        return "le-1-edge"
+    if _is_chain(graph):
+        return "chain"
+    if _is_star(graph):
+        return "star"
+    if _is_tree(graph):
+        return "tree"
+    if _is_forest(graph):
+        return "forest"
+    if _treewidth_at_most(graph, 2):
+        return "tw<=2"
+    if _treewidth_at_most(graph, 3):
+        return "tw<=3"
+    return "other"
+
+
+def query_shape(query: Query, with_constants: bool = True) -> str:
+    """Shape of the canonical graph of a graph-CQ+F query."""
+    return shape_of(canonical_graph(query, with_constants))
+
+
+def cumulative_shape(shape: str) -> List[str]:
+    """All ladder classes that contain a given most-specific shape —
+    Table 7's rows are cumulative."""
+    index = SHAPE_LADDER.index(shape)
+    return list(SHAPE_LADDER[index:])

@@ -1,0 +1,180 @@
+"""Well-designed SPARQL patterns (Pérez, Arenas & Gutiérrez; Sections
+9.1 and 9.4).
+
+Evaluation for And/Filter patterns is tractable but adding Optional
+makes it PSPACE-complete.  *Well-designed* patterns restore coNP:
+a pattern built from And, Filter and Optional is well-designed when
+
+  for every subpattern ``P' = (P1 OPTIONAL P2)`` and every variable
+  ``?x`` occurring inside ``P2`` and also outside ``P'``, the variable
+  ``?x`` also occurs in ``P1``.
+
+We additionally implement:
+
+* :func:`is_union_of_well_designed` — a top-level union of well-designed
+  patterns (the class covering roughly half of the Optional-using
+  queries in Picalausa & Vansummeren's corpus);
+* :func:`is_well_behaved` — their stronger condition making Evaluation
+  tractable; following their definition we require well-designedness
+  plus that every OPTIONAL appears only in a "right-linear" position
+  (no further operator to the right of an OPTIONAL inside the same
+  group) and filters only constrain certain (non-optional) variables.
+"""
+
+from __future__ import annotations
+
+from typing import FrozenSet, List, Set
+
+from .ast import (
+    And,
+    Bind,
+    EmptyPattern,
+    Filter,
+    Graph,
+    Minus,
+    Optional as OptPattern,
+    PathPattern,
+    Pattern,
+    Query,
+    Service,
+    SubQuery,
+    TriplePattern,
+    Union as UnionPattern,
+    Values,
+    Var,
+)
+
+
+def _uses_only_and_filter_optional(pattern: Pattern) -> bool:
+    for node in pattern.walk():
+        if not isinstance(
+            node,
+            (
+                And,
+                Filter,
+                OptPattern,
+                TriplePattern,
+                PathPattern,
+                EmptyPattern,
+            ),
+        ):
+            return False
+    return True
+
+
+def is_well_designed(pattern: Pattern) -> bool:
+    """Whether ``pattern`` (over And/Filter/Optional) is well-designed.
+
+    Returns False when the pattern uses operators outside the
+    And/Filter/Optional fragment — callers first restrict to that
+    fragment, as the study does.
+    """
+    if not _uses_only_and_filter_optional(pattern):
+        return False
+    return _check_wd(pattern, pattern)
+
+
+def _check_wd(root: Pattern, pattern: Pattern) -> bool:
+    if isinstance(pattern, OptPattern):
+        inside_right = pattern.right.variables()
+        inside_left = pattern.left.variables()
+        outside = _variables_outside(root, pattern)
+        for variable in inside_right:
+            if variable in outside and variable not in inside_left:
+                return False
+        return _check_wd(root, pattern.left) and _check_wd(
+            root, pattern.right
+        )
+    for child in pattern.children():
+        if not _check_wd(root, child):
+            return False
+    return True
+
+
+def _variables_outside(root: Pattern, exclude: Pattern) -> FrozenSet[Var]:
+    """Variables of ``root`` occurring outside the subtree ``exclude``."""
+    out: Set[Var] = set()
+
+    def visit(node: Pattern) -> None:
+        if node is exclude:
+            return
+        out.update(node._own_variables())
+        for child in node.children():
+            visit(child)
+
+    visit(root)
+    return frozenset(out)
+
+
+def is_union_of_well_designed(pattern: Pattern) -> bool:
+    """A top-level union (tree of Union nodes) of well-designed parts."""
+    leaves = _union_leaves(pattern)
+    if len(leaves) == 1:
+        return is_well_designed(pattern)
+    return all(is_well_designed(leaf) for leaf in leaves)
+
+
+def _union_leaves(pattern: Pattern) -> List[Pattern]:
+    if isinstance(pattern, UnionPattern):
+        return _union_leaves(pattern.left) + _union_leaves(pattern.right)
+    return [pattern]
+
+
+def certain_variables(pattern: Pattern) -> FrozenSet[Var]:
+    """Variables guaranteed to be bound in every solution (the mandatory
+    part: everything except the right-hand sides of OPTIONALs and the
+    branches of UNIONs where they differ)."""
+    if isinstance(pattern, (TriplePattern, PathPattern)):
+        return pattern._own_variables()
+    if isinstance(pattern, And):
+        return certain_variables(pattern.left) | certain_variables(
+            pattern.right
+        )
+    if isinstance(pattern, OptPattern):
+        return certain_variables(pattern.left)
+    if isinstance(pattern, Filter):
+        return certain_variables(pattern.pattern)
+    if isinstance(pattern, UnionPattern):
+        return certain_variables(pattern.left) & certain_variables(
+            pattern.right
+        )
+    if isinstance(pattern, (Graph, Service)):
+        return certain_variables(pattern.pattern)
+    if isinstance(pattern, Values):
+        # a variable is certain if no row leaves it UNDEF
+        certain = set(pattern.variables_list)
+        for row in pattern.rows:
+            for variable, term in zip(pattern.variables_list, row):
+                if term is None:
+                    certain.discard(variable)
+        return frozenset(certain)
+    if isinstance(pattern, Minus):
+        return certain_variables(pattern.left)
+    if isinstance(pattern, Bind):
+        return frozenset({pattern.variable})
+    if isinstance(pattern, SubQuery):
+        if pattern.query.select_star():
+            return certain_variables(pattern.query.pattern)
+        return frozenset(
+            p.variable for p in pattern.query.projections
+        ) & certain_variables(pattern.query.pattern)
+    return frozenset()
+
+
+def is_well_behaved(pattern: Pattern) -> bool:
+    """Picalausa & Vansummeren's *well-behaved* patterns: well-designed,
+    and every Filter constrains only certain variables of the pattern it
+    applies to (so filters never observe the optional part)."""
+    if not is_well_designed(pattern):
+        return False
+    for node in pattern.walk():
+        if isinstance(node, Filter):
+            certain = certain_variables(node.pattern)
+            if not node.constraint.variables() <= certain:
+                return False
+    return True
+
+
+def query_well_designed(query: Query) -> bool:
+    """Top-level helper used by the log analyzer."""
+    return is_well_designed(query.pattern)

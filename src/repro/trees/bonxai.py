@@ -1,0 +1,310 @@
+"""Pattern-based schemas in the style of BonXai (Section 4.4).
+
+A pattern-based schema is a set of rules ``φ → e`` where ``φ`` selects
+nodes by their *ancestor path* and ``e`` is a regular expression over
+element labels.  A tree satisfies the schema if
+
+1. every node is selected by at least one left-hand side, and
+2. for every rule ``φ → e`` selecting a node ``v``, the children of
+   ``v`` match ``e``.
+
+Patterns support the two XPath axes the paper's example uses::
+
+    a            selects every node labeled a
+    //b//h       selects h-nodes with a b-labeled ancestor
+    /a/b         selects b-children of the a-labeled root
+
+Internally a pattern is compiled to a regular expression over ancestor
+label words (``//b//h`` becomes ``Σ* b Σ* h``), which makes both
+matching and the conversion to a single-type EDTD (:func:`to_edtd`)
+uniform: the EDTD's types are the reachable states of the product DFA of
+all pattern automata — exactly the "nearest distinguishing ancestor"
+intuition behind Figure 2.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, List, Optional as Opt, Sequence, Set, Tuple
+
+from ..errors import ParseError, SchemaError
+from ..regex.ast import Regex
+from ..regex.automata import NFA
+from ..regex.convert import intersection_regex
+from ..regex.parser import parse as parse_regex
+from .edtd import EDTD
+from .tree import Tree, TreeNode
+
+
+@dataclass(frozen=True)
+class PathPattern:
+    """An ancestor-path pattern: steps of (axis, label).
+
+    ``axis`` is ``"child"`` (``/``) or ``"descendant"`` (``//``).  The
+    first step is anchored at the root for ``/`` and floats for ``//``;
+    a bare label ``a`` is shorthand for ``//a``.
+    """
+
+    steps: Tuple[Tuple[str, str], ...]
+
+    @classmethod
+    def parse(cls, text: str) -> "PathPattern":
+        text = text.strip()
+        if not text:
+            raise ParseError("empty pattern")
+        if not text.startswith("/"):
+            text = "//" + text
+        steps: List[Tuple[str, str]] = []
+        i = 0
+        n = len(text)
+        while i < n:
+            if text.startswith("//", i):
+                axis, i = "descendant", i + 2
+            elif text.startswith("/", i):
+                axis, i = "child", i + 1
+            else:
+                raise ParseError(f"expected axis at position {i} in {text!r}")
+            start = i
+            while i < n and text[i] != "/":
+                i += 1
+            label = text[start:i]
+            if not label:
+                raise ParseError(f"missing label at position {start}")
+            steps.append((axis, label))
+        return cls(tuple(steps))
+
+    def matches(self, ancestor_path: Sequence[str]) -> bool:
+        """Whether the pattern selects a node whose root-to-node label
+        path is ``ancestor_path`` (root first, node's own label last)."""
+        return self._match_from(0, 0, tuple(ancestor_path))
+
+    def _match_from(
+        self, step_index: int, path_index: int, path: Tuple[str, ...]
+    ) -> bool:
+        if step_index == len(self.steps):
+            return path_index == len(path)
+        axis, label = self.steps[step_index]
+        if axis == "child":
+            if path_index < len(path) and path[path_index] == label:
+                return self._match_from(step_index + 1, path_index + 1, path)
+            return False
+        # descendant: skip zero or more labels before matching
+        for skip in range(path_index, len(path)):
+            if path[skip] == label:
+                if self._match_from(step_index + 1, skip + 1, path):
+                    return True
+        return False
+
+    def to_word_nfa(self, alphabet: Sequence[str]) -> NFA:
+        """An NFA over ancestor words: ``//b//h`` becomes ``Σ* b Σ* h``."""
+        sigma = list(alphabet)
+        nfa = NFA(1, {0}, set(), [{}], set(sigma))
+        current = 0
+        for axis, label in self.steps:
+            if axis == "descendant":
+                for letter in sigma:
+                    nfa.add_transition(current, letter, current)
+            nxt = nfa.add_state()
+            nfa.add_transition(current, label, nxt)
+            current = nxt
+        nfa.finals = {current}
+        return nfa
+
+    def __str__(self) -> str:
+        return "".join(
+            ("//" if axis == "descendant" else "/") + label
+            for axis, label in self.steps
+        )
+
+
+@dataclass
+class PatternRule:
+    """One rule ``φ → e`` of a pattern-based schema."""
+
+    pattern: PathPattern
+    content: Regex
+
+    @classmethod
+    def parse(cls, pattern_text: str, content_text: str) -> "PatternRule":
+        from ..regex.ast import EPSILON
+
+        content = (
+            EPSILON
+            if not content_text.strip()
+            else parse_regex(content_text, multi_char=True)
+        )
+        return cls(PathPattern.parse(pattern_text), content)
+
+
+@dataclass
+class PatternSchema:
+    """A pattern-based (BonXai-style) schema: an ordered list of rules.
+
+    Semantics follow the paper exactly: *all* rules whose pattern selects
+    a node constrain that node's children (conjunctively), and every
+    node must be selected by at least one rule.
+    """
+
+    rules: List[PatternRule]
+
+    @classmethod
+    def from_rules(cls, rules: Dict[str, str]) -> "PatternSchema":
+        """Build from ``{pattern: content-model}`` as in Figure 2b::
+
+            PatternSchema.from_rules({
+                "a": "b + c",
+                "b": "edf",
+                "c": "edf",
+                "d": "ghi",
+                "//b//h": "j",
+                "//c//h": "k",
+            })
+        """
+        return cls(
+            [PatternRule.parse(pat, body) for pat, body in rules.items()]
+        )
+
+    def alphabet(self) -> FrozenSet[str]:
+        labels: Set[str] = set()
+        for rule in self.rules:
+            labels |= rule.content.alphabet()
+            labels |= {label for _axis, label in rule.pattern.steps}
+        return frozenset(labels)
+
+    # -- validation -----------------------------------------------------------------
+
+    def first_violation(self, tree: Tree) -> Opt[str]:
+        from ..regex.automata import glushkov as _glushkov
+
+        automata = [_glushkov(rule.content) for rule in self.rules]
+
+        def visit(node: TreeNode, path: Tuple[str, ...]) -> Opt[str]:
+            full_path = path + (node.label,)
+            matched = [
+                i
+                for i, rule in enumerate(self.rules)
+                if rule.pattern.matches(full_path)
+            ]
+            if not matched:
+                return (
+                    f"node at /{'/'.join(full_path)} is selected by no rule"
+                )
+            word = node.child_word()
+            for i in matched:
+                if not automata[i].accepts(word):
+                    return (
+                        f"children of /{'/'.join(full_path)} "
+                        f"({' '.join(word) or 'ε'}) violate rule "
+                        f"{self.rules[i].pattern} -> {self.rules[i].content}"
+                    )
+            for child in node.children:
+                violation = visit(child, full_path)
+                if violation:
+                    return violation
+            return None
+
+        return visit(tree.root, ())
+
+    def validate(self, tree: Tree) -> bool:
+        return self.first_violation(tree) is None
+
+    # -- conversion to a single-type EDTD ---------------------------------------------
+
+    def to_edtd(self, max_types: int = 5000) -> EDTD:
+        """Compile to a single-type EDTD.
+
+        Types are the reachable states of the product of the per-pattern
+        ancestor-word automata, refined by label: a type ``(label, q)``
+        says "this node has this label and its ancestor word drives the
+        pattern automata into joint state q".  The content model of a
+        type is the conjunction (intersection) of the right-hand sides of
+        all rules matched at that state; nodes matched by no rule get the
+        empty language, making such contexts unsatisfiable — mirroring
+        condition (1) of the semantics.
+        """
+        sigma = sorted(self.alphabet())
+        nfas = [rule.pattern.to_word_nfa(sigma) for rule in self.rules]
+        start_config = tuple(
+            nfa.epsilon_closure(nfa.initial) for nfa in nfas
+        )
+
+        # type = (label, config-after-reading-label)
+        TypeKey = Tuple[str, Tuple[frozenset, ...]]
+        type_names: Dict[TypeKey, str] = {}
+        rules: Dict[str, Regex] = {}
+        mu: Dict[str, str] = {}
+        queue: deque = deque()
+
+        def intern(label: str, config) -> str:
+            key = (label, config)
+            if key not in type_names:
+                if len(type_names) >= max_types:
+                    raise SchemaError(
+                        "pattern schema compiles to too many types"
+                    )
+                name = f"{label}#{len(type_names)}"
+                type_names[key] = name
+                mu[name] = label
+                queue.append(key)
+            return type_names[key]
+
+        def step(config, label: str):
+            return tuple(
+                nfa.step(component, label)
+                for nfa, component in zip(nfas, config)
+            )
+
+        start_types = set()
+        for label in sigma:
+            config = step(start_config, label)
+            start_types.add(intern(label, config))
+
+        from ..regex.ast import (
+            Concat,
+            EMPTY,
+            Optional as Opt_,
+            Plus,
+            Star,
+            Symbol,
+            Union,
+        )
+
+        while queue:
+            label, config = queue.popleft()
+            name = type_names[(label, config)]
+            matched = [
+                i
+                for i, nfa in enumerate(nfas)
+                if config[i] & nfa.finals
+            ]
+            if not matched:
+                rules[name] = EMPTY
+                continue
+            content = intersection_regex(
+                [self.rules[i].content for i in matched]
+            )
+            # retype the content model: child label -> child type name
+            child_types = {
+                child_label: intern(child_label, step(config, child_label))
+                for child_label in content.alphabet()
+            }
+
+            def retype(expr: Regex) -> Regex:
+                if isinstance(expr, Symbol):
+                    return Symbol(child_types[expr.label])
+                if isinstance(expr, Concat):
+                    return Concat(tuple(retype(p) for p in expr.parts))
+                if isinstance(expr, Union):
+                    return Union(tuple(retype(p) for p in expr.parts))
+                if isinstance(expr, Star):
+                    return Star(retype(expr.child))
+                if isinstance(expr, Plus):
+                    return Plus(retype(expr.child))
+                if isinstance(expr, Opt_):
+                    return Opt_(retype(expr.child))
+                return expr
+
+            rules[name] = retype(content)
+
+        return EDTD(rules, frozenset(start_types), mu)

@@ -1,0 +1,448 @@
+"""Schema inference from positive examples (Sections 4.2.2–4.2.3).
+
+Regular expressions are not learnable in the limit from positive data
+(Gold; Theorem 4.8 extends this to deterministic expressions), but the
+practically dominant fragments are:
+
+* :func:`build_soa` — the *single occurrence automaton* of a sample
+  (2T-INF): nodes are alphabet symbols, with an edge ``a → b`` whenever
+  ``b`` directly follows ``a`` in some sample word.
+* :func:`soa_to_sore` — the REWRITE procedure of Bex, Neven, Schwentick &
+  Vansummeren: contract the SOA into a single-occurrence regular
+  expression using self-loop, concatenation, disjunction and optionality
+  rewrite rules.  When the SOA language is not expressible as a SORE the
+  function generalizes (documented per-rule) rather than fail — matching
+  the published RWR² repair strategy's spirit.
+* :func:`infer_chare` — the CRX-style chain-expression learner: contract
+  strongly connected components of the SOA, order them topologically,
+  and pick each factor's modifier from per-word occupancy counts.
+* :func:`learn_k_ore` — a deterministic simplification of iDREGEx:
+  occurrences are disambiguated by marking each symbol with its
+  occurrence index (capped at k), a SORE is learned over the marked
+  alphabet, and the marks are erased.  Soundness (sample ⊆ language) is
+  preserved because mark-erasure is a homomorphism.
+* :func:`infer_dtd` — whole-schema inference from a corpus of trees:
+  one content model per label, inferred from all observed child words.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict
+from typing import Dict, Iterable, List, Sequence, Set, Tuple
+
+from ..regex.ast import (
+    EPSILON,
+    Regex,
+    Symbol,
+    concat as smart_concat,
+    optional as smart_optional,
+    plus as smart_plus,
+    star as smart_star,
+    union as smart_union,
+)
+from .dtd import DTD
+from .tree import Tree
+
+Word = Tuple[str, ...]
+
+SRC = "\x00SRC"  # sentinel: NUL prefix cannot clash with real labels
+SNK = "\x00SNK"
+
+
+def build_soa(sample: Iterable[Word]) -> Dict[str, Set[str]]:
+    """The single occurrence automaton as an adjacency map.
+
+    Virtual nodes :data:`SRC` and :data:`SNK` mark word boundaries; an
+    edge ``SRC → SNK`` records that the empty word is in the sample.
+    """
+    edges: Dict[str, Set[str]] = defaultdict(set)
+    edges[SRC]  # ensure presence
+    for word in sample:
+        previous = SRC
+        for symbol in word:
+            edges[previous].add(symbol)
+            edges.setdefault(symbol, set())
+            previous = symbol
+        edges[previous].add(SNK)
+    edges.setdefault(SNK, set())
+    return dict(edges)
+
+
+def soa_accepts(edges: Dict[str, Set[str]], word: Word) -> bool:
+    """Membership in the SOA language (used by tests and as the learning
+    target: L(SOA) is the least SOA-shaped language containing the
+    sample)."""
+    previous = SRC
+    for symbol in word:
+        if symbol not in edges.get(previous, ()):
+            return False
+        previous = symbol
+    return SNK in edges.get(previous, ())
+
+
+# ---------------------------------------------------------------------------
+# REWRITE: SOA -> SORE
+# ---------------------------------------------------------------------------
+
+
+class _RewriteGraph:
+    """Mutable graph over regex-labeled nodes used by REWRITE."""
+
+    def __init__(self, edges: Dict[str, Set[str]]):
+        self.succ: Dict[str, Set[str]] = {
+            node: set(targets) for node, targets in edges.items()
+        }
+        self.pred: Dict[str, Set[str]] = {node: set() for node in self.succ}
+        for node, targets in self.succ.items():
+            for target in targets:
+                self.pred.setdefault(target, set()).add(node)
+                self.succ.setdefault(target, set())
+        for node in list(self.pred):
+            self.succ.setdefault(node, set())
+        self.label: Dict[str, Regex] = {
+            node: Symbol(node)
+            for node in self.succ
+            if node not in (SRC, SNK)
+        }
+
+    def nodes(self) -> List[str]:
+        return [n for n in self.succ if n not in (SRC, SNK)]
+
+    def remove_edge(self, src: str, dst: str) -> None:
+        self.succ[src].discard(dst)
+        self.pred[dst].discard(src)
+
+    def add_edge(self, src: str, dst: str) -> None:
+        self.succ[src].add(dst)
+        self.pred[dst].add(src)
+
+    def merge(self, keep: str, absorb: str, new_label: Regex) -> None:
+        """Replace ``keep`` and ``absorb`` by one node (named ``keep``)."""
+        for node in list(self.pred[absorb]):
+            self.remove_edge(node, absorb)
+            if node != absorb and node != keep:
+                self.add_edge(node, keep)
+        for node in list(self.succ[absorb]):
+            self.remove_edge(absorb, node)
+            if node != absorb and node != keep:
+                self.add_edge(keep, node)
+        del self.succ[absorb]
+        del self.pred[absorb]
+        del self.label[absorb]
+        self.label[keep] = new_label
+
+    # rewrite rules ------------------------------------------------------------
+
+    def apply_self_loops(self) -> bool:
+        changed = False
+        for node in self.nodes():
+            if node in self.succ[node]:
+                self.remove_edge(node, node)
+                self.label[node] = smart_plus(self.label[node])
+                changed = True
+        return changed
+
+    def apply_disjunction(self) -> bool:
+        nodes = self.nodes()
+        for i, u in enumerate(nodes):
+            for v in nodes[i + 1 :]:
+                if self.pred[u] == self.pred[v] and self.succ[u] == self.succ[v]:
+                    self.merge(
+                        u, v, smart_union(self.label[u], self.label[v])
+                    )
+                    return True
+        return False
+
+    def apply_concatenation(self) -> bool:
+        for u in self.nodes():
+            successors = self.succ[u]
+            if len(successors) != 1:
+                continue
+            (v,) = successors
+            if v in (SNK,) or v == u:
+                continue
+            if self.pred[v] != {u}:
+                continue
+            label = smart_concat(self.label[u], self.label[v])
+            # contract v into u: u inherits v's successors
+            for node in list(self.succ[v]):
+                self.remove_edge(v, node)
+                self.add_edge(u, node)
+            self.remove_edge(u, v)
+            del self.succ[v]
+            del self.pred[v]
+            del self.label[v]
+            self.label[u] = label
+            return True
+        return False
+
+    def apply_optionality(self) -> bool:
+        """If every predecessor of v already bypasses v to every successor
+        of v, make v optional and drop the bypass edges."""
+        for v in self.nodes():
+            preds = self.pred[v] - {v}
+            succs = self.succ[v] - {v}
+            if not preds or not succs:
+                continue
+            if all(
+                succs <= self.succ[u] - {v} or succs <= self.succ[u]
+                for u in preds
+            ) and all(
+                all(w in self.succ[u] for w in succs) for u in preds
+            ):
+                for u in preds:
+                    for w in succs:
+                        self.remove_edge(u, w)
+                self.label[v] = smart_optional(self.label[v])
+                return True
+        return False
+
+
+def soa_to_sore(edges: Dict[str, Set[str]]) -> Regex:
+    """Contract an SOA into a regular expression via REWRITE.
+
+    When the rules get stuck (the SOA language is not SORE-expressible),
+    the remaining nodes are generalized into ``(a1 + … + ak)*``-style
+    factors (the RWR² repair), so the result always contains the SOA
+    language — possibly strictly.
+    """
+    graph = _RewriteGraph(edges)
+    empty_word = SNK in graph.succ.get(SRC, set())
+    if empty_word:
+        graph.remove_edge(SRC, SNK)
+    if not graph.nodes():
+        return EPSILON
+
+    while len(graph.nodes()) > 1:
+        if graph.apply_self_loops():
+            continue
+        if graph.apply_concatenation():
+            continue
+        if graph.apply_disjunction():
+            continue
+        if graph.apply_optionality():
+            continue
+        # stuck: generalize the whole strongly-entangled remainder
+        remainder = sorted(graph.nodes())
+        symbols_expr = smart_union(
+            *[graph.label[node] for node in remainder]
+        )
+        result: Regex = smart_plus(symbols_expr)
+        if empty_word:
+            result = smart_optional(result)
+        return result
+
+    graph.apply_self_loops()
+    (node,) = graph.nodes()
+    result = graph.label[node]
+    if SNK in graph.succ.get(SRC, set()) or empty_word:
+        result = smart_optional(result)
+    return result
+
+
+def infer_sore(sample: Iterable[Word]) -> Regex:
+    """Learn a single-occurrence regular expression from positive data."""
+    return soa_to_sore(build_soa(list(sample)))
+
+
+# ---------------------------------------------------------------------------
+# CRX: chain regular expression inference
+# ---------------------------------------------------------------------------
+
+
+def _scc_partition(edges: Dict[str, Set[str]]) -> List[Set[str]]:
+    """Tarjan SCCs of the SOA restricted to proper symbols, returned in
+    reverse topological order (which Tarjan yields naturally)."""
+    nodes = [n for n in edges if n not in (SRC, SNK)]
+    index: Dict[str, int] = {}
+    low: Dict[str, int] = {}
+    on_stack: Set[str] = set()
+    stack: List[str] = []
+    sccs: List[Set[str]] = []
+    counter = [0]
+
+    def neighbours(node: str) -> List[str]:
+        return [n for n in edges.get(node, ()) if n not in (SRC, SNK)]
+
+    for root in nodes:
+        if root in index:
+            continue
+        work = [(root, iter(neighbours(root)))]
+        index[root] = low[root] = counter[0]
+        counter[0] += 1
+        stack.append(root)
+        on_stack.add(root)
+        while work:
+            node, successors = work[-1]
+            advanced = False
+            for nxt in successors:
+                if nxt not in index:
+                    index[nxt] = low[nxt] = counter[0]
+                    counter[0] += 1
+                    stack.append(nxt)
+                    on_stack.add(nxt)
+                    work.append((nxt, iter(neighbours(nxt))))
+                    advanced = True
+                    break
+                if nxt in on_stack:
+                    low[node] = min(low[node], index[nxt])
+            if advanced:
+                continue
+            work.pop()
+            if work:
+                parent = work[-1][0]
+                low[parent] = min(low[parent], low[node])
+            if low[node] == index[node]:
+                component: Set[str] = set()
+                while True:
+                    member = stack.pop()
+                    on_stack.discard(member)
+                    component.add(member)
+                    if member == node:
+                        break
+                sccs.append(component)
+    return sccs
+
+
+def infer_chare(sample: Iterable[Word]) -> Regex:
+    """CRX-style inference of a chain regular expression.
+
+    SCCs of the SOA become factors in topological order; each factor's
+    modifier is chosen from the per-word occupancy counts (min 0 makes it
+    optional, max > 1 makes it transitive).
+    """
+    words = [tuple(w) for w in sample]
+    edges = build_soa(words)
+    sccs = _scc_partition(edges)
+    # Tarjan emits reverse-topological order; reverse for left-to-right
+    ordered = list(reversed(sccs))
+    factors: List[Regex] = []
+    for component in ordered:
+        counts = []
+        for word in words:
+            counts.append(sum(1 for symbol in word if symbol in component))
+        minimum = min(counts) if counts else 0
+        maximum = max(counts) if counts else 0
+        if maximum == 0:
+            continue
+        base = smart_union(*[Symbol(s) for s in sorted(component)])
+        has_internal_edge = any(
+            nxt in component
+            for symbol in component
+            for nxt in edges.get(symbol, ())
+        )
+        transitive = maximum > 1 or has_internal_edge
+        if transitive and minimum == 0:
+            factors.append(smart_star(base))
+        elif transitive:
+            factors.append(smart_plus(base))
+        elif minimum == 0:
+            factors.append(smart_optional(base))
+        else:
+            factors.append(base)
+    if not factors:
+        return EPSILON
+    return smart_concat(*factors)
+
+
+# ---------------------------------------------------------------------------
+# k-ORE inference (a deterministic iDREGEx surrogate)
+# ---------------------------------------------------------------------------
+
+_MARK = "\x1f"  # ASCII unit separator; never occurs in real labels
+
+
+def _mark_word(word: Word, k: int) -> Word:
+    seen: Dict[str, int] = {}
+    out: List[str] = []
+    for symbol in word:
+        occurrence = min(seen.get(symbol, 0), k - 1)
+        seen[symbol] = seen.get(symbol, 0) + 1
+        out.append(f"{symbol}{_MARK}{occurrence}")
+    return tuple(out)
+
+
+def _erase_marks(expr: Regex) -> Regex:
+    from ..regex.ast import Concat, Optional as Opt_, Plus, Star, Union
+
+    if isinstance(expr, Symbol):
+        return Symbol(expr.label.split(_MARK)[0])
+    if isinstance(expr, Concat):
+        return smart_concat(*[_erase_marks(p) for p in expr.parts])
+    if isinstance(expr, Union):
+        return smart_union(*[_erase_marks(p) for p in expr.parts])
+    if isinstance(expr, Star):
+        return smart_star(_erase_marks(expr.child))
+    if isinstance(expr, Plus):
+        return smart_plus(_erase_marks(expr.child))
+    if isinstance(expr, Opt_):
+        return smart_optional(_erase_marks(expr.child))
+    return expr
+
+
+def learn_k_ore(sample: Iterable[Word], k: int) -> Regex:
+    """Learn a k-occurrence expression: mark occurrences (capped at k),
+    learn a SORE over the marked alphabet, erase the marks.
+
+    For ``k = 1`` this is exactly SORE inference.  Theorem 4.9 guarantees
+    deterministic k-OREs are learnable in the limit; this surrogate is
+    the deterministic core of the iDREGEx pipeline (the published system
+    adds an HMM-based occurrence disambiguation)."""
+    if k < 1:
+        raise ValueError("k must be at least 1")
+    if k == 1:
+        return infer_sore(sample)
+    marked = [_mark_word(tuple(w), k) for w in sample]
+    return _erase_marks(infer_sore(marked))
+
+
+def learn_increasing_k(
+    sample: Iterable[Word], max_k: int = 4
+) -> Tuple[int, Regex]:
+    """iDREGEx's outer loop: try k = 1, 2, … and keep the first k whose
+    learned expression is deterministic, else return the best (largest
+    k) candidate.  Returns ``(k, expression)``."""
+    from ..regex.determinism import is_deterministic
+
+    words = [tuple(w) for w in sample]
+    best: Tuple[int, Regex] = (1, infer_sore(words))
+    for k in range(1, max_k + 1):
+        candidate = learn_k_ore(words, k)
+        best = (k, candidate)
+        if is_deterministic(candidate):
+            return k, candidate
+    return best
+
+
+# ---------------------------------------------------------------------------
+# Whole-DTD inference
+# ---------------------------------------------------------------------------
+
+
+def infer_dtd(
+    trees: Sequence[Tree], method: str = "sore"
+) -> DTD:
+    """Infer a DTD from a corpus of trees.
+
+    ``method`` is ``"sore"`` (REWRITE) or ``"chare"`` (CRX).  Content
+    models are inferred per label from all observed child words; start
+    labels are the observed root labels.  The result always satisfies
+    ``{T1, …, Tn} ⊆ L(D)`` (requirement (1) of Definition 4.7).
+    """
+    if method not in ("sore", "chare"):
+        raise ValueError(f"unknown method {method!r}")
+    samples: Dict[str, List[Word]] = defaultdict(list)
+    roots: Set[str] = set()
+    for tree in trees:
+        roots.add(tree.root.label)
+        for node in tree.root.walk():
+            samples[node.label].append(node.child_word())
+    infer = infer_sore if method == "sore" else infer_chare
+    rules = {
+        label: infer(words)
+        for label, words in samples.items()
+        if any(word for word in words)  # leave leaf labels implicit
+    }
+    if not roots:
+        raise ValueError("need at least one tree")
+    return DTD(rules, frozenset(roots))

@@ -1,0 +1,247 @@
+"""A from-scratch JSON parser and the JSON-to-labeled-tree mapping.
+
+The paper treats JSON documents as node-labeled trees (Figure 1b/1c):
+object keys become node labels; arrays are ordered children.  As with
+XML, there is no single "correct" mapping (Example 3.1) — we implement
+the common one:
+
+* the document root is a node labeled ``root_label`` (default ``"$"``);
+* a key ``k`` becomes a child node labeled ``k``;
+* array elements become children labeled ``item_label`` (default
+  ``"item"``) of the array's node, preserving order;
+* scalars are stored in the node's ``value``.
+
+The parser is hand-written so that malformed documents yield classified
+:class:`~repro.errors.JSONParseError`\\ s, mirroring the XML study's
+error-taxonomy approach.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Dict, List
+
+from ..errors import JSONParseError
+from .tree import Tree, TreeNode
+
+# JSON error categories (for corpus studies in the XML-study style)
+UNTERMINATED_STRING = "unterminated-string"
+TRAILING_DATA = "trailing-data"
+BAD_LITERAL = "bad-literal"
+MISSING_DELIMITER = "missing-delimiter"
+UNEXPECTED_END = "unexpected-end"
+BAD_ESCAPE = "bad-escape"
+
+_WHITESPACE = " \t\n\r"
+_ESCAPES = {
+    '"': '"',
+    "\\": "\\",
+    "/": "/",
+    "b": "\b",
+    "f": "\f",
+    "n": "\n",
+    "r": "\r",
+    "t": "\t",
+}
+
+
+class _JSONScanner:
+    def __init__(self, text: str):
+        self.text = text
+        self.pos = 0
+        self.n = len(text)
+
+    def error(self, message: str, category: str) -> JSONParseError:
+        return JSONParseError(message, position=self.pos, category=category)
+
+    def skip_whitespace(self) -> None:
+        while self.pos < self.n and self.text[self.pos] in _WHITESPACE:
+            self.pos += 1
+
+    def peek(self) -> str:
+        return self.text[self.pos] if self.pos < self.n else ""
+
+    def expect(self, ch: str) -> None:
+        if self.peek() != ch:
+            raise self.error(
+                f"expected {ch!r}, found {self.peek()!r}",
+                MISSING_DELIMITER if self.peek() else UNEXPECTED_END,
+            )
+        self.pos += 1
+
+    # -- value parsing ---------------------------------------------------------
+
+    def parse_value(self) -> Any:
+        self.skip_whitespace()
+        ch = self.peek()
+        if ch == "":
+            raise self.error("unexpected end of input", UNEXPECTED_END)
+        if ch == "{":
+            return self.parse_object()
+        if ch == "[":
+            return self.parse_array()
+        if ch == '"':
+            return self.parse_string()
+        if ch in "-0123456789":
+            return self.parse_number()
+        for literal, value in (
+            ("true", True),
+            ("false", False),
+            ("null", None),
+        ):
+            if self.text.startswith(literal, self.pos):
+                self.pos += len(literal)
+                return value
+        raise self.error(f"unexpected character {ch!r}", BAD_LITERAL)
+
+    def parse_object(self) -> Dict[str, Any]:
+        self.expect("{")
+        out: Dict[str, Any] = {}
+        self.skip_whitespace()
+        if self.peek() == "}":
+            self.pos += 1
+            return out
+        while True:
+            self.skip_whitespace()
+            if self.peek() != '"':
+                raise self.error(
+                    "object keys must be strings",
+                    BAD_LITERAL if self.peek() else UNEXPECTED_END,
+                )
+            key = self.parse_string()
+            self.skip_whitespace()
+            self.expect(":")
+            out[key] = self.parse_value()
+            self.skip_whitespace()
+            if self.peek() == ",":
+                self.pos += 1
+                continue
+            self.expect("}")
+            return out
+
+    def parse_array(self) -> List[Any]:
+        self.expect("[")
+        out: List[Any] = []
+        self.skip_whitespace()
+        if self.peek() == "]":
+            self.pos += 1
+            return out
+        while True:
+            out.append(self.parse_value())
+            self.skip_whitespace()
+            if self.peek() == ",":
+                self.pos += 1
+                continue
+            self.expect("]")
+            return out
+
+    def parse_string(self) -> str:
+        self.expect('"')
+        out: List[str] = []
+        while True:
+            if self.pos >= self.n:
+                raise self.error("unterminated string", UNTERMINATED_STRING)
+            ch = self.text[self.pos]
+            self.pos += 1
+            if ch == '"':
+                return "".join(out)
+            if ch == "\\":
+                if self.pos >= self.n:
+                    raise self.error(
+                        "unterminated escape", UNTERMINATED_STRING
+                    )
+                esc = self.text[self.pos]
+                self.pos += 1
+                if esc == "u":
+                    hexpart = self.text[self.pos : self.pos + 4]
+                    if len(hexpart) < 4:
+                        raise self.error("bad \\u escape", BAD_ESCAPE)
+                    try:
+                        out.append(chr(int(hexpart, 16)))
+                    except ValueError:
+                        raise self.error("bad \\u escape", BAD_ESCAPE)
+                    self.pos += 4
+                elif esc in _ESCAPES:
+                    out.append(_ESCAPES[esc])
+                else:
+                    raise self.error(f"bad escape \\{esc}", BAD_ESCAPE)
+            else:
+                out.append(ch)
+
+    def parse_number(self):
+        start = self.pos
+        if self.peek() == "-":
+            self.pos += 1
+        while self.pos < self.n and self.text[self.pos].isdigit():
+            self.pos += 1
+        is_float = False
+        if self.peek() == ".":
+            is_float = True
+            self.pos += 1
+            while self.pos < self.n and self.text[self.pos].isdigit():
+                self.pos += 1
+        if self.peek() in ("e", "E"):
+            is_float = True
+            self.pos += 1
+            if self.peek() in ("+", "-"):
+                self.pos += 1
+            while self.pos < self.n and self.text[self.pos].isdigit():
+                self.pos += 1
+        raw = self.text[start : self.pos]
+        if raw in ("", "-"):
+            raise self.error("malformed number", BAD_LITERAL)
+        return float(raw) if is_float else int(raw)
+
+
+def parse_json(text: str) -> Any:
+    """Parse a JSON document into Python values (dict/list/scalars)."""
+    scanner = _JSONScanner(text)
+    value = scanner.parse_value()
+    scanner.skip_whitespace()
+    if scanner.pos != scanner.n:
+        raise scanner.error("trailing data after document", TRAILING_DATA)
+    return value
+
+
+def json_to_tree(
+    value: Any, root_label: str = "$", item_label: str = "item"
+) -> Tree:
+    """Map a parsed JSON value to a node-labeled ordered tree."""
+
+    def build(label: str, val: Any) -> TreeNode:
+        node = TreeNode(label)
+        if isinstance(val, dict):
+            for key, sub in val.items():
+                node.add_child(build(key, sub))
+        elif isinstance(val, list):
+            for sub in val:
+                node.add_child(build(item_label, sub))
+        else:
+            node.value = val
+        return node
+
+    return Tree(build(root_label, value))
+
+
+def parse_json_tree(
+    text: str, root_label: str = "$", item_label: str = "item"
+) -> Tree:
+    """Parse JSON text directly into a labeled tree."""
+    return json_to_tree(parse_json(text), root_label, item_label)
+
+
+def json_nesting_depth(value: Any) -> int:
+    """Maximum nesting depth of a parsed JSON value (scalars have depth 1).
+
+    The Maiwald et al. schema study (Section 4.5) reports maximum nesting
+    depths of 3–43 for non-recursive JSON schemas; this is the document
+    analogue of that metric.
+    """
+    if isinstance(value, dict):
+        if not value:
+            return 1
+        return 1 + max(json_nesting_depth(v) for v in value.values())
+    if isinstance(value, list):
+        if not value:
+            return 1
+        return 1 + max(json_nesting_depth(v) for v in value)
+    return 1

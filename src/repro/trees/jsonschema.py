@@ -1,0 +1,462 @@
+"""JSON Schema — the logic-based schema language of Section 4.5.
+
+Whereas DTD/XML Schema are built on regular expressions, JSON Schema is
+a logical combination of *assertions* on objects, arrays and base
+values (Bourhis et al.).  This module implements the fragment the
+practical studies analyze:
+
+* assertions: ``type``, ``properties``, ``required``,
+  ``additionalProperties``, ``items``, ``enum``, ``const``,
+  ``minimum``/``maximum``, ``minLength``/``maxLength``,
+  ``minItems``/``maxItems``;
+* combinators: ``allOf``, ``anyOf``, ``oneOf``, ``not``;
+* references: ``$ref`` into ``definitions`` / ``$defs`` (the source of
+  recursion).
+
+Analyses reproduce the two studies the paper cites:
+
+* Maiwald, Riedle & Scherzinger: schema size, recursion (26/159
+  schemas), maximum nesting depth of non-recursive schemas (3–43,
+  average 11), and the *schema-full* vs *schema-mixed* distinction
+  (additional properties allowed by default; only 8/159 schemas turn
+  them off);
+* Baazizi et al.: usage of negation (2.6% of 11.5k schemas), often as a
+  workaround for a missing ``forbidden`` keyword or implication.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, List, Optional as Opt, Set
+
+from ..errors import SchemaError
+
+_TYPE_CHECKS = {
+    "object": lambda v: isinstance(v, dict),
+    "array": lambda v: isinstance(v, list),
+    "string": lambda v: isinstance(v, str),
+    "number": lambda v: isinstance(v, (int, float))
+    and not isinstance(v, bool),
+    "integer": lambda v: isinstance(v, int) and not isinstance(v, bool),
+    "boolean": lambda v: isinstance(v, bool),
+    "null": lambda v: v is None,
+}
+
+
+@dataclass
+class JSONSchema:
+    """A JSON Schema document (the schema itself is a parsed JSON value).
+
+    ``document`` is the root schema object; boolean schemas (``True`` =
+    accept everything, ``False`` = reject everything) are allowed
+    anywhere a subschema is, per the standard.
+    """
+
+    document: Any
+
+    def __post_init__(self):
+        if not isinstance(self.document, (dict, bool)):
+            raise SchemaError("a JSON Schema is an object or a boolean")
+
+    # -- $ref resolution ------------------------------------------------------------
+
+    def resolve_ref(self, ref: str) -> Any:
+        """Resolve a local ``#/...`` JSON pointer reference."""
+        if not ref.startswith("#"):
+            raise SchemaError(f"only local references supported: {ref!r}")
+        node: Any = self.document
+        pointer = ref[1:].lstrip("/")
+        if not pointer:
+            return node
+        for part in pointer.split("/"):
+            part = part.replace("~1", "/").replace("~0", "~")
+            if isinstance(node, dict) and part in node:
+                node = node[part]
+            else:
+                raise SchemaError(f"dangling reference {ref!r}")
+        return node
+
+    # -- validation -------------------------------------------------------------------
+
+    def validate(self, value: Any) -> bool:
+        return self._valid(self.document, value, depth=0)
+
+    def first_violation(self, value: Any) -> Opt[str]:
+        try:
+            return None if self.validate(value) else "value rejected"
+        except SchemaError as exc:
+            return str(exc)
+
+    def _valid(self, schema: Any, value: Any, depth: int) -> bool:
+        if depth > 200:
+            raise SchemaError("validation recursion too deep")
+        if schema is True or schema == {}:
+            return True
+        if schema is False:
+            return False
+        if not isinstance(schema, dict):
+            raise SchemaError(f"not a schema: {schema!r}")
+        if "$ref" in schema:
+            return self._valid(
+                self.resolve_ref(schema["$ref"]), value, depth + 1
+            )
+        # type
+        declared = schema.get("type")
+        if declared is not None:
+            types = declared if isinstance(declared, list) else [declared]
+            if not any(
+                _TYPE_CHECKS.get(t, lambda _v: False)(value) for t in types
+            ):
+                return False
+        # enum / const
+        if "enum" in schema and value not in schema["enum"]:
+            return False
+        if "const" in schema and value != schema["const"]:
+            return False
+        # numbers
+        if isinstance(value, (int, float)) and not isinstance(value, bool):
+            if "minimum" in schema and value < schema["minimum"]:
+                return False
+            if "maximum" in schema and value > schema["maximum"]:
+                return False
+        # strings
+        if isinstance(value, str):
+            if "minLength" in schema and len(value) < schema["minLength"]:
+                return False
+            if "maxLength" in schema and len(value) > schema["maxLength"]:
+                return False
+        # objects
+        if isinstance(value, dict):
+            for name in schema.get("required", ()):
+                if name not in value:
+                    return False
+            properties = schema.get("properties", {})
+            for name, subvalue in value.items():
+                if name in properties:
+                    if not self._valid(
+                        properties[name], subvalue, depth + 1
+                    ):
+                        return False
+                else:
+                    additional = schema.get("additionalProperties", True)
+                    if additional is False:
+                        return False
+                    if isinstance(additional, dict):
+                        if not self._valid(additional, subvalue, depth + 1):
+                            return False
+        # arrays
+        if isinstance(value, list):
+            if "minItems" in schema and len(value) < schema["minItems"]:
+                return False
+            if "maxItems" in schema and len(value) > schema["maxItems"]:
+                return False
+            items = schema.get("items")
+            if isinstance(items, (dict, bool)):
+                if not all(
+                    self._valid(items, item, depth + 1) for item in value
+                ):
+                    return False
+            elif isinstance(items, list):
+                for item, subschema in zip(value, items):
+                    if not self._valid(subschema, item, depth + 1):
+                        return False
+        # combinators
+        for subschema in schema.get("allOf", ()):
+            if not self._valid(subschema, value, depth + 1):
+                return False
+        if "anyOf" in schema:
+            if not any(
+                self._valid(s, value, depth + 1) for s in schema["anyOf"]
+            ):
+                return False
+        if "oneOf" in schema:
+            matches = sum(
+                self._valid(s, value, depth + 1) for s in schema["oneOf"]
+            )
+            if matches != 1:
+                return False
+        if "not" in schema:
+            if self._valid(schema["not"], value, depth + 1):
+                return False
+        return True
+
+    # -- structural walks ---------------------------------------------------------------
+
+    def _subschemas(self, schema: Any):
+        """Immediate subschemas of a schema object (not following $ref)."""
+        if not isinstance(schema, dict):
+            return
+        for name in ("items", "additionalProperties", "not"):
+            sub = schema.get(name)
+            if isinstance(sub, (dict, bool)):
+                yield sub
+            elif isinstance(sub, list):
+                yield from sub
+        for name in ("allOf", "anyOf", "oneOf"):
+            for sub in schema.get(name, ()):
+                yield sub
+        for container in ("properties", "definitions", "$defs"):
+            for sub in schema.get(container, {}).values():
+                yield sub
+
+    def walk(self):
+        """All schema objects in the document (pre-order)."""
+        stack = [self.document]
+        while stack:
+            node = stack.pop()
+            yield node
+            stack.extend(
+                sub for sub in self._subschemas(node) if sub is not True
+                and sub is not False
+            )
+
+    # -- the Maiwald et al. metrics --------------------------------------------------------
+
+    def size(self) -> int:
+        """Number of schema objects (the study's size metric)."""
+        return sum(1 for _node in self.walk())
+
+    def types_used(self) -> Set[str]:
+        out: Set[str] = set()
+        for node in self.walk():
+            declared = node.get("type") if isinstance(node, dict) else None
+            if isinstance(declared, str):
+                out.add(declared)
+            elif isinstance(declared, list):
+                out.update(declared)
+        return out
+
+    def _reference_edges(self) -> Dict[str, Set[str]]:
+        """Edges between definition anchors via $ref (for recursion)."""
+
+        def refs_in(schema: Any) -> Set[str]:
+            out: Set[str] = set()
+            stack = [schema]
+            while stack:
+                node = stack.pop()
+                if isinstance(node, dict):
+                    if "$ref" in node:
+                        out.add(node["$ref"])
+                    for sub in self._subschemas(node):
+                        stack.append(sub)
+            return out
+
+        edges: Dict[str, Set[str]] = {"#": set()}
+        anchors: Dict[str, Any] = {"#": self.document}
+        if isinstance(self.document, dict):
+            for container in ("definitions", "$defs"):
+                for name, sub in self.document.get(container, {}).items():
+                    anchors[f"#/{container}/{name}"] = sub
+        for anchor, schema in anchors.items():
+            if anchor == "#":
+                # the root's direct refs, excluding definition bodies
+                shallow = dict(self.document)
+                shallow.pop("definitions", None)
+                shallow.pop("$defs", None)
+                edges[anchor] = refs_in(shallow)
+            else:
+                edges[anchor] = refs_in(schema)
+        return edges
+
+    def is_recursive(self) -> bool:
+        """Whether the $ref graph has a cycle (26/159 in the study)."""
+        edges = self._reference_edges()
+        WHITE, GRAY, BLACK = 0, 1, 2
+        color = {anchor: WHITE for anchor in edges}
+
+        def visit(anchor: str) -> bool:
+            color[anchor] = GRAY
+            for target in edges.get(anchor, ()):
+                if target not in color:
+                    continue  # dangling ref: treated as leaf
+                if color[target] == GRAY:
+                    return True
+                if color[target] == WHITE and visit(target):
+                    return True
+            color[anchor] = BLACK
+            return False
+
+        return any(
+            visit(anchor)
+            for anchor in edges
+            if color[anchor] == WHITE
+        )
+
+    def max_nesting_depth(self, limit: int = 300) -> Opt[int]:
+        """Maximum instance nesting depth the schema allows; ``None``
+        when recursive (unbounded).  3–43 in the study, average 11."""
+        if self.is_recursive():
+            return None
+
+        def depth_of(schema: Any, seen: int) -> int:
+            if seen > limit:
+                raise SchemaError("schema deeper than limit")
+            if not isinstance(schema, dict):
+                return 1
+            if "$ref" in schema:
+                return depth_of(self.resolve_ref(schema["$ref"]), seen + 1)
+            best = 1
+            nested = []
+            for name in ("properties",):
+                nested.extend(schema.get(name, {}).values())
+            items = schema.get("items")
+            if isinstance(items, (dict,)):
+                nested.append(items)
+            elif isinstance(items, list):
+                nested.extend(items)
+            additional = schema.get("additionalProperties")
+            if isinstance(additional, dict):
+                nested.append(additional)
+            for sub in nested:
+                best = max(best, 1 + depth_of(sub, seen + 1))
+            for combinator in ("allOf", "anyOf", "oneOf"):
+                for sub in schema.get(combinator, ()):
+                    best = max(best, depth_of(sub, seen + 1))
+            return best
+
+        return depth_of(self.document, 0)
+
+    def is_schema_full(self) -> bool:
+        """Schema-full: the root (and every object schema) forbids
+        additional properties.  JSON Schema is schema-mixed by default;
+        the study found explicit schema-full mode in only 8/159 schemas.
+        We report the root-level setting, as the study did."""
+        if not isinstance(self.document, dict):
+            return False
+        return self.document.get("additionalProperties") is False
+
+    def uses_negation(self) -> bool:
+        """Whether ``not`` occurs anywhere (2.6% of schemas in the
+        Baazizi et al. study)."""
+        return any(
+            isinstance(node, dict) and "not" in node
+            for node in self.walk()
+        )
+
+    def negation_patterns(self) -> List[str]:
+        """Classify the ``not`` usages the way Baazizi et al. did:
+        'forbidden' (not-required: a workaround for a missing keyword),
+        'implication' (inside anyOf: ¬x ∨ y), or 'other'."""
+        patterns: List[str] = []
+        for node in self.walk():
+            if not isinstance(node, dict):
+                continue
+            if "not" in node:
+                negated = node["not"]
+                if isinstance(negated, dict) and set(negated) <= {
+                    "required"
+                }:
+                    patterns.append("forbidden")
+                else:
+                    patterns.append("other")
+            for sub in node.get("anyOf", ()):
+                if isinstance(sub, dict) and "not" in sub:
+                    patterns.append("implication")
+        return patterns
+
+
+def schema_report(schema: JSONSchema) -> Dict[str, object]:
+    """The per-schema record of the Maiwald et al. study."""
+    recursive = schema.is_recursive()
+    return {
+        "size": schema.size(),
+        "types": sorted(schema.types_used()),
+        "recursive": recursive,
+        "max_nesting_depth": (
+            None if recursive else schema.max_nesting_depth()
+        ),
+        "schema_full": schema.is_schema_full(),
+        "uses_negation": schema.uses_negation(),
+        "negation_patterns": schema.negation_patterns(),
+    }
+
+
+# ---------------------------------------------------------------------------
+# Corpus generation (the SchemaStore substitute, DESIGN.md §2)
+# ---------------------------------------------------------------------------
+
+
+def random_json_schema(
+    rng,
+    recursive_rate: float = 0.16,
+    schema_full_rate: float = 0.05,
+    negation_rate: float = 0.026,
+    max_depth: int = 6,
+) -> JSONSchema:
+    """A random JSON Schema with the study's headline rates as targets
+    (26/159 ≈ 16% recursive, 8/159 ≈ 5% schema-full, 2.6% negation)."""
+
+    def leaf() -> dict:
+        kind = rng.choice(["string", "integer", "number", "boolean"])
+        schema: dict = {"type": kind}
+        if kind == "string" and rng.random() < 0.3:
+            schema["maxLength"] = rng.randint(5, 100)
+        if kind in ("integer", "number") and rng.random() < 0.3:
+            schema["minimum"] = 0
+        return schema
+
+    def build(depth: int) -> dict:
+        if depth >= max_depth or rng.random() < 0.35:
+            return leaf()
+        if rng.random() < 0.25:
+            return {"type": "array", "items": build(depth + 1)}
+        properties = {
+            f"field{i}": build(depth + 1)
+            for i in range(rng.randint(1, 4))
+        }
+        schema: dict = {"type": "object", "properties": properties}
+        names = list(properties)
+        if names and rng.random() < 0.6:
+            schema["required"] = rng.sample(
+                names, rng.randint(1, len(names))
+            )
+        return schema
+
+    document = build(0)
+    if rng.random() < negation_rate:
+        document.setdefault("properties", {})["flag"] = {
+            "not": {"required": ["legacy"]}
+        }
+    if rng.random() < recursive_rate:
+        document["definitions"] = {
+            "node": {
+                "type": "object",
+                "properties": {
+                    "children": {
+                        "type": "array",
+                        "items": {"$ref": "#/definitions/node"},
+                    }
+                },
+            }
+        }
+        document.setdefault("properties", {})["tree"] = {
+            "$ref": "#/definitions/node"
+        }
+    if rng.random() < schema_full_rate:
+        document["additionalProperties"] = False
+    return JSONSchema(document)
+
+
+def corpus_study_json_schemas(schemas: List[JSONSchema]) -> Dict[str, object]:
+    """The aggregate Maiwald/Baazizi study over a schema corpus."""
+    reports = [schema_report(schema) for schema in schemas]
+    recursive = sum(1 for report in reports if report["recursive"])
+    depths = [
+        report["max_nesting_depth"]
+        for report in reports
+        if report["max_nesting_depth"] is not None
+    ]
+    return {
+        "schemas": len(reports),
+        "recursive": recursive,
+        "max_depth_range": (
+            (min(depths), max(depths)) if depths else (0, 0)
+        ),
+        "average_depth": sum(depths) / len(depths) if depths else 0.0,
+        "schema_full": sum(1 for r in reports if r["schema_full"]),
+        "negation_fraction": (
+            sum(1 for r in reports if r["uses_negation"]) / len(reports)
+            if reports
+            else 0.0
+        ),
+    }

@@ -1,0 +1,132 @@
+"""Calibrated random DTD corpora — the stand-in for the crawled schema
+collections of Choi and Bex et al. (DESIGN.md §2).
+
+The published corpus statistics the generator is calibrated to:
+
+* over 92% of content models are chain regular expressions and over 99%
+  are SOREs (Bex et al., Sections 4.2.2–4.2.3);
+* 35 of 60 DTDs are recursive (Choi, Section 4.1), and non-recursive
+  ones allow document depths up to 20;
+* content-model parse depths range from 1 to 9;
+* a small fraction of content models is non-deterministic, violating the
+  XML standard.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Dict, List, Optional as Opt
+
+from ..regex.ast import Concat, Regex, Star, Symbol, Union, star
+from ..regex.generators import ChareProfile, random_chare, random_regex
+from .dtd import DTD
+
+
+@dataclass
+class DTDCorpusProfile:
+    """Mixture parameters for :func:`random_dtd_corpus`.
+
+    Defaults reproduce the published rates: 92% CHARE content models,
+    99% SORE, ~58% recursive DTDs (Choi's 35/60).
+    """
+
+    num_labels_min: int = 4
+    num_labels_max: int = 12
+    chare_rate: float = 0.92
+    recursion_rate: float = 0.58
+    nondeterministic_rate: float = 0.05
+    chare_profile: Opt[ChareProfile] = None
+
+
+def random_dtd(
+    rng: random.Random, profile: Opt[DTDCorpusProfile] = None
+) -> DTD:
+    """One random DTD with the profile's content-model mixture.
+
+    Labels form a layered hierarchy (rules reference deeper labels),
+    which keeps the DTD non-recursive; with probability
+    ``recursion_rate`` one back-edge is added to a rule, making it
+    recursive the way real document schemas are (sections containing
+    sections, lists containing lists).
+    """
+    profile = profile or DTDCorpusProfile()
+    chare_profile = profile.chare_profile or ChareProfile()
+    num_labels = rng.randint(profile.num_labels_min, profile.num_labels_max)
+    labels = [f"e{i}" for i in range(num_labels)]
+    rules: Dict[str, Regex] = {}
+    for depth, label in enumerate(labels):
+        deeper = labels[depth + 1 :]
+        if not deeper:
+            break
+        if rng.random() < profile.chare_rate:
+            body = random_chare(deeper, rng, chare_profile)
+        else:
+            body = random_regex(deeper, depth=2, rng=rng)
+        rules[label] = body
+    if rng.random() < profile.recursion_rate and len(labels) >= 2:
+        # add one back edge: some deep label may contain the root again
+        deep_label = labels[-1]
+        rules[deep_label] = star(Symbol(labels[0]))
+    if rng.random() < profile.nondeterministic_rate:
+        # inject the paper's canonical non-deterministic content model
+        victims = [label for label in rules]
+        if victims:
+            victim = rng.choice(victims)
+            targets = sorted(rules[victim].alphabet()) or [labels[-1]]
+            a = targets[0]
+            b = targets[-1]
+            rules[victim] = Concat(
+                (Star(Union((Symbol(a), Symbol(b)))), Symbol(a))
+            )
+    return DTD(rules, frozenset([labels[0]]))
+
+
+def random_dtd_corpus(
+    size: int,
+    seed: int = 0,
+    profile: Opt[DTDCorpusProfile] = None,
+) -> List[DTD]:
+    """A corpus of random DTDs with the calibrated mixture."""
+    rng = random.Random(seed)
+    return [random_dtd(rng, profile) for _ in range(size)]
+
+
+def corpus_statistics(corpus: List[DTD]) -> Dict[str, float]:
+    """The Choi/Bex-style corpus report: recursion rate, CHARE/SORE/
+    determinism rates over all content models, and depth statistics."""
+    from ..regex.classes import is_chare, is_sore
+    from ..regex.determinism import is_deterministic
+
+    total_rules = 0
+    chare_rules = 0
+    sore_rules = 0
+    deterministic_rules = 0
+    parse_depths: List[int] = []
+    recursive = 0
+    max_depths: List[int] = []
+    for dtd in corpus:
+        if dtd.is_recursive():
+            recursive += 1
+        else:
+            depth = dtd.max_document_depth()
+            if depth is not None:
+                max_depths.append(depth)
+        for body in dtd.rules.values():
+            total_rules += 1
+            chare_rules += is_chare(body)
+            sore_rules += is_sore(body)
+            deterministic_rules += is_deterministic(body)
+            parse_depths.append(body.parse_depth())
+    return {
+        "dtds": len(corpus),
+        "recursive_fraction": recursive / len(corpus) if corpus else 0.0,
+        "rules": total_rules,
+        "chare_fraction": chare_rules / total_rules if total_rules else 0.0,
+        "sore_fraction": sore_rules / total_rules if total_rules else 0.0,
+        "deterministic_fraction": (
+            deterministic_rules / total_rules if total_rules else 0.0
+        ),
+        "max_parse_depth": max(parse_depths, default=0),
+        "max_document_depth": max(max_depths, default=0),
+    }

@@ -1,0 +1,260 @@
+"""Tree patterns (twig queries) and a small navigational XPath fragment
+(Section 5).
+
+The Baelde et al. and Pasqua studies analyze XPath corpora by size,
+axes used, and membership in fragments (positive XPath, downward XPath,
+tree patterns).  This module implements the navigational core those
+studies strip queries down to:
+
+* :class:`XPathQuery` — an absolute location path with ``child`` and
+  ``descendant`` axes, label or wildcard node tests, and nested
+  predicates (``[...]``), i.e. *tree patterns* / twig queries;
+* evaluation over :class:`~repro.trees.tree.Tree` (returns matching
+  nodes in document order);
+* the classification functions used for corpus studies:
+  :func:`axes_used`, :func:`is_downward`, :func:`is_tree_pattern`,
+  :func:`syntax_size`.
+
+Grammar (a strict subset of XPath 1.0 abbreviated syntax)::
+
+    path       := ('/' | '//') step (('/' | '//') step)*
+    step       := nodetest predicate*
+    nodetest   := NAME | '*'
+    predicate  := '[' relpath ']'
+    relpath    := step (('/' | '//') step)*
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterator, List, Sequence, Set, Tuple
+
+from ..errors import ParseError
+from .tree import Tree, TreeNode
+
+CHILD = "child"
+DESCENDANT = "descendant"
+ATTRIBUTE = "attribute"
+
+
+@dataclass(frozen=True)
+class Step:
+    """One location step: axis, node test, and predicate subpatterns.
+
+    The attribute axis (``@name``) selects the *owning element* when it
+    carries the attribute — attributes are not nodes in our tree
+    abstraction (Example 3.1 discusses this modelling choice), so
+    ``//book/@id`` returns the books that have an ``id``.
+    """
+
+    axis: str  # CHILD, DESCENDANT or ATTRIBUTE
+    test: str  # element name, attribute name, or '*'
+    predicates: Tuple["RelativePath", ...] = ()
+
+    def test_matches(self, node: TreeNode) -> bool:
+        if self.axis == ATTRIBUTE:
+            return self.test == "*" or self.test in node.attributes
+        return self.test == "*" or node.label == self.test
+
+
+@dataclass(frozen=True)
+class RelativePath:
+    """A predicate path, evaluated existentially from a context node."""
+
+    steps: Tuple[Step, ...]
+
+    def holds_at(self, node: TreeNode) -> bool:
+        return any(True for _ in _evaluate_steps([node], self.steps))
+
+
+@dataclass(frozen=True)
+class XPathQuery:
+    """An absolute navigational XPath query (a twig / tree pattern when
+    it has no wildcards beyond the allowed ones — see
+    :func:`is_tree_pattern`)."""
+
+    steps: Tuple[Step, ...]
+
+    @classmethod
+    def parse(cls, text: str) -> "XPathQuery":
+        steps, pos = _parse_steps(text.strip(), 0, absolute=True)
+        if pos != len(text.strip()):
+            raise ParseError(
+                f"trailing characters in XPath query", position=pos
+            )
+        return cls(tuple(steps))
+
+    def evaluate(self, tree: Tree) -> List[TreeNode]:
+        """Matching nodes in document order."""
+        context = [tree.root]
+        # absolute paths start above the root: the first step selects from
+        # the root "document node", i.e. child::root or descendant nodes
+        matches = list(_evaluate_steps_absolute(tree, self.steps))
+        seen: Set[int] = set()
+        ordered: List[TreeNode] = []
+        order = {id(node): i for i, node in enumerate(tree.root.walk())}
+        for node in sorted(matches, key=lambda n: order[id(n)]):
+            if id(node) not in seen:
+                seen.add(id(node))
+                ordered.append(node)
+        return ordered
+
+    def __str__(self) -> str:
+        return _render_steps(self.steps, absolute=True)
+
+
+def _render_steps(steps: Sequence[Step], absolute: bool) -> str:
+    out = []
+    for i, step in enumerate(steps):
+        sep = "//" if step.axis == DESCENDANT else "/"
+        if i == 0 and not absolute and step.axis in (CHILD, ATTRIBUTE):
+            sep = ""
+        test = ("@" + step.test) if step.axis == ATTRIBUTE else step.test
+        out.append(sep + test)
+        for predicate in step.predicates:
+            out.append("[" + _render_steps(predicate.steps, False) + "]")
+    return "".join(out)
+
+
+def _parse_steps(
+    text: str, pos: int, absolute: bool
+) -> Tuple[List[Step], int]:
+    steps: List[Step] = []
+    n = len(text)
+    first = True
+    while pos < n and text[pos] != "]":
+        if text.startswith("//", pos):
+            axis, pos = DESCENDANT, pos + 2
+        elif text.startswith("/", pos):
+            axis, pos = CHILD, pos + 1
+        elif first and not absolute:
+            axis = CHILD
+        else:
+            break
+        first = False
+        if pos < n and text[pos] == "@":
+            axis = ATTRIBUTE
+            pos += 1
+        start = pos
+        while pos < n and (text[pos].isalnum() or text[pos] in "_-.*:"):
+            pos += 1
+        test = text[start:pos]
+        if not test:
+            raise ParseError("missing node test", position=pos)
+        predicates: List[RelativePath] = []
+        while pos < n and text[pos] == "[":
+            inner, pos = _parse_steps(text, pos + 1, absolute=False)
+            if pos >= n or text[pos] != "]":
+                raise ParseError("unterminated predicate", position=pos)
+            pos += 1
+            predicates.append(RelativePath(tuple(inner)))
+        steps.append(Step(axis, test, tuple(predicates)))
+    if not steps:
+        raise ParseError("empty path", position=pos)
+    return steps, pos
+
+
+def _axis_candidates(node: TreeNode, axis: str) -> Iterator[TreeNode]:
+    if axis == CHILD:
+        yield from node.children
+    elif axis == ATTRIBUTE:
+        # attribute steps filter the context node itself (see Step)
+        yield node
+    else:
+        stack = list(node.children)
+        while stack:
+            current = stack.pop()
+            yield current
+            stack.extend(current.children)
+
+
+def _evaluate_steps(
+    context: Sequence[TreeNode], steps: Sequence[Step]
+) -> Iterator[TreeNode]:
+    current = list(context)
+    for step in steps:
+        nxt: List[TreeNode] = []
+        for node in current:
+            for candidate in _axis_candidates(node, step.axis):
+                if step.test_matches(candidate) and all(
+                    predicate.holds_at(candidate)
+                    for predicate in step.predicates
+                ):
+                    nxt.append(candidate)
+        current = nxt
+    yield from current
+
+
+def _evaluate_steps_absolute(
+    tree: Tree, steps: Sequence[Step]
+) -> Iterator[TreeNode]:
+    """Absolute evaluation: the virtual document node has the root as its
+    only child (so '/a' matches an a-labeled root; '//a' matches any)."""
+    first, *rest = steps
+    seeds: List[TreeNode] = []
+    if first.axis == CHILD:
+        candidates: List[TreeNode] = [tree.root]
+    else:
+        candidates = list(tree.root.walk())
+    for candidate in candidates:
+        if first.test_matches(candidate) and all(
+            predicate.holds_at(candidate) for predicate in first.predicates
+        ):
+            seeds.append(candidate)
+    yield from _evaluate_steps(seeds, rest)
+
+
+# ---------------------------------------------------------------------------
+# Corpus-study classifiers (Section 5)
+# ---------------------------------------------------------------------------
+
+
+def axes_used(query: XPathQuery) -> Set[str]:
+    """The set of axes a query uses (the Baelde et al. axis census)."""
+    out: Set[str] = set()
+
+    def visit(steps: Sequence[Step]) -> None:
+        for step in steps:
+            out.add(step.axis)
+            for predicate in step.predicates:
+                visit(predicate.steps)
+
+    visit(query.steps)
+    return out
+
+
+def is_downward(query: XPathQuery) -> bool:
+    """Downward XPath: only child and descendant axes (attribute steps
+    fall outside the downward navigational fragment)."""
+    return axes_used(query) <= {CHILD, DESCENDANT}
+
+
+def is_tree_pattern(query: XPathQuery) -> bool:
+    """Tree patterns (twig queries): downward, no wildcard node tests on
+    branching steps — we use the common definition 'no * at all'."""
+
+    def visit(steps: Sequence[Step]) -> bool:
+        for step in steps:
+            if step.test == "*":
+                return False
+            for predicate in step.predicates:
+                if not visit(predicate.steps):
+                    return False
+        return True
+
+    return visit(query.steps)
+
+
+def syntax_size(query: XPathQuery) -> int:
+    """Number of nodes in the query's syntax tree (the size metric whose
+    distribution Baelde et al. found to follow a power law)."""
+
+    def visit(steps: Sequence[Step]) -> int:
+        total = 0
+        for step in steps:
+            total += 1
+            for predicate in step.predicates:
+                total += visit(predicate.steps)
+        return total
+
+    return visit(query.steps)

@@ -1,0 +1,142 @@
+"""Calibrated XPath query corpora — the stand-in for the Baelde et al.
+(21.1k queries) and Pasqua (95k expressions) corpora of Section 5.
+
+Published findings the generator targets and the study reproduces:
+
+* a power law on syntax-tree sizes: the majority of queries has size at
+  most 13, with a long tail (256 queries of size ≥ 100 in 21.1k);
+* axes used in 46.5% of expressions, dominated by child (31.1%) and
+  attribute (17.1%), with descendant(-or-self) at 3.6%;
+* over 90% of expressions are tree patterns (Pasqua), dropping to 68%
+  among the 10% largest ones.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass
+from typing import Dict, List, Optional as Opt, Tuple
+
+from .xpath import (
+    ATTRIBUTE,
+    CHILD,
+    DESCENDANT,
+    XPathQuery,
+    axes_used,
+    is_downward,
+    is_tree_pattern,
+    syntax_size,
+)
+
+
+@dataclass
+class XPathProfile:
+    """Mixture parameters for the XPath corpus generator."""
+
+    vocabulary: Tuple[str, ...] = (
+        "book",
+        "title",
+        "author",
+        "chapter",
+        "section",
+        "para",
+        "item",
+        "name",
+        "ref",
+        "note",
+    )
+    attributes: Tuple[str, ...] = ("id", "lang", "type", "href")
+    p_descendant_step: float = 0.2
+    p_attribute_final: float = 0.17
+    p_predicate: float = 0.25
+    p_wildcard: float = 0.04
+    # size: geometric body with a heavy tail
+    p_continue: float = 0.55
+    p_heavy_tail: float = 0.01
+    heavy_tail_length: Tuple[int, int] = (30, 60)
+
+
+class XPathGenerator:
+    """Generates XPath query texts matching the corpus statistics."""
+
+    def __init__(self, profile: Opt[XPathProfile] = None, rng=None):
+        self.profile = profile or XPathProfile()
+        self.rng = rng or random.Random()
+
+    def _name(self) -> str:
+        if self.rng.random() < self.profile.p_wildcard:
+            return "*"
+        return self.rng.choice(self.profile.vocabulary)
+
+    def _steps(self, count: int, allow_predicates: bool) -> str:
+        out: List[str] = []
+        for _ in range(count):
+            axis = (
+                "//"
+                if self.rng.random() < self.profile.p_descendant_step
+                else "/"
+            )
+            step = axis + self._name()
+            if (
+                allow_predicates
+                and self.rng.random() < self.profile.p_predicate
+            ):
+                if self.rng.random() < 0.5:
+                    step += f"[@{self.rng.choice(self.profile.attributes)}]"
+                else:
+                    step += f"[{self._name()}]"
+            out.append(step)
+        return "".join(out)
+
+    def generate(self) -> str:
+        rng = self.rng
+        profile = self.profile
+        if rng.random() < profile.p_heavy_tail:
+            length = rng.randint(*profile.heavy_tail_length)
+        else:
+            length = 1
+            while length < 25 and rng.random() < profile.p_continue:
+                length += 1
+        text = self._steps(length, allow_predicates=True)
+        if rng.random() < profile.p_attribute_final:
+            text += f"/@{rng.choice(profile.attributes)}"
+        return text
+
+    def generate_corpus(self, size: int) -> List[str]:
+        return [self.generate() for _ in range(size)]
+
+
+def xpath_corpus_study(texts: List[str]) -> Dict[str, object]:
+    """The Baelde/Pasqua-style analysis over a list of XPath texts."""
+    queries = [XPathQuery.parse(text) for text in texts]
+    sizes = sorted(syntax_size(query) for query in queries)
+    axis_counts = {CHILD: 0, DESCENDANT: 0, ATTRIBUTE: 0}
+    for query in queries:
+        for axis in axes_used(query):
+            axis_counts[axis] += 1
+    tree_patterns = sum(is_tree_pattern(query) for query in queries)
+    downward = sum(is_downward(query) for query in queries)
+    count = len(queries)
+    # Pasqua: the tree-pattern share drops among the largest queries
+    top_decile_cut = sizes[int(0.9 * count)] if count else 0
+    large = [
+        query for query in queries if syntax_size(query) >= top_decile_cut
+    ]
+    large_tree_patterns = sum(is_tree_pattern(query) for query in large)
+    return {
+        "queries": count,
+        "median_size": sizes[count // 2] if count else 0,
+        "size_at_most_13": sum(1 for s in sizes if s <= 13) / count
+        if count
+        else 0.0,
+        "max_size": sizes[-1] if sizes else 0,
+        "axis_fractions": {
+            axis: axis_counts[axis] / count if count else 0.0
+            for axis in axis_counts
+        },
+        "tree_pattern_fraction": tree_patterns / count if count else 0.0,
+        "tree_pattern_fraction_large": (
+            large_tree_patterns / len(large) if large else 0.0
+        ),
+        "downward_fraction": downward / count if count else 0.0,
+    }

@@ -1,0 +1,93 @@
+"""Tests for the synthetic graph generators (repro.graphs.generator)."""
+
+import random
+
+import pytest
+
+from repro.graphs.generator import (
+    foaf_rdf,
+    hierarchy_graph,
+    p2p_network,
+    rdf_from_graph,
+    road_network,
+    web_graph,
+)
+
+
+class TestRoadNetwork:
+    def test_size(self):
+        graph = road_network(5, 4, random.Random(0))
+        assert len(graph) == 20
+
+    def test_intact_grid_degrees(self):
+        graph = road_network(
+            4, 4, random.Random(0), extra_edge_rate=0, missing_edge_rate=0
+        )
+        degrees = sorted(len(neigh) for neigh in graph.values())
+        assert degrees[0] == 2  # corners
+        assert degrees[-1] == 4  # interior
+
+    def test_low_max_degree(self):
+        graph = road_network(12, 12, random.Random(1))
+        assert max(len(neigh) for neigh in graph.values()) <= 8
+
+
+class TestWebGraph:
+    def test_size_and_connectivity(self):
+        graph = web_graph(120, 3, random.Random(0))
+        assert len(graph) == 120
+        assert all(len(neigh) >= 1 for neigh in graph.values())
+
+    def test_new_nodes_have_m_edges(self):
+        graph = web_graph(50, 4, random.Random(1))
+        assert len(graph[49]) == 4
+
+    def test_rejects_tiny(self):
+        with pytest.raises(ValueError):
+            web_graph(3, 3)
+
+    def test_heavy_hub_emerges(self):
+        graph = web_graph(400, 2, random.Random(2))
+        degrees = sorted(len(neigh) for neigh in graph.values())
+        assert degrees[-1] > 10 * (sum(degrees) / len(degrees)) / 2
+
+
+class TestP2P:
+    def test_edge_count(self):
+        graph = p2p_network(100, 200, random.Random(0))
+        edges = sum(len(neigh) for neigh in graph.values()) // 2
+        assert edges == 200
+
+    def test_all_nodes_present(self):
+        graph = p2p_network(50, 10, random.Random(1))
+        assert len(graph) == 50
+
+
+class TestHierarchy:
+    def test_tree_plus_marriages(self):
+        graph = hierarchy_graph(100, random.Random(0))
+        edges = sum(len(neigh) for neigh in graph.values()) // 2
+        assert 99 <= edges <= 130  # tree edges + a few marriages
+
+    def test_pure_tree(self):
+        graph = hierarchy_graph(80, random.Random(1), marriage_rate=0)
+        edges = sum(len(neigh) for neigh in graph.values()) // 2
+        assert edges == 79
+
+
+class TestRDFWrappers:
+    def test_foaf_shape(self):
+        store = foaf_rdf(50, random.Random(0))
+        assert len(store.predicates()) == 4
+        assert len(store.subjects()) == 50
+
+    def test_rdf_from_graph_roundtrip(self):
+        graph = p2p_network(20, 30, random.Random(3))
+        store = rdf_from_graph(graph)
+        edges = sum(len(neigh) for neigh in graph.values()) // 2
+        assert len(store) == edges
+
+    def test_reproducibility(self):
+        g1 = web_graph(60, 2, random.Random(9))
+        g2 = web_graph(60, 2, random.Random(9))
+        assert g1 == g2

@@ -1,0 +1,126 @@
+"""Tests for the triple store and RDF metrics (repro.graphs.rdf)."""
+
+import random
+
+from repro.graphs.generator import foaf_rdf
+from repro.graphs.rdf import TripleStore
+
+
+def small_store() -> TripleStore:
+    return TripleStore(
+        [
+            ("a", "p", "b"),
+            ("a", "q", "c"),
+            ("b", "p", "c"),
+            ("d", "p", "b"),
+        ]
+    )
+
+
+class TestStore:
+    def test_len_and_contains(self):
+        store = small_store()
+        assert len(store) == 4
+        assert ("a", "p", "b") in store
+        assert ("a", "p", "c") not in store
+
+    def test_duplicate_add_ignored(self):
+        store = small_store()
+        assert not store.add("a", "p", "b")
+        assert len(store) == 4
+
+    def test_pattern_all_bound(self):
+        assert list(small_store().triples("a", "p", "b")) == [("a", "p", "b")]
+        assert list(small_store().triples("a", "p", "x")) == []
+
+    def test_pattern_subject_only(self):
+        triples = set(small_store().triples(s="a"))
+        assert triples == {("a", "p", "b"), ("a", "q", "c")}
+
+    def test_pattern_predicate_only(self):
+        triples = set(small_store().triples(p="p"))
+        assert len(triples) == 3
+
+    def test_pattern_object_only(self):
+        triples = set(small_store().triples(o="b"))
+        assert triples == {("a", "p", "b"), ("d", "p", "b")}
+
+    def test_pattern_object_and_predicate(self):
+        triples = set(small_store().triples(p="p", o="c"))
+        assert triples == {("b", "p", "c")}
+
+    def test_full_scan(self):
+        assert len(list(small_store().triples())) == 4
+
+    def test_sets(self):
+        store = small_store()
+        assert store.subjects() == {"a", "b", "d"}
+        assert store.predicates() == {"p", "q"}
+        assert store.objects() == {"b", "c"}
+        assert store.nodes() == {"a", "b", "c", "d"}
+
+    def test_navigation(self):
+        store = small_store()
+        assert store.successors("a", "p") == {"b"}
+        assert store.predecessors("b", "p") == {"a", "d"}
+        assert set(store.out_edges("a")) == {("p", "b"), ("q", "c")}
+        assert set(store.in_edges("c")) == {("q", "a"), ("p", "b")}
+
+
+class TestMetrics:
+    def test_overlap_zero_when_disjoint(self):
+        store = small_store()
+        assert store.predicate_subject_overlap() == 0.0
+        assert store.predicate_object_overlap() == 0.0
+
+    def test_overlap_nonzero_when_predicate_is_subject(self):
+        store = small_store()
+        store.add("p", "q", "x")  # predicate p used as subject
+        assert store.predicate_subject_overlap() > 0.0
+
+    def test_predicate_lists(self):
+        lists = small_store().predicate_lists()
+        assert lists["a"] == frozenset({"p", "q"})
+        assert lists["b"] == frozenset({"p"})
+
+    def test_degrees(self):
+        store = small_store()
+        assert store.out_degrees()["a"] == 2
+        assert store.in_degrees()["b"] == 2
+
+    def test_multiplicities(self):
+        store = TripleStore(
+            [("s", "p", "o1"), ("s", "p", "o2"), ("s2", "p", "o1")]
+        )
+        assert sorted(store.sp_multiplicities()) == [1, 2]
+        assert sorted(store.po_multiplicities()) == [1, 2]
+
+    def test_dataset_report_keys(self):
+        report = small_store().dataset_report()
+        for key in ("triples", "ps_overlap", "sp_mean", "max_in_degree"):
+            assert key in report
+        assert report["triples"] == 4.0
+
+    def test_undirected_adjacency(self):
+        adjacency = small_store().undirected_adjacency()
+        assert "a" in adjacency["b"] and "b" in adjacency["a"]
+
+
+class TestFoafCalibration:
+    """The generated FOAF data must reproduce the Section 7 findings."""
+
+    def test_predicate_lists_concentrate(self):
+        store = foaf_rdf(200, random.Random(1))
+        # nearly every person has the same predicate list
+        assert store.predicate_list_concentration() > 0.9
+        assert store.distinct_predicate_lists() <= 3
+
+    def test_sp_mostly_functional(self):
+        store = foaf_rdf(200, random.Random(2))
+        multiplicities = store.sp_multiplicities()
+        ones = sum(1 for m in multiplicities if m == 1)
+        assert ones / len(multiplicities) > 0.6
+
+    def test_overlaps_zero(self):
+        store = foaf_rdf(100, random.Random(3))
+        assert store.predicate_subject_overlap() == 0.0

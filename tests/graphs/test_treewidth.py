@@ -1,0 +1,188 @@
+"""Tests for treewidth bounds (repro.graphs.treewidth)."""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.graphs.generator import (
+    hierarchy_graph,
+    p2p_network,
+    road_network,
+    web_graph,
+)
+from repro.graphs.treewidth import (
+    TreeDecomposition,
+    exact_treewidth_small,
+    is_valid_decomposition,
+    lower_bound_degeneracy,
+    lower_bound_mmd_plus,
+    make_graph,
+    treewidth_interval,
+    upper_bound_min_degree,
+    upper_bound_min_fill,
+)
+
+
+def cycle(n):
+    return make_graph([(i, (i + 1) % n) for i in range(n)])
+
+
+def clique(n):
+    return make_graph(
+        [(i, j) for i in range(n) for j in range(i + 1, n)]
+    )
+
+
+def path(n):
+    return make_graph([(i, i + 1) for i in range(n - 1)])
+
+
+def grid(n):
+    edges = []
+    for y in range(n):
+        for x in range(n):
+            if x + 1 < n:
+                edges.append((y * n + x, y * n + x + 1))
+            if y + 1 < n:
+                edges.append((y * n + x, (y + 1) * n + x))
+    return make_graph(edges)
+
+
+class TestKnownValues:
+    def test_tree_has_width_one(self):
+        lower = lower_bound_degeneracy(path(10))
+        upper, _dec = upper_bound_min_degree(path(10))
+        assert lower == 1 and upper == 1
+
+    def test_cycle_has_width_two(self):
+        interval = treewidth_interval(cycle(8))
+        assert interval.lower == 2
+        assert interval.upper == 2
+
+    def test_clique_width_n_minus_one(self):
+        interval = treewidth_interval(clique(6))
+        assert interval.lower == 5
+        assert interval.upper == 5
+
+    def test_grid_bounds_bracket_truth(self):
+        # tw of n x n grid is exactly n
+        interval = treewidth_interval(grid(4))
+        assert interval.lower <= 4 <= interval.upper
+        assert interval.upper <= 6  # heuristics stay close on grids
+
+    def test_empty_and_singleton(self):
+        assert upper_bound_min_degree({})[0] == 0
+        single = {0: set()}
+        assert lower_bound_degeneracy(single) == 0
+        upper, dec = upper_bound_min_degree(single)
+        assert upper == 0
+        assert is_valid_decomposition(single, dec)
+
+
+class TestDecompositionValidity:
+    @pytest.mark.parametrize("builder", [cycle, clique, grid, path])
+    def test_min_degree_decompositions_valid(self, builder):
+        graph = builder(5)
+        width, decomposition = upper_bound_min_degree(graph)
+        assert is_valid_decomposition(graph, decomposition)
+        assert decomposition.width == width
+
+    @pytest.mark.parametrize("builder", [cycle, clique, grid])
+    def test_min_fill_decompositions_valid(self, builder):
+        graph = builder(5)
+        width, decomposition = upper_bound_min_fill(graph)
+        assert is_valid_decomposition(graph, decomposition)
+        assert decomposition.width == width
+
+    def test_invalid_decomposition_detected(self):
+        graph = make_graph([(0, 1), (1, 2)])
+        # bag set missing the edge (1, 2)
+        bad = TreeDecomposition(
+            [frozenset({0, 1}), frozenset({2})], [(0, 1)]
+        )
+        assert not is_valid_decomposition(graph, bad)
+
+    def test_disconnected_occurrence_detected(self):
+        graph = make_graph([(0, 1)])
+        bad = TreeDecomposition(
+            [frozenset({0, 1}), frozenset({5})], []
+        )
+        assert not is_valid_decomposition(graph, bad)
+
+
+class TestExactSmall:
+    @pytest.mark.parametrize(
+        "builder,expected",
+        [
+            (lambda: path(6), 1),
+            (lambda: cycle(6), 2),
+            (lambda: clique(5), 4),
+            (lambda: grid(3), 3),
+        ],
+    )
+    def test_known_graphs(self, builder, expected):
+        assert exact_treewidth_small(builder()) == expected
+
+    def test_size_limit(self):
+        with pytest.raises(ValueError):
+            exact_treewidth_small(clique(13), limit=12)
+
+    @settings(max_examples=25, deadline=None)
+    @given(st.integers(0, 10**9))
+    def test_heuristics_bracket_exact(self, seed):
+        rng = random.Random(seed)
+        n = rng.randint(3, 8)
+        edges = []
+        for i in range(n):
+            for j in range(i + 1, n):
+                if rng.random() < 0.4:
+                    edges.append((i, j))
+        graph = make_graph(edges)
+        for i in range(n):
+            graph.setdefault(i, set())
+        exact = exact_treewidth_small(graph)
+        interval = treewidth_interval(graph)
+        assert interval.lower <= exact <= interval.upper
+        # upper bounds must be certified by a valid decomposition
+        width, decomposition = upper_bound_min_fill(graph)
+        assert is_valid_decomposition(graph, decomposition)
+
+
+class TestTable1Shape:
+    """The qualitative ordering of Table 1 must reproduce: hierarchy ≪
+    road ≪ web-like (relative to size)."""
+
+    def test_hierarchy_tiny(self):
+        graph = hierarchy_graph(300, random.Random(1))
+        interval = treewidth_interval(graph)
+        assert interval.upper <= 6
+
+    def test_road_moderate(self):
+        graph = road_network(10, 10, random.Random(2))
+        interval = treewidth_interval(graph)
+        assert 2 <= interval.upper <= 20
+
+    def test_web_large(self):
+        graph = web_graph(200, 3, random.Random(3))
+        road = road_network(14, 14, random.Random(4))
+        web_interval = treewidth_interval(graph)
+        road_interval = treewidth_interval(road)
+        # the web-like graph has (relative to its size) far larger width
+        assert web_interval.lower > road_interval.lower
+
+    def test_p2p_between(self):
+        graph = p2p_network(200, 450, random.Random(5))
+        interval = treewidth_interval(graph)
+        assert interval.lower >= 2
+
+
+class TestLowerBounds:
+    def test_mmd_plus_at_least_degeneracy_on_grids(self):
+        graph = grid(5)
+        assert lower_bound_mmd_plus(graph) >= lower_bound_degeneracy(graph)
+
+    def test_bounds_on_clique_are_tight(self):
+        graph = clique(7)
+        assert lower_bound_degeneracy(graph) == 6
+        assert lower_bound_mmd_plus(graph) == 6

@@ -1,0 +1,95 @@
+"""Tests for the study orchestration (repro.core.study)."""
+
+import pytest
+
+from repro.core.study import PracticalStudy, StudyScale, perspective_note
+
+
+@pytest.fixture(scope="module")
+def study() -> PracticalStudy:
+    instance = PracticalStudy(StudyScale(queries_per_source=80, seed=42))
+    instance.analyze()
+    return instance
+
+
+class TestStudy:
+    def test_corpora_built(self, study):
+        assert len(study.corpora) == 6
+        assert "DBpedia" in study.corpora
+        assert "WikiRobot" in study.corpora
+
+    def test_all_experiments_run(self, study):
+        results = study.run_all()
+        assert set(results) == set(study.experiments())
+        for text in results.values():
+            assert text.strip()
+
+    def test_unknown_experiment(self, study):
+        with pytest.raises(KeyError):
+            study.run("table99")
+
+    def test_table2_totals_consistent(self, study):
+        table = study.run("table2")
+        assert "Total" in table
+        total_row = [
+            line
+            for line in table.splitlines()
+            if line.strip().startswith("Total")
+        ][0]
+        assert "480" in total_row  # 6 sources x 80 queries
+
+    def test_family_reports(self, study):
+        dbpedia = study.family_report("dbpedia")
+        wikidata = study.family_report("wikidata")
+        assert dbpedia.valid > 0 and wikidata.valid > 0
+        # the paper's headline contrast: property paths are prominent in
+        # Wikidata and negligible in the DBpedia family
+        wd_paths = wikidata.features.valid.get("PropertyPath", 0)
+        db_paths = dbpedia.features.valid.get("PropertyPath", 0)
+        assert wd_paths / max(wikidata.valid, 1) > 0.1
+        assert db_paths / max(dbpedia.valid, 1) < 0.05
+
+    def test_perspective_note(self, study):
+        note = perspective_note(study.family_report("dbpedia"))
+        assert "conjunctive" in note
+        assert "at most one triple pattern" in note
+
+    def test_reproducibility(self):
+        a = PracticalStudy(StudyScale(queries_per_source=30, seed=5))
+        b = PracticalStudy(StudyScale(queries_per_source=30, seed=5))
+        a.analyze()
+        b.analyze()
+        assert a.run("table2") == b.run("table2")
+        assert a.run("table4") == b.run("table4")
+
+
+class TestQualitativeShape:
+    """The paper's headline findings must reproduce qualitatively."""
+
+    def test_cq_f_dominates_dbpedia(self, study):
+        report = study.family_report("dbpedia")
+        cqf_v, _ = report.cq_f_subtotal()
+        assert cqf_v / report.valid > 0.3
+
+    def test_star_and_chain_dominate_shapes(self, study):
+        report = study.family_report("dbpedia")
+        counter = report.shapes_with_constants
+        valid_total, _ = counter.totals()
+        simple = sum(
+            counter.valid.get(shape, 0)
+            for shape in ("no-edge", "le-1-edge", "chain", "star")
+        )
+        assert valid_total == 0 or simple / valid_total > 0.8
+
+    def test_a_star_dominates_wikidata_paths(self, study):
+        report = study.family_report("wikidata")
+        buckets = report.path_buckets
+        valid_total, _ = buckets.totals()
+        assert valid_total > 0
+        assert buckets.valid.get("a*", 0) / valid_total > 0.3
+
+    def test_most_queries_acyclic(self, study):
+        report = study.family_report("dbpedia")
+        valid_total, _ = report.htw.totals()
+        if valid_total:
+            assert report.htw.valid.get(1, 0) / valid_total > 0.9

@@ -1,0 +1,99 @@
+"""Tests for the workload generators (repro.logs.workload)."""
+
+import random
+
+import pytest
+
+from repro.errors import SPARQLParseError
+from repro.logs.workload import (
+    ALL_PROFILES,
+    DBPEDIA,
+    QueryGenerator,
+    SourceProfile,
+    WIKIDATA_ROBOTIC,
+    generate_source_log,
+)
+from repro.sparql.parser import parse_query
+
+
+class TestValidGeneration:
+    @pytest.mark.parametrize("profile", ALL_PROFILES, ids=lambda p: p.name)
+    def test_generated_queries_parse(self, profile):
+        generator = QueryGenerator(profile, random.Random(11))
+        for _ in range(60):
+            text = generator.generate_valid()
+            parse_query(text)  # must not raise
+
+    def test_reproducible(self):
+        log1 = generate_source_log(DBPEDIA, 50, seed=3)
+        log2 = generate_source_log(DBPEDIA, 50, seed=3)
+        assert log1 == log2
+
+    def test_different_seeds_differ(self):
+        assert generate_source_log(DBPEDIA, 50, seed=1) != generate_source_log(
+            DBPEDIA, 50, seed=2
+        )
+
+
+class TestInvalidGeneration:
+    def test_invalid_queries_fail_to_parse(self):
+        generator = QueryGenerator(DBPEDIA, random.Random(5))
+        broken = 0
+        for _ in range(30):
+            text = generator.generate_invalid()
+            try:
+                parse_query(text)
+            except SPARQLParseError:
+                broken += 1
+        # every produced entry is checked against the parser
+        assert broken == 30
+
+    def test_log_mixes_invalid(self):
+        log = generate_source_log(
+            SourceProfile(name="x", invalid_rate=0.5), 100, seed=4
+        )
+        failures = 0
+        for text in log:
+            try:
+                parse_query(text)
+            except SPARQLParseError:
+                failures += 1
+        assert 30 <= failures <= 60
+
+
+class TestCalibration:
+    def test_wikidata_has_property_paths(self):
+        from repro.sparql.features import uses_property_paths
+
+        generator = QueryGenerator(WIKIDATA_ROBOTIC, random.Random(6))
+        with_paths = 0
+        for _ in range(150):
+            query = parse_query(generator.generate_valid())
+            if uses_property_paths(query):
+                with_paths += 1
+        # calibrated to ~24%
+        assert 15 <= with_paths <= 70
+
+    def test_dbpedia_rarely_has_property_paths(self):
+        from repro.sparql.features import uses_property_paths
+
+        generator = QueryGenerator(DBPEDIA, random.Random(7))
+        with_paths = sum(
+            uses_property_paths(parse_query(generator.generate_valid()))
+            for _ in range(150)
+        )
+        assert with_paths <= 8
+
+    def test_small_queries_dominate(self):
+        from repro.sparql.features import count_triple_patterns
+
+        generator = QueryGenerator(DBPEDIA, random.Random(8))
+        counts = [
+            count_triple_patterns(parse_query(generator.generate_valid()))
+            for _ in range(200)
+        ]
+        small = sum(1 for c in counts if c <= 2)
+        assert small / len(counts) >= 0.5
+
+    def test_log_size(self):
+        assert len(generate_source_log(DBPEDIA, 77, seed=0)) == 77

@@ -1,0 +1,197 @@
+"""Tests for the regular-expression AST (repro.regex.ast)."""
+
+import pytest
+
+from repro.regex.ast import (
+    EMPTY,
+    EPSILON,
+    Concat,
+    Optional,
+    Plus,
+    Star,
+    Symbol,
+    Union,
+    concat,
+    literal,
+    optional,
+    plus,
+    shortest_word_length,
+    star,
+    union,
+    word,
+)
+
+
+class TestNodeBasics:
+    def test_symbol_alphabet(self):
+        assert Symbol("a").alphabet() == frozenset({"a"})
+
+    def test_concat_alphabet(self):
+        expr = Concat((Symbol("a"), Symbol("b"), Symbol("a")))
+        assert expr.alphabet() == frozenset({"a", "b"})
+
+    def test_empty_and_epsilon_alphabets(self):
+        assert EMPTY.alphabet() == frozenset()
+        assert EPSILON.alphabet() == frozenset()
+
+    def test_size_counts_nodes(self):
+        expr = Concat((Symbol("a"), Star(Symbol("b"))))
+        # Concat + a + Star + b
+        assert expr.size() == 4
+
+    def test_parse_depth_leaf(self):
+        assert Symbol("a").parse_depth() == 1
+
+    def test_parse_depth_nested(self):
+        expr = Star(Union((Symbol("a"), Symbol("b"))))
+        assert expr.parse_depth() == 3
+
+    def test_star_height(self):
+        assert Symbol("a").star_height() == 0
+        assert Star(Symbol("a")).star_height() == 1
+        assert Star(Concat((Symbol("a"), Plus(Symbol("b"))))).star_height() == 2
+        assert Optional(Symbol("a")).star_height() == 0
+
+    def test_occurrence_counts(self):
+        expr = Concat((Symbol("a"), Star(Symbol("b")), Symbol("a")))
+        assert expr.occurrence_counts() == {"a": 2, "b": 1}
+
+    def test_hashable_and_equal(self):
+        e1 = Concat((Symbol("a"), Symbol("b")))
+        e2 = Concat((Symbol("a"), Symbol("b")))
+        assert e1 == e2
+        assert hash(e1) == hash(e2)
+        assert len({e1, e2}) == 1
+
+    def test_concat_requires_two_parts(self):
+        with pytest.raises(ValueError):
+            Concat((Symbol("a"),))
+
+    def test_union_requires_two_parts(self):
+        with pytest.raises(ValueError):
+            Union((Symbol("a"),))
+
+
+class TestNullability:
+    @pytest.mark.parametrize(
+        "expr,expected",
+        [
+            (EMPTY, False),
+            (EPSILON, True),
+            (Symbol("a"), False),
+            (Star(Symbol("a")), True),
+            (Plus(Symbol("a")), False),
+            (Plus(Star(Symbol("a"))), True),
+            (Optional(Symbol("a")), True),
+            (Concat((Symbol("a"), Star(Symbol("b")))), False),
+            (Concat((Optional(Symbol("a")), Star(Symbol("b")))), True),
+            (Union((Symbol("a"), EPSILON)), True),
+            (Union((Symbol("a"), Symbol("b"))), False),
+        ],
+    )
+    def test_nullable(self, expr, expected):
+        assert expr.nullable is expected
+
+
+class TestMatchesNothing:
+    def test_empty(self):
+        assert EMPTY.matches_nothing()
+
+    def test_concat_with_empty(self):
+        assert Concat((Symbol("a"), EMPTY)).matches_nothing()
+
+    def test_union_all_empty(self):
+        assert Union((EMPTY, EMPTY)).matches_nothing()
+
+    def test_union_one_viable(self):
+        assert not Union((EMPTY, Symbol("a"))).matches_nothing()
+
+    def test_star_of_empty_matches_epsilon(self):
+        assert not Star(EMPTY).matches_nothing()
+
+
+class TestSmartConstructors:
+    def test_concat_folds_epsilon(self):
+        assert concat(EPSILON, Symbol("a")) == Symbol("a")
+
+    def test_concat_propagates_empty(self):
+        assert concat(Symbol("a"), EMPTY) == EMPTY
+
+    def test_concat_flattens(self):
+        inner = Concat((Symbol("a"), Symbol("b")))
+        result = concat(inner, Symbol("c"))
+        assert result == Concat((Symbol("a"), Symbol("b"), Symbol("c")))
+
+    def test_concat_of_nothing_is_epsilon(self):
+        assert concat() == EPSILON
+
+    def test_union_drops_empty(self):
+        assert union(EMPTY, Symbol("a")) == Symbol("a")
+
+    def test_union_dedups(self):
+        assert union(Symbol("a"), Symbol("a")) == Symbol("a")
+
+    def test_union_flattens(self):
+        inner = Union((Symbol("a"), Symbol("b")))
+        result = union(inner, Symbol("c"))
+        assert result == Union((Symbol("a"), Symbol("b"), Symbol("c")))
+
+    def test_star_of_star(self):
+        assert star(Star(Symbol("a"))) == Star(Symbol("a"))
+
+    def test_star_of_optional(self):
+        assert star(Optional(Symbol("a"))) == Star(Symbol("a"))
+
+    def test_star_of_epsilon(self):
+        assert star(EPSILON) == EPSILON
+
+    def test_plus_of_star_is_star(self):
+        assert plus(Star(Symbol("a"))) == Star(Symbol("a"))
+
+    def test_plus_of_empty(self):
+        assert plus(EMPTY) == EMPTY
+
+    def test_optional_of_nullable_is_identity(self):
+        assert optional(Star(Symbol("a"))) == Star(Symbol("a"))
+
+    def test_optional_of_symbol(self):
+        assert optional(Symbol("a")) == Optional(Symbol("a"))
+
+    def test_word_constructor(self):
+        assert word(["a", "b"]) == Concat((Symbol("a"), Symbol("b")))
+
+    def test_literal_constructor(self):
+        assert literal("ab") == Concat((Symbol("a"), Symbol("b")))
+        assert literal("") == EPSILON
+
+
+class TestShortestWord:
+    @pytest.mark.parametrize(
+        "expr,expected",
+        [
+            (EMPTY, None),
+            (EPSILON, 0),
+            (Symbol("a"), 1),
+            (Star(Symbol("a")), 0),
+            (Plus(Symbol("a")), 1),
+            (Concat((Symbol("a"), Plus(Symbol("b")))), 2),
+            (Union((Concat((Symbol("a"), Symbol("b"))), Symbol("c"))), 1),
+            (Concat((Symbol("a"), EMPTY)), None),
+        ],
+    )
+    def test_shortest(self, expr, expected):
+        assert shortest_word_length(expr) == expected
+
+
+class TestRendering:
+    def test_roundtrip_through_parser(self):
+        from repro.regex.parser import parse
+
+        for text in ["ab*c", "(a+b)*a", "a?b+c*", "b*a(b*a)*"]:
+            expr = parse(text)
+            again = parse(str(expr))
+            assert expr == again, f"{text} -> {expr} -> {again}"
+
+    def test_multichar_symbol_rendered_with_parens_under_star(self):
+        expr = Star(Symbol("person"))
+        assert str(expr) == "(person)*"

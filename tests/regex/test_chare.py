@@ -1,0 +1,268 @@
+"""Tests for the fragment-specific algorithms (repro.regex.chare).
+
+Every specialized algorithm is cross-checked against the general
+automata-theoretic procedures from repro.regex.ops — the same contrast
+the paper draws in Theorems 4.4 and 4.5.
+"""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.errors import FragmentError
+from repro.regex.chare import (
+    Block,
+    best_containment,
+    best_intersection,
+    block_form,
+    canonical_block_form,
+    containment_a_aplus,
+    containment_a_disj,
+    containment_in_downward_closed,
+    equivalent_blocks,
+    greedy_chain_dfa,
+    intersection_a_aplus,
+    intersection_a_disj,
+    is_downward_closed_chain,
+)
+from repro.regex.ops import equivalent, intersection_nonempty, is_contained
+from repro.regex.parser import parse
+
+
+class TestBlockForm:
+    def test_merges_adjacent_same_letter(self):
+        blocks = block_form(parse("a(a+)b"))
+        assert blocks == [Block("a", 2, None), Block("b", 1, 1)]
+
+    def test_optional_bounds(self):
+        assert block_form(parse("a?a?")) == [Block("a", 0, 2)]
+
+    def test_star_bounds(self):
+        assert block_form(parse("a*ab")) == [
+            Block("a", 1, None),
+            Block("b", 1, 1),
+        ]
+
+    def test_rejects_disjunction_factors(self):
+        with pytest.raises(FragmentError):
+            block_form(parse("(a+b)c"))
+
+    def test_rejects_non_chain(self):
+        with pytest.raises(FragmentError):
+            block_form(parse("(ab)*"))
+
+
+class TestEquivalenceBlocks:
+    @pytest.mark.parametrize(
+        "e1,e2,expected",
+        [
+            ("a*a", "aa*", True),
+            ("a?a", "aa?", True),
+            ("a*", "a?a*", True),
+            ("a*b", "ab*", False),
+            ("a?b?", "b?a?", False),
+            ("a*ba*", "a*ba*", True),
+            ("aa?", "a?a?", False),
+        ],
+    )
+    def test_cases(self, e1, e2, expected):
+        assert equivalent_blocks(parse(e1), parse(e2)) is expected
+
+    @settings(max_examples=80, deadline=None)
+    @given(st.integers(0, 10**9))
+    def test_agrees_with_general_equivalence(self, seed):
+        """The PTIME block test must agree with automata equivalence."""
+        rng = random.Random(seed)
+
+        def random_chain():
+            n = rng.randint(1, 5)
+            parts = []
+            for _ in range(n):
+                letter = rng.choice("ab")
+                mod = rng.choice(["", "?", "*", "+"])
+                # parenthesize postfix '+' so it is not read as union
+                part = f"({letter}+)" if mod == "+" else letter + mod
+                parts.append(part)
+            return parse(" ".join(parts))
+
+        e1, e2 = random_chain(), random_chain()
+        assert equivalent_blocks(e1, e2) == equivalent(e1, e2), (e1, e2)
+
+
+class TestContainmentAAPlus:
+    @pytest.mark.parametrize(
+        "e1,e2,expected",
+        [
+            ("ab", "ab", True),
+            ("a(a+)b", "(a+)b", True),
+            ("(a+)b", "a(a+)b", False),
+            ("aab", "(a+)(b+)", True),
+            ("ab", "ba", False),
+            ("aa", "a", False),
+            ("(a+)", "(a+)", True),
+        ],
+    )
+    def test_cases(self, e1, e2, expected):
+        assert containment_a_aplus(parse(e1), parse(e2)) is expected
+
+    def test_rejects_out_of_fragment(self):
+        with pytest.raises(FragmentError):
+            containment_a_aplus(parse("a?"), parse("a"))
+
+    @settings(max_examples=80, deadline=None)
+    @given(st.integers(0, 10**9))
+    def test_agrees_with_general(self, seed):
+        rng = random.Random(seed)
+
+        def random_aplus():
+            parts = []
+            for _ in range(rng.randint(1, 5)):
+                letter = rng.choice("ab")
+                if rng.random() < 0.5:
+                    parts.append(f"({letter}+)")
+                else:
+                    parts.append(letter)
+            return parse(" ".join(parts))
+
+        e1, e2 = random_aplus(), random_aplus()
+        assert containment_a_aplus(e1, e2) == is_contained(e1, e2), (e1, e2)
+
+
+class TestContainmentADisj:
+    def test_pointwise_inclusion(self):
+        assert containment_a_disj(parse("a(b+c)"), parse("(a+b)(b+c+d)"))
+
+    def test_length_mismatch(self):
+        assert not containment_a_disj(parse("ab"), parse("abc"))
+
+    def test_not_included(self):
+        assert not containment_a_disj(parse("(a+b)c"), parse("ac"))
+
+    @settings(max_examples=60, deadline=None)
+    @given(st.integers(0, 10**9))
+    def test_agrees_with_general(self, seed):
+        rng = random.Random(seed)
+
+        def random_disj():
+            parts = []
+            for _ in range(rng.randint(1, 4)):
+                k = rng.randint(1, 3)
+                letters = rng.sample("abc", k)
+                parts.append("(" + "+".join(letters) + ")")
+            return parse(" ".join(parts))
+
+        e1, e2 = random_disj(), random_disj()
+        assert containment_a_disj(e1, e2) == is_contained(e1, e2), (e1, e2)
+
+
+class TestIntersectionSpecialized:
+    def test_aplus_compatible(self):
+        assert intersection_a_aplus([parse("(a+)b"), parse("aab")])
+
+    def test_aplus_incompatible_letters(self):
+        assert not intersection_a_aplus([parse("ab"), parse("ba")])
+
+    def test_aplus_exact_conflict(self):
+        assert not intersection_a_aplus([parse("ab"), parse("aab")])
+
+    def test_aplus_exact_below_lower(self):
+        assert not intersection_a_aplus([parse("ab"), parse("a(a+)b")])
+
+    def test_disj_intersection(self):
+        assert intersection_a_disj([parse("(a+b)c"), parse("(b+d)c")])
+        assert not intersection_a_disj([parse("ac"), parse("bc")])
+
+    @settings(max_examples=60, deadline=None)
+    @given(st.integers(0, 10**9))
+    def test_aplus_agrees_with_general(self, seed):
+        rng = random.Random(seed)
+
+        def random_aplus():
+            parts = []
+            for _ in range(rng.randint(1, 4)):
+                letter = rng.choice("ab")
+                if rng.random() < 0.5:
+                    parts.append(f"({letter}+)")
+                else:
+                    parts.append(letter)
+            return parse(" ".join(parts))
+
+        exprs = [random_aplus() for _ in range(rng.randint(2, 3))]
+        assert intersection_a_aplus(exprs) == intersection_nonempty(exprs)
+
+
+class TestDownwardClosed:
+    def test_detection(self):
+        assert is_downward_closed_chain(parse("a?b*(c+d)*"))
+        assert not is_downward_closed_chain(parse("ab*"))
+        assert not is_downward_closed_chain(parse("(ab)*"))
+
+    def test_greedy_dfa_language(self):
+        dfa = greedy_chain_dfa(parse("a?b*c?"))
+        for w, expected in [
+            ("", True),
+            ("abc", True),
+            ("bb", True),
+            ("ac", True),
+            ("ca", False),
+            ("abcb", False),
+            ("aa", False),
+        ]:
+            assert dfa.accepts(tuple(w)) is expected, w
+
+    def test_containment_in_downward_closed(self):
+        assert containment_in_downward_closed(
+            parse("(ab)*"), parse("(a+b)*")
+        )
+        assert containment_in_downward_closed(parse("ab?"), parse("a?b*"))
+        assert not containment_in_downward_closed(
+            parse("ba"), parse("a?b*")
+        )
+
+    def test_letters_outside_target_alphabet(self):
+        assert not containment_in_downward_closed(
+            parse("x"), parse("a?b*")
+        )
+
+    @settings(max_examples=60, deadline=None)
+    @given(st.integers(0, 10**9))
+    def test_agrees_with_general(self, seed):
+        rng = random.Random(seed)
+
+        def random_dc_chain():
+            parts = []
+            for _ in range(rng.randint(1, 4)):
+                letter = rng.choice("ab")
+                parts.append(letter + rng.choice(["?", "*"]))
+            return parse(" ".join(parts))
+
+        from repro.regex.generators import random_regex
+
+        e1 = random_regex("ab", depth=2, rng=rng)
+        e2 = random_dc_chain()
+        assert containment_in_downward_closed(e1, e2) == is_contained(
+            e1, e2
+        ), (e1, e2)
+
+
+class TestDispatch:
+    def test_best_containment_routes_and_agrees(self):
+        cases = [
+            ("a(a+)b", "(a+)b"),  # RE(a, a+)
+            ("(a+b)c", "(a+b+c)(c+d)"),  # RE(a, (+a))... lengths differ
+            ("(ab)*", "(a+b)*"),  # downward-closed target
+            ("(a+b)*a", "b*a(b*a)*"),  # general fallback
+        ]
+        for left, right in cases:
+            e1, e2 = parse(left), parse(right)
+            assert best_containment(e1, e2) == is_contained(e1, e2)
+
+    def test_best_intersection_routes_and_agrees(self):
+        groups = [
+            [parse("(a+)b"), parse("ab")],
+            [parse("(a+b)c"), parse("(b+c)c")],
+            [parse("a*b"), parse("(ab)*b")],
+        ]
+        for exprs in groups:
+            assert best_intersection(exprs) == intersection_nonempty(exprs)

@@ -1,0 +1,193 @@
+"""Tests for fragment classification (repro.regex.classes)."""
+
+import pytest
+
+from repro.regex.classes import (
+    as_simple_factor,
+    chare_factors,
+    factor_type_signature,
+    in_fragment,
+    is_chare,
+    is_ctract,
+    is_k_ore,
+    is_simple_transitive,
+    is_sore,
+    is_ttract,
+    max_occurrences,
+)
+from repro.regex.parser import parse
+
+
+class TestSimpleFactors:
+    @pytest.mark.parametrize(
+        "text,ftype",
+        [
+            ("a", "a"),
+            ("a?", "a?"),
+            ("a*", "a*"),
+            ("a+", "a+"),
+            ("(a+b)", "(+a)"),
+            ("(a+b)?", "(+a)?"),
+            ("(a+b+c)*", "(+a)*"),
+            ("(a+b)+", "(+a)+"),
+        ],
+    )
+    def test_factor_types(self, text, ftype):
+        factor = as_simple_factor(parse(text))
+        assert factor is not None
+        assert factor.factor_type == ftype
+
+    def test_not_simple_factor(self):
+        assert as_simple_factor(parse("(a*+b)")) is None
+        assert as_simple_factor(parse("(ab)*")) is None
+        assert as_simple_factor(parse("ab")) is None
+
+    def test_transitivity_flag(self):
+        assert as_simple_factor(parse("a*")).is_transitive
+        assert as_simple_factor(parse("a+")).is_transitive
+        assert not as_simple_factor(parse("a?")).is_transitive
+
+    def test_optional_flag(self):
+        assert as_simple_factor(parse("a?")).is_optional
+        assert as_simple_factor(parse("a*")).is_optional
+        assert not as_simple_factor(parse("a+")).is_optional
+
+
+class TestChare:
+    @pytest.mark.parametrize(
+        "text",
+        [
+            "a*abb*",  # paper example of a sequential RE
+            "(a+b)*a(a+b)?",  # paper example
+            "a",
+            "(a+b+c)*",
+            "a b? (c+d)* e+",
+        ],
+    )
+    def test_is_chare(self, text):
+        assert is_chare(parse(text)), text
+
+    @pytest.mark.parametrize(
+        "text",
+        [
+            "(a*+b*)",  # the paper's non-example
+            "(ab)*",
+            "a(bc)?d",
+            "[]",
+        ],
+    )
+    def test_not_chare(self, text):
+        assert not is_chare(parse(text)), text
+
+    def test_epsilon_is_empty_chain(self):
+        assert chare_factors(parse("()")) == []
+
+    def test_factor_decomposition(self):
+        factors = chare_factors(parse("a*abb*"))
+        assert [f.factor_type for f in factors] == ["a*", "a", "a", "a*"]
+
+    def test_signature(self):
+        assert factor_type_signature(parse("ab*a*ab")) == ("a", "a*")
+        assert factor_type_signature(parse("(a+b)*a")) == ("(+a)*", "a")
+        assert factor_type_signature(parse("(a*+b)")) is None
+
+
+class TestFragments:
+    def test_re_a_astar(self):
+        assert in_fragment(parse("ab*a*ab"), ["a", "a*"])
+        assert not in_fragment(parse("ab?"), ["a", "a*"])
+
+    def test_single_symbol_widens_to_disjunction(self):
+        # a bare symbol is the k=1 disjunction, so 'a' fits '(+a)'
+        assert in_fragment(parse("a(b+c)"), ["(+a)"])
+
+    def test_modifier_must_match(self):
+        assert not in_fragment(parse("a*"), ["a", "a+"])
+        assert in_fragment(parse("a(a+)a"), ["a", "a+"])
+
+    def test_non_chare_not_in_any_fragment(self):
+        assert not in_fragment(parse("(ab)*"), list("a"))
+
+
+class TestOccurrences:
+    def test_sore(self):
+        assert is_sore(parse("a?b*c"))
+        assert not is_sore(parse("ab*a"))
+
+    def test_k_ore(self):
+        expr = parse("aba")  # a occurs twice
+        assert max_occurrences(expr) == 2
+        assert is_k_ore(expr, 2)
+        assert not is_k_ore(expr, 1)
+
+    def test_epsilon_is_sore(self):
+        assert is_sore(parse("()"))
+        assert max_occurrences(parse("()")) == 0
+
+
+class TestSimpleTransitive:
+    @pytest.mark.parametrize(
+        "text,expected",
+        [
+            ("a*", True),
+            ("ab*", True),
+            ("a+", True),
+            ("ab*c*", False),  # two transitive factors
+            ("a*b*", False),  # the paper's main reason for non-STE
+            ("(a+b)*", True),
+            ("ab*c", True),
+            ("a?b*", True),
+            ("abc", True),  # no transitive factor at all
+            ("(a*+b)", False),  # not even a chain
+        ],
+    )
+    def test_ste(self, text, expected):
+        assert is_simple_transitive(parse(text)) is expected
+
+
+class TestTractabilityClasses:
+    """The Ctract / Ttract classification used in Section 9.6."""
+
+    @pytest.mark.parametrize(
+        "text",
+        ["a*", "ab*", "a+", "ab*c*", "ab*c", "a*b*", "abc*", "a?b*",
+         "(a+b)*", "(a+b)+", "abc", "a*b*c*"],
+    )
+    def test_table8_types_in_ctract(self, text):
+        # every named type of Table 8 is in Ctract (only 198 of 55M
+        # property paths fall outside)
+        assert is_ctract(parse(text)) is True, text
+
+    def test_mandatory_between_stars_not_ctract(self):
+        assert is_ctract(parse("a*ba*")) is False
+
+    def test_mandatory_disjunction_between_stars_not_ctract(self):
+        assert is_ctract(parse("a*(b+c)a*")) is False
+
+    def test_optional_between_stars_ok(self):
+        assert is_ctract(parse("a*b?c*")) is True
+
+    def test_union_of_ctract(self):
+        assert is_ctract(parse("(ab*c) + (a*b*)")) is True
+
+    def test_non_chain_unknown(self):
+        assert is_ctract(parse("(ab)*")) is None
+
+    def test_ttract_contains_ctract(self):
+        for text in ["a*", "ab*c", "a*b*"]:
+            assert is_ttract(parse(text)) is True
+
+    def test_ttract_allows_conflict_free_separation(self):
+        # mandatory b between a-stars, b disjoint from starred alphabet
+        assert is_ctract(parse("a*ba*")) is False
+        assert is_ttract(parse("a*ba*")) is True
+
+    def test_merging_rescues_syntactic_noise(self):
+        # a*aa* is semantically a+, a single transitive block
+        assert is_ctract(parse("a*aa*")) is True
+        assert is_ctract(parse("a*a(a+b)*")) is True  # ≡ a+(a+b)*
+
+    def test_ttract_rejects_conflicting_label(self):
+        # mandatory b between stars whose alphabets include b
+        assert is_ctract(parse("a*b(b+c)*")) is False
+        assert is_ttract(parse("a*b(b+c)*")) is False

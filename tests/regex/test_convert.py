@@ -1,0 +1,91 @@
+"""Tests for automaton-to-regex conversion (repro.regex.convert)."""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.regex.automata import glushkov
+from repro.regex.convert import intersection_regex, nfa_to_regex
+from repro.regex.generators import random_regex
+from repro.regex.ops import accepts, equivalent, intersection_nonempty
+from repro.regex.parser import parse
+
+
+class TestNfaToRegex:
+    @pytest.mark.parametrize(
+        "text",
+        ["a", "ab", "a+b", "a*", "(ab)*", "a?b+c", "(a+b)*a(a+b)"],
+    )
+    def test_roundtrip_preserves_language(self, text):
+        expr = parse(text)
+        back = nfa_to_regex(glushkov(expr))
+        assert equivalent(expr, back), (text, back)
+
+    def test_empty_language(self):
+        expr = parse("[]")
+        back = nfa_to_regex(glushkov(expr))
+        assert back.matches_nothing()
+
+    def test_epsilon_language(self):
+        back = nfa_to_regex(glushkov(parse("()")))
+        assert accepts(back, ())
+        assert not accepts(back, ("a",))
+
+    @settings(max_examples=40, deadline=None)
+    @given(st.integers(0, 10**9))
+    def test_roundtrip_randomized(self, seed):
+        rng = random.Random(seed)
+        expr = random_regex("ab", depth=3, rng=rng)
+        back = nfa_to_regex(glushkov(expr))
+        assert equivalent(expr, back), (expr, back)
+
+
+class TestIntersectionRegex:
+    def test_basic_intersection(self):
+        expr = intersection_regex([parse("a*b*"), parse("(ab)*")])
+        # a*b* ∩ (ab)* = {ε, ab}
+        assert accepts(expr, ())
+        assert accepts(expr, ("a", "b"))
+        assert not accepts(expr, ("a", "b", "a", "b"))
+        assert not accepts(expr, ("a",))
+
+    def test_empty_intersection(self):
+        expr = intersection_regex([parse("aa"), parse("bb")])
+        assert expr.matches_nothing()
+
+    def test_single_expression_identity(self):
+        original = parse("ab*")
+        assert intersection_regex([original]) == original
+
+    def test_requires_input(self):
+        with pytest.raises(ValueError):
+            intersection_regex([])
+
+    @settings(max_examples=30, deadline=None)
+    @given(st.integers(0, 10**9))
+    def test_agrees_with_emptiness_check(self, seed):
+        rng = random.Random(seed)
+        exprs = [random_regex("ab", depth=2, rng=rng) for _ in range(2)]
+        combined = intersection_regex(exprs)
+        assert (not combined.matches_nothing_safe()) if hasattr(
+            combined, "matches_nothing_safe"
+        ) else True
+        nonempty = intersection_nonempty(exprs)
+        from repro.regex.ops import language_is_empty
+
+        assert language_is_empty(combined) == (not nonempty)
+
+    @settings(max_examples=25, deadline=None)
+    @given(st.integers(0, 10**9))
+    def test_membership_agreement(self, seed):
+        rng = random.Random(seed)
+        e1 = random_regex("ab", depth=2, rng=rng)
+        e2 = random_regex("ab", depth=2, rng=rng)
+        combined = intersection_regex([e1, e2])
+        for _ in range(8):
+            word = tuple(
+                rng.choice("ab") for _ in range(rng.randint(0, 5))
+            )
+            expected = accepts(e1, word) and accepts(e2, word)
+            assert accepts(combined, word) == expected, (e1, e2, word)

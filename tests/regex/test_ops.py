@@ -1,0 +1,201 @@
+"""Tests for the general decision problems (repro.regex.ops)."""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.regex.generators import random_regex
+from repro.regex.ops import (
+    accepts,
+    containment_counterexample,
+    contains,
+    enumerate_words,
+    equivalent,
+    intersection_nonempty,
+    intersection_witness,
+    is_contained,
+    language_is_empty,
+    language_is_universal,
+)
+from repro.regex.parser import parse
+from repro.regex.sampling import sample_word
+
+
+class TestContainment:
+    @pytest.mark.parametrize(
+        "small,big",
+        [
+            ("a", "a+b"),
+            ("ab", "a b* "),
+            ("(ab)*", "a*b*a*b*a*b*(a+b)*"),
+            ("a*", "a*"),
+            ("[]", "a"),
+            ("aab", "a*b*"),
+            ("(a+b)*a", "b*a(b*a)*"),
+        ],
+    )
+    def test_positive(self, small, big):
+        assert contains(parse(small), parse(big))
+
+    @pytest.mark.parametrize(
+        "left,right",
+        [
+            ("a+b", "a"),
+            ("a*", "a+"),
+            ("ab", "ba"),
+            ("a*b*", "(ab)*"),
+            ("a", "[]"),
+        ],
+    )
+    def test_negative(self, left, right):
+        assert not contains(parse(left), parse(right))
+
+    def test_witness_mode(self):
+        result, cex = contains(parse("a*"), parse("a+"), witness=True)
+        assert result is False
+        assert cex == ()  # epsilon distinguishes a* from a+
+
+    def test_counterexample_is_real(self):
+        e1, e2 = parse("a*b*"), parse("(ab)*")
+        cex = containment_counterexample(e1, e2)
+        assert accepts(e1, cex)
+        assert not accepts(e2, cex)
+
+    def test_no_counterexample_when_contained(self):
+        assert containment_counterexample(parse("a"), parse("a?")) is None
+
+    def test_epsilon_counterexample(self):
+        result, cex = contains(parse("a?"), parse("a"), witness=True)
+        assert result is False and cex == ()
+
+
+class TestEquivalence:
+    @pytest.mark.parametrize(
+        "e1,e2",
+        [
+            ("(a+b)*a", "b*a(b*a)*"),
+            ("a*", "a*a*"),
+            ("(a?)+", "a*"),
+            ("a+", "aa*"),
+            ("(a+b)*", "(a*b*)*"),
+        ],
+    )
+    def test_equivalent(self, e1, e2):
+        assert equivalent(parse(e1), parse(e2))
+
+    @pytest.mark.parametrize(
+        "e1,e2",
+        [("a*", "a+"), ("ab", "ba"), ("(ab)*", "a*b*")],
+    )
+    def test_not_equivalent(self, e1, e2):
+        assert not equivalent(parse(e1), parse(e2))
+
+
+class TestIntersection:
+    def test_nonempty_pair(self):
+        assert intersection_nonempty([parse("a*b"), parse("ab*")])
+
+    def test_empty_pair(self):
+        assert not intersection_nonempty([parse("aa"), parse("a")])
+
+    def test_witness_is_in_all(self):
+        exprs = [parse("a*b*"), parse("(ab)*ab"), parse("ab+ba")]
+        word = intersection_witness(exprs)
+        assert word is not None
+        for expr in exprs:
+            assert accepts(expr, word)
+
+    def test_single_expression(self):
+        assert intersection_nonempty([parse("a")])
+        assert not intersection_nonempty([parse("[]")])
+
+    def test_requires_expressions(self):
+        with pytest.raises(ValueError):
+            intersection_nonempty([])
+
+    def test_many_expressions_chinese_remainder(self):
+        # (aa)* ∩ (aaa)* has shortest nonempty word a^6; with epsilon both
+        # contain it, so force nonempty via a+
+        exprs = [parse("(aa)*"), parse("(aaa)*"), parse("a+")]
+        result, word = intersection_nonempty(exprs, witness=True)
+        assert result
+        assert len(word) == 6
+
+
+class TestEmptinessUniversality:
+    def test_empty(self):
+        assert language_is_empty(parse("[]"))
+        assert language_is_empty(parse("a[]b"))
+        assert not language_is_empty(parse("a?"))
+
+    def test_universal(self):
+        assert language_is_universal(parse("(a+b)*"))
+        assert not language_is_universal(parse("(a+b)*a"))
+
+    def test_universal_with_explicit_alphabet(self):
+        assert language_is_universal(parse("a*"), alphabet={"a"})
+        assert not language_is_universal(parse("a*"), alphabet={"a", "b"})
+
+
+class TestEnumerate:
+    def test_length_lex_order(self):
+        out = enumerate_words(parse("a*b?"), max_words=6)
+        assert out[0] == ()
+        lengths = [len(w) for w in out]
+        assert lengths == sorted(lengths)
+
+    def test_respects_max_words(self):
+        assert len(enumerate_words(parse("a*"), max_words=4)) == 4
+
+    def test_respects_max_length(self):
+        out = enumerate_words(parse("a*"), max_words=100, max_length=3)
+        assert max(len(w) for w in out) <= 3
+
+    def test_finite_language_complete(self):
+        out = enumerate_words(parse("a?b?"), max_words=100)
+        assert sorted(out) == sorted(
+            [(), ("a",), ("b",), ("a", "b")]
+        )
+
+
+class TestRandomizedSoundness:
+    """Property tests tying the decision procedures together."""
+
+    @settings(max_examples=50, deadline=None)
+    @given(st.integers(0, 10**9))
+    def test_sampled_words_respect_containment(self, seed):
+        rng = random.Random(seed)
+        e1 = random_regex("ab", depth=3, rng=rng)
+        e2 = random_regex("ab", depth=3, rng=rng)
+        if e1.matches_nothing():
+            return
+        if is_contained(e1, e2):
+            for _ in range(5):
+                w = sample_word(e1, rng, max_repeat=4)
+                assert accepts(e2, w), (e1, e2, w)
+
+    @settings(max_examples=50, deadline=None)
+    @given(st.integers(0, 10**9))
+    def test_containment_antisymmetry_via_equivalence(self, seed):
+        rng = random.Random(seed)
+        e1 = random_regex("ab", depth=2, rng=rng)
+        e2 = random_regex("ab", depth=2, rng=rng)
+        both = is_contained(e1, e2) and is_contained(e2, e1)
+        assert both == equivalent(e1, e2)
+
+    @settings(max_examples=50, deadline=None)
+    @given(st.integers(0, 10**9))
+    def test_intersection_witness_soundness(self, seed):
+        rng = random.Random(seed)
+        exprs = [random_regex("ab", depth=2, rng=rng) for _ in range(3)]
+        result, word = intersection_nonempty(exprs, witness=True)
+        if result:
+            for expr in exprs:
+                assert accepts(expr, word)
+        else:
+            # no sampled word of the first expression is in all others
+            if not exprs[0].matches_nothing():
+                for _ in range(5):
+                    w = sample_word(exprs[0], rng, max_repeat=3)
+                    assert not all(accepts(e, w) for e in exprs[1:])

@@ -1,0 +1,106 @@
+"""Tests for the Appendix A reduction (repro.regex.reduction)."""
+
+import itertools
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.regex.classes import in_fragment
+from repro.regex.ops import accepts, contains
+from repro.regex.reduction import (
+    DNFFormula,
+    assignment_word,
+    random_dnf,
+    validity_to_containment,
+)
+
+
+def example_formula():
+    """The formula used in Appendix A:
+    (x1 ∧ ¬x2 ∧ x3) ∨ (¬x1 ∧ x3 ∧ ¬x4) ∨ (x2 ∧ ¬x3 ∧ x4)."""
+    return DNFFormula(
+        4,
+        (
+            {0: True, 1: False, 2: True},
+            {0: False, 2: True, 3: False},
+            {1: True, 2: False, 3: True},
+        ),
+    )
+
+
+class TestFormula:
+    def test_evaluate(self):
+        formula = example_formula()
+        assert formula.evaluate([True, False, True, False])
+        assert not formula.evaluate([True, True, True, True])
+
+    def test_is_valid_bruteforce(self):
+        assert not example_formula().is_valid()
+        tautology = DNFFormula(1, ({0: True}, {0: False}))
+        assert tautology.is_valid()
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            DNFFormula(0, ({0: True},))
+        with pytest.raises(ValueError):
+            DNFFormula(1, ())
+
+    def test_rejects_out_of_range_variable(self):
+        with pytest.raises(ValueError):
+            DNFFormula(1, ({3: True},))
+
+
+class TestConstruction:
+    def test_expressions_in_re_a_optional(self):
+        e1, e2 = validity_to_containment(example_formula())
+        assert in_fragment(e1, ["a", "a?"])
+        assert in_fragment(e2, ["a", "a?"])
+
+    def test_sizes_polynomial(self):
+        formula = example_formula()
+        e1, e2 = validity_to_containment(formula)
+        n, m = formula.num_variables, len(formula.clauses)
+        # linear in n*m with small constants
+        assert e1.size() <= 20 * n * m
+        assert e2.size() <= 20 * n * m
+
+    def test_assignment_word_in_e1(self):
+        formula = example_formula()
+        e1, _e2 = validity_to_containment(formula)
+        for bits in itertools.product((False, True), repeat=4):
+            assert accepts(e1, assignment_word(formula, bits))
+
+    def test_assignment_word_matches_e2_iff_satisfying(self):
+        formula = example_formula()
+        _e1, e2 = validity_to_containment(formula)
+        for bits in itertools.product((False, True), repeat=4):
+            assert accepts(e2, assignment_word(formula, bits)) == (
+                formula.evaluate(bits)
+            ), bits
+
+
+class TestReductionCorrectness:
+    def test_paper_example_not_valid(self):
+        e1, e2 = validity_to_containment(example_formula())
+        assert not contains(e1, e2)
+
+    def test_tautology_is_contained(self):
+        e1, e2 = validity_to_containment(
+            DNFFormula(2, ({0: True}, {0: False}))
+        )
+        assert contains(e1, e2)
+
+    def test_single_clause_never_valid(self):
+        e1, e2 = validity_to_containment(DNFFormula(2, ({0: True},)))
+        assert not contains(e1, e2)
+
+    @settings(max_examples=40, deadline=None)
+    @given(st.integers(0, 10**9))
+    def test_randomized_against_bruteforce(self, seed):
+        rng = random.Random(seed)
+        n = rng.randint(1, 4)
+        m = rng.randint(1, 3)
+        formula = random_dnf(n, m, rng.randint(1, n), rng)
+        e1, e2 = validity_to_containment(formula)
+        assert contains(e1, e2) == formula.is_valid(), formula

@@ -1,0 +1,109 @@
+"""Tests for sampling and random generators (repro.regex.sampling /
+repro.regex.generators)."""
+
+import random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.regex.classes import is_chare, is_sore
+from repro.regex.generators import (
+    ChareProfile,
+    default_alphabet,
+    random_chare,
+    random_regex,
+)
+from repro.regex.ops import accepts
+from repro.regex.parser import parse
+from repro.regex.sampling import (
+    EmptyLanguageError,
+    sample_word,
+    sample_words,
+)
+
+
+class TestSampling:
+    @settings(max_examples=60, deadline=None)
+    @given(st.integers(0, 10**9))
+    def test_samples_are_members(self, seed):
+        rng = random.Random(seed)
+        expr = random_regex("abc", depth=3, rng=rng)
+        if expr.matches_nothing():
+            return
+        for _ in range(5):
+            word = sample_word(expr, rng, max_repeat=5)
+            assert accepts(expr, word), (expr, word)
+
+    def test_sampling_empty_language_raises(self):
+        with pytest.raises(EmptyLanguageError):
+            sample_word(parse("[]"))
+
+    def test_sampling_avoids_empty_union_branch(self):
+        rng = random.Random(0)
+        expr = parse("([]+a)")
+        for _ in range(10):
+            assert sample_word(expr, rng) == ("a",)
+
+    def test_max_repeat_bounds_star(self):
+        rng = random.Random(1)
+        expr = parse("a*")
+        for _ in range(20):
+            word = sample_word(expr, rng, star_continue=0.99, max_repeat=3)
+            assert len(word) <= 3
+
+    def test_sample_words_count(self):
+        assert len(sample_words(parse("a?b"), 7)) == 7
+
+    def test_deterministic_with_seeded_rng(self):
+        w1 = sample_words(parse("(a+b)*c"), 5, random.Random(42))
+        w2 = sample_words(parse("(a+b)*c"), 5, random.Random(42))
+        assert w1 == w2
+
+
+class TestChareGenerator:
+    @settings(max_examples=40, deadline=None)
+    @given(st.integers(0, 10**9))
+    def test_generates_chares(self, seed):
+        rng = random.Random(seed)
+        expr = random_chare(default_alphabet(10), rng)
+        assert is_chare(expr)
+
+    @settings(max_examples=40, deadline=None)
+    @given(st.integers(0, 10**9))
+    def test_single_occurrence_profile(self, seed):
+        rng = random.Random(seed)
+        expr = random_chare(default_alphabet(12), rng)
+        assert is_sore(expr)
+
+    def test_non_sore_profile_allows_repeats(self):
+        rng = random.Random(7)
+        profile = ChareProfile(
+            min_factors=8, max_factors=10, single_occurrence=False
+        )
+        found_repeat = False
+        for _ in range(50):
+            expr = random_chare(["a", "b"], rng, profile)
+            if not is_sore(expr):
+                found_repeat = True
+                break
+        assert found_repeat
+
+    def test_factor_count_respects_profile(self):
+        rng = random.Random(3)
+        profile = ChareProfile(min_factors=2, max_factors=3)
+        from repro.regex.classes import chare_factors
+
+        for _ in range(20):
+            expr = random_chare(default_alphabet(20), rng, profile)
+            factors = chare_factors(expr)
+            assert 1 <= len(factors) <= 3
+
+
+class TestDefaultAlphabet:
+    def test_small(self):
+        assert default_alphabet(3) == ["a", "b", "c"]
+
+    def test_large_extends(self):
+        alphabet = default_alphabet(30)
+        assert len(alphabet) == 30
+        assert len(set(alphabet)) == 30

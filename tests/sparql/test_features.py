@@ -1,0 +1,215 @@
+"""Tests for feature and fragment analysis (repro.sparql.features)."""
+
+from repro.sparql.features import (
+    count_triple_patterns,
+    is_c2rpq,
+    is_c2rpq_f,
+    is_cq,
+    is_cq_f,
+    is_opt_fragment,
+    is_safe_filter,
+    is_simple_filter,
+    operator_set,
+    query_features,
+    uses_property_paths,
+)
+from repro.sparql.parser import parse_query
+
+
+class TestTripleCounting:
+    def test_zero_triples(self):
+        assert count_triple_patterns(parse_query("SELECT * WHERE { }")) == 0
+
+    def test_counts_triples_and_paths(self):
+        query = parse_query(
+            "SELECT * WHERE { ?a <p> ?b . ?b <q>* ?c . ?c <r> ?d }"
+        )
+        assert count_triple_patterns(query) == 3
+
+    def test_counts_inside_exists(self):
+        query = parse_query(
+            "SELECT * WHERE { ?a <p> ?b FILTER EXISTS { ?b <q> ?c } }"
+        )
+        assert count_triple_patterns(query) == 2
+
+    def test_counts_inside_subquery(self):
+        query = parse_query(
+            "SELECT * WHERE { { SELECT ?x WHERE { ?x <p> ?y . ?y <q> ?z } } }"
+        )
+        assert count_triple_patterns(query) == 2
+
+
+class TestFeatureCensus:
+    def test_modifier_features(self):
+        query = parse_query(
+            "SELECT DISTINCT ?s WHERE { ?s ?p ?o } ORDER BY ?s "
+            "LIMIT 5 OFFSET 2"
+        )
+        features = query_features(query)
+        assert {"Distinct", "OrderBy", "Limit", "Offset"} <= features
+
+    def test_aggregate_features(self):
+        query = parse_query(
+            "SELECT ?s (COUNT(*) AS ?c) (SUM(?o) AS ?t) WHERE "
+            "{ ?s ?p ?o } GROUP BY ?s HAVING (COUNT(*) > 1)"
+        )
+        features = query_features(query)
+        assert {"GroupBy", "Having", "Count", "Sum"} <= features
+
+    def test_pattern_features(self):
+        query = parse_query(
+            "SELECT * WHERE { { ?a <p> ?b } UNION { ?a <q> ?b } "
+            "OPTIONAL { ?a <r> ?c } FILTER(?a != ?b) "
+            "MINUS { ?a <s> ?b } }"
+        )
+        features = query_features(query)
+        assert {"Union", "Optional", "Filter", "Minus"} <= features
+
+    def test_exists_flavors(self):
+        query = parse_query(
+            "SELECT * WHERE { ?a <p> ?b FILTER NOT EXISTS { ?b <q> ?c } }"
+        )
+        assert "NotExists" in query_features(query)
+        query2 = parse_query(
+            "SELECT * WHERE { ?a <p> ?b FILTER EXISTS { ?b <q> ?c } }"
+        )
+        assert "Exists" in query_features(query2)
+
+    def test_service_values_graph(self):
+        query = parse_query(
+            "SELECT * WHERE { GRAPH ?g { ?a <p> ?b } VALUES ?a { <x> } "
+            "SERVICE <e> { ?a <q> ?c } }"
+        )
+        features = query_features(query)
+        assert {"Graph", "Values", "Service"} <= features
+
+    def test_property_path_feature(self):
+        query = parse_query("SELECT * WHERE { ?a <p>* ?b }")
+        assert "PropertyPath" in query_features(query)
+        assert uses_property_paths(query)
+
+    def test_and_needs_two_atoms(self):
+        one = parse_query("SELECT * WHERE { ?a <p> ?b }")
+        two = parse_query("SELECT * WHERE { ?a <p> ?b . ?b <q> ?c }")
+        assert "And" not in query_features(one)
+        assert "And" in query_features(two)
+
+
+class TestOperatorSets:
+    def test_none(self):
+        assert operator_set(parse_query("SELECT * WHERE { ?a <p> ?b }")) == frozenset()
+
+    def test_and_only(self):
+        query = parse_query("SELECT * WHERE { ?a <p> ?b . ?b <q> ?c }")
+        assert operator_set(query) == frozenset({"And"})
+
+    def test_filter_only(self):
+        query = parse_query("SELECT * WHERE { ?a <p> ?b FILTER(?b > 1) }")
+        assert operator_set(query) == frozenset({"Filter"})
+
+    def test_and_filter(self):
+        query = parse_query(
+            "SELECT * WHERE { ?a <p> ?b . ?b <q> ?c FILTER(?c > 1) }"
+        )
+        assert operator_set(query) == frozenset({"And", "Filter"})
+
+    def test_2rpq(self):
+        query = parse_query("SELECT * WHERE { ?a <p>* ?b }")
+        assert operator_set(query) == frozenset({"2RPQ"})
+
+    def test_and_2rpq(self):
+        query = parse_query("SELECT * WHERE { ?a <p>* ?b . ?b <q> ?c }")
+        assert operator_set(query) == frozenset({"And", "2RPQ"})
+
+    def test_modifiers_do_not_count(self):
+        # Tables 4/5 classify the BODY; Distinct/Limit don't matter
+        query = parse_query(
+            "SELECT DISTINCT * WHERE { ?a <p> ?b . ?b <q> ?c } LIMIT 3"
+        )
+        assert operator_set(query) == frozenset({"And"})
+
+
+class TestFragments:
+    def test_cq(self):
+        assert is_cq(parse_query("SELECT * WHERE { ?a <p> ?b . ?b <q> ?c }"))
+        assert not is_cq(
+            parse_query("SELECT * WHERE { ?a <p> ?b FILTER(?b > 1) }")
+        )
+
+    def test_cq_f(self):
+        assert is_cq_f(
+            parse_query("SELECT * WHERE { ?a <p> ?b FILTER(?b > 1) }")
+        )
+        assert not is_cq_f(
+            parse_query(
+                "SELECT * WHERE { ?a <p> ?b OPTIONAL { ?b <q> ?c } }"
+            )
+        )
+
+    def test_c2rpq(self):
+        assert is_c2rpq(
+            parse_query("SELECT * WHERE { ?a <p>* ?b . ?b <q> ?c }")
+        )
+        assert not is_c2rpq(
+            parse_query("SELECT * WHERE { ?a <p>* ?b FILTER(?b != <x>) }")
+        )
+
+    def test_c2rpq_f(self):
+        assert is_c2rpq_f(
+            parse_query("SELECT * WHERE { ?a <p>* ?b FILTER(?b != <x>) }")
+        )
+
+    def test_opt_fragment(self):
+        assert is_opt_fragment(
+            parse_query(
+                "SELECT * WHERE { ?a <p> ?b OPTIONAL { ?b <q> ?c } }"
+            )
+        )
+        assert not is_opt_fragment(
+            parse_query(
+                "SELECT * WHERE { { ?a <p> ?b } UNION { ?a <q> ?b } }"
+            )
+        )
+
+
+class TestFilterSafety:
+    def constraint_of(self, text):
+        from repro.sparql.ast import Filter
+
+        query = parse_query(text)
+        node = query.pattern
+        assert isinstance(node, Filter)
+        return node.constraint
+
+    def test_unary_is_safe(self):
+        constraint = self.constraint_of(
+            "SELECT * WHERE { ?a <p> ?b FILTER(?b > 3) }"
+        )
+        assert is_safe_filter(constraint)
+        assert is_simple_filter(constraint)
+
+    def test_equality_is_safe(self):
+        constraint = self.constraint_of(
+            "SELECT * WHERE { ?a <p> ?b FILTER(?a = ?b) }"
+        )
+        assert is_safe_filter(constraint)
+
+    def test_inequality_is_simple_not_safe(self):
+        constraint = self.constraint_of(
+            "SELECT * WHERE { ?a <p> ?b FILTER(?a != ?b) }"
+        )
+        assert not is_safe_filter(constraint)
+        assert is_simple_filter(constraint)
+
+    def test_ternary_is_not_simple(self):
+        constraint = self.constraint_of(
+            "SELECT * WHERE { ?a <p> ?b . ?b <q> ?c "
+            "FILTER(?a + ?b > ?c) }"
+        )
+        assert not is_simple_filter(constraint)
+
+    def test_conjunction_of_safe_is_safe(self):
+        constraint = self.constraint_of(
+            "SELECT * WHERE { ?a <p> ?b FILTER(?a = ?b && ?b > 1) }"
+        )
+        assert is_safe_filter(constraint)

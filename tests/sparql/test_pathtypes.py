@@ -1,0 +1,125 @@
+"""Tests for the property-path taxonomy (repro.sparql.pathtypes)."""
+
+import pytest
+
+from repro.sparql.parser import parse_query
+from repro.sparql.ast import PathPattern
+from repro.sparql.pathtypes import (
+    aggregate_type,
+    path_in_ctract,
+    path_in_ttract,
+    path_is_simple_transitive,
+    path_type,
+    table8_bucket,
+    type_regex,
+)
+
+
+def path_of(text: str):
+    query = parse_query(f"SELECT * WHERE {{ ?s {text} ?o }}")
+    node = query.pattern
+    assert isinstance(node, PathPattern), text
+    return node.path
+
+
+class TestPathType:
+    @pytest.mark.parametrize(
+        "path,expected",
+        [
+            ("wdt:P279*", "a*"),
+            ("wdt:P31/wdt:P279*", "ab*"),
+            ("wdt:P31*/wdt:P279*", "a*b*"),
+            ("wdt:P31/wdt:P31*/wdt:P279*", "aa*b*"),
+            ("<p>/<q>/<r>", "abc"),
+            ("(<p>|<q>)*", "A*"),
+            ("(<p>|<q>)+", "A+"),
+            ("<p>|<q>", "A"),
+            ("!(<p>|<q>)", "A"),
+            ("<p>+", "a+"),
+            ("<p>?/<q>*", "a?b*"),
+            ("<p>/<q>*/<r>", "ab*c"),
+            ("<p>/<q>/<r>*", "abc*"),
+        ],
+    )
+    def test_types(self, path, expected):
+        assert path_type(path_of(path)) == expected
+
+    def test_repeated_iri_reuses_letter(self):
+        assert path_type(path_of("<p>/<q>/<p>")) == "aba"
+
+    def test_inverse_atom_is_a_label(self):
+        assert path_type(path_of("^<p>/<q>")) == "ab"
+
+    def test_same_iri_forward_and_inverse_differ(self):
+        assert path_type(path_of("<p>/^<p>")) == "ab"
+
+
+class TestAggregation:
+    def test_reverse_merged(self):
+        forward = aggregate_type(path_of("<p>/<q>*"))  # ab*
+        backward = aggregate_type(path_of("<p>*/<q>"))  # a*b
+        assert forward == backward
+
+    def test_symmetric_unchanged(self):
+        assert aggregate_type(path_of("<p>*/<q>*")) == "a*b*"
+
+
+class TestTable8Buckets:
+    @pytest.mark.parametrize(
+        "path,bucket",
+        [
+            ("wdt:P279*", "a*"),
+            ("wdt:P31/wdt:P279*", "ab*|a+"),
+            ("<p>+", "ab*|a+"),
+            ("<p>*/<q>", "ab*|a+"),  # reverse aggregation
+            ("<p>/<q>*/<r>*", "ab*c*"),
+            ("(<p>|<q>)*", "A*"),
+            ("<p>/<q>*/<r>", "ab*c"),
+            ("<p>*/<q>*", "a*b*"),
+            ("<p>/<q>/<r>*", "abc*"),
+            ("<p>?/<q>*", "a?b*"),
+            ("(<p>|<q>)+", "A+"),
+            ("(<p>|<q>)/<r>*", "Ab*"),
+            ("<p>/<q>", "a1...ak"),
+            ("<p>/<q>/<r>/<s>", "a1...ak"),
+            ("<p>|<q>", "A"),
+            ("(<p>|<q>)?", "A?"),
+            ("<p>/<q>?/<r>?", "a1a2?...ak?"),
+            ("^<p>", "^a"),
+            ("<p>/<q>/<r>?", "abc?"),
+            ("<p>*/<q>/<r>*", "other transitive"),  # a*ba* family
+        ],
+    )
+    def test_buckets(self, path, bucket):
+        assert table8_bucket(path_of(path)) == bucket
+
+    def test_non_transitive_fallback(self):
+        # something odd but non-transitive: nested alternative of seqs
+        assert (
+            table8_bucket(path_of("(<p>/<q>)|(<r>/<s>)"))
+            == "other non-transitive"
+        )
+
+
+class TestFragmentClassification:
+    def test_simple_transitive(self):
+        assert path_is_simple_transitive(path_of("wdt:P31/wdt:P279*"))
+        assert path_is_simple_transitive(path_of("(<p>|<q>)*"))
+        # the paper: a*b* is the main reason paths are NOT STEs
+        assert not path_is_simple_transitive(path_of("<p>*/<q>*"))
+
+    def test_ctract(self):
+        assert path_in_ctract(path_of("wdt:P279*")) is True
+        assert path_in_ctract(path_of("<p>*/<q>*")) is True
+        assert path_in_ctract(path_of("<p>*/<q>/<r>*")) is False
+
+    def test_ttract_superset(self):
+        # a*ba* with distinct labels: trail-tractable approximation
+        assert path_in_ttract(path_of("<p>*/<q>/<p>*")) is True
+        assert path_in_ctract(path_of("<p>*/<q>/<p>*")) is False
+
+    def test_type_regex_roundtrip(self):
+        from repro.regex.classes import is_chare
+
+        expr = type_regex(path_of("<p>/<q>*/<r>"))
+        assert is_chare(expr)

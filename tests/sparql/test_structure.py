@@ -1,0 +1,283 @@
+"""Tests for well-designedness, hypergraphs and shapes
+(repro.sparql.welldesigned / hypergraph / shapes)."""
+
+import pytest
+
+from repro.sparql.hypergraph import (
+    Hypergraph,
+    canonical_hypergraph,
+    hypertree_width,
+    hypertree_width_at_most,
+    is_acyclic,
+    is_free_connex_acyclic,
+    query_hypertree_width,
+    triple_hypergraph,
+)
+from repro.sparql.parser import parse_query
+from repro.sparql.shapes import (
+    canonical_graph,
+    is_graph_pattern,
+    is_suitable_for_graph_analysis,
+    query_shape,
+    shape_of,
+)
+from repro.sparql.welldesigned import (
+    certain_variables,
+    is_union_of_well_designed,
+    is_well_behaved,
+    is_well_designed,
+)
+from repro.sparql.ast import Var
+
+
+class TestWellDesigned:
+    def test_plain_cq(self):
+        query = parse_query("SELECT * WHERE { ?a <p> ?b . ?b <q> ?c }")
+        assert is_well_designed(query.pattern)
+
+    def test_good_optional(self):
+        query = parse_query(
+            "SELECT * WHERE { ?a <p> ?b OPTIONAL { ?b <q> ?c } }"
+        )
+        assert is_well_designed(query.pattern)
+
+    def test_bad_optional(self):
+        # ?c occurs in the optional part and outside, but not in the
+        # mandatory left side — the canonical non-well-designed pattern
+        query = parse_query(
+            "SELECT * WHERE { { ?a <p> ?b OPTIONAL { ?b <q> ?c } } "
+            ". ?c <r> ?d }"
+        )
+        assert not is_well_designed(query.pattern)
+
+    def test_nested_optionals_good(self):
+        query = parse_query(
+            "SELECT * WHERE { ?a <p> ?b OPTIONAL { ?b <q> ?c "
+            "OPTIONAL { ?c <r> ?d } } }"
+        )
+        assert is_well_designed(query.pattern)
+
+    def test_union_not_in_fragment(self):
+        query = parse_query(
+            "SELECT * WHERE { { ?a <p> ?b } UNION { ?a <q> ?b } }"
+        )
+        assert not is_well_designed(query.pattern)
+        assert is_union_of_well_designed(query.pattern)
+
+    def test_union_of_bad_part(self):
+        query = parse_query(
+            "SELECT * WHERE { { ?x <p> ?y } UNION "
+            "{ { ?a <p> ?b OPTIONAL { ?b <q> ?c } } . ?c <r> ?d } }"
+        )
+        assert not is_union_of_well_designed(query.pattern)
+
+    def test_certain_variables(self):
+        query = parse_query(
+            "SELECT * WHERE { ?a <p> ?b OPTIONAL { ?b <q> ?c } }"
+        )
+        certain = certain_variables(query.pattern)
+        assert Var("a") in certain and Var("b") in certain
+        assert Var("c") not in certain
+
+    def test_well_behaved_filter_on_certain(self):
+        query = parse_query(
+            "SELECT * WHERE { ?a <p> ?b OPTIONAL { ?b <q> ?c } "
+            "FILTER(?a != <x>) }"
+        )
+        assert is_well_behaved(query.pattern)
+
+    def test_not_well_behaved_filter_on_optional(self):
+        query = parse_query(
+            "SELECT * WHERE { ?a <p> ?b OPTIONAL { ?b <q> ?c } "
+            "FILTER(?c != <x>) }"
+        )
+        assert not is_well_behaved(query.pattern)
+
+
+class TestHypergraph:
+    def test_triple_hypergraph_edges(self):
+        query = parse_query("SELECT * WHERE { ?a <p> ?b . ?b <q> <c> }")
+        hypergraph = triple_hypergraph(query)
+        assert frozenset({"a", "b"}) in hypergraph.edges
+        assert frozenset({"b"}) in hypergraph.edges
+
+    def test_canonical_adds_filter_edges(self):
+        query = parse_query(
+            "SELECT * WHERE { ?a <p> ?b . ?c <q> ?d FILTER(?a = ?c) }"
+        )
+        hypergraph = canonical_hypergraph(query)
+        assert frozenset({"a", "c"}) in hypergraph.edges
+
+    def test_acyclic_chain(self):
+        query = parse_query("SELECT * WHERE { ?a <p> ?b . ?b <q> ?c }")
+        assert is_acyclic(canonical_hypergraph(query))
+
+    def test_cyclic_triangle(self):
+        query = parse_query(
+            "SELECT * WHERE { ?a <p> ?b . ?b <q> ?c . ?c <r> ?a }"
+        )
+        assert not is_acyclic(canonical_hypergraph(query))
+
+    def test_htw_one_iff_acyclic(self):
+        acyclic = parse_query("SELECT * WHERE { ?a <p> ?b . ?b <q> ?c }")
+        assert query_hypertree_width(acyclic) == 1
+        triangle = parse_query(
+            "SELECT * WHERE { ?a <p> ?b . ?b <q> ?c . ?c <r> ?a }"
+        )
+        assert query_hypertree_width(triangle) == 2
+
+    def test_htw_at_most_monotone(self):
+        query = parse_query(
+            "SELECT * WHERE { ?a <p> ?b . ?b <q> ?c . ?c <r> ?a }"
+        )
+        hypergraph = canonical_hypergraph(query)
+        assert not hypertree_width_at_most(hypergraph, 1)
+        assert hypertree_width_at_most(hypergraph, 2)
+        assert hypertree_width_at_most(hypergraph, 3)
+
+    def test_empty_hypergraph(self):
+        assert hypertree_width(Hypergraph(())) == 0
+        assert is_acyclic(Hypergraph(()))
+
+    def test_grid_width_two(self):
+        # 2x3 grid of binary edges has treewidth 2 = ghw 2
+        query = parse_query(
+            "SELECT * WHERE { ?a <p> ?b . ?b <p> ?c . ?d <p> ?e . "
+            "?e <p> ?f . ?a <p> ?d . ?b <p> ?e . ?c <p> ?f }"
+        )
+        assert query_hypertree_width(query) == 2
+
+    def test_fca_projection_matters(self):
+        # path query: free-connex depends on the head
+        fca = parse_query("SELECT ?x WHERE { ?x <p> ?y . ?y <q> ?z }")
+        assert is_free_connex_acyclic(fca)
+        not_fca = parse_query(
+            "SELECT ?x ?z WHERE { ?x <p> ?y . ?y <q> ?z }"
+        )
+        assert not is_free_connex_acyclic(not_fca)
+
+    def test_fca_star_query(self):
+        query = parse_query(
+            "SELECT ?x WHERE { ?x <p> ?a . ?x <q> ?b . ?x <r> ?c }"
+        )
+        assert is_free_connex_acyclic(query)
+
+    def test_cyclic_is_never_fca(self):
+        query = parse_query(
+            "SELECT ?a WHERE { ?a <p> ?b . ?b <q> ?c . ?c <r> ?a }"
+        )
+        assert not is_free_connex_acyclic(query)
+
+
+class TestShapes:
+    def shape(self, text, with_constants=True):
+        return query_shape(parse_query(text), with_constants)
+
+    def test_no_edge(self):
+        # with constants, <s>--<o> is still an edge; dropping constants
+        # leaves no edge at all
+        assert self.shape("SELECT * WHERE { <s> ?p <o> }") == "le-1-edge"
+        assert (
+            self.shape("SELECT * WHERE { <s> ?p <o> }", with_constants=False)
+            == "no-edge"
+        )
+
+    def test_one_edge(self):
+        assert self.shape("SELECT * WHERE { ?a <p> ?b }") == "le-1-edge"
+
+    def test_chain(self):
+        assert (
+            self.shape("SELECT * WHERE { ?a <p> ?b . ?b <q> ?c }")
+            == "chain"
+        )
+
+    def test_star(self):
+        assert (
+            self.shape(
+                "SELECT * WHERE { ?x <p> ?a . ?x <q> ?b . ?x <r> ?c }"
+            )
+            == "star"
+        )
+
+    def test_tree(self):
+        assert (
+            self.shape(
+                "SELECT * WHERE { ?x <p> ?a . ?x <q> ?b . ?x <r> ?c . "
+                "?a <s> ?d . ?a <t> ?e . ?b <u> ?f . ?b <v> ?g }"
+            )
+            == "tree"
+        )
+
+    def test_forest(self):
+        assert (
+            self.shape(
+                "SELECT * WHERE { ?a <p> ?b . ?b <t> ?e . ?b <u> ?f . "
+                "?c <q> ?d . ?d <v> ?g . ?d <w> ?h }"
+            )
+            == "forest"
+        )
+
+    def test_cycle_tw2(self):
+        assert (
+            self.shape(
+                "SELECT * WHERE { ?a <p> ?b . ?b <q> ?c . ?c <r> ?a }"
+            )
+            == "tw<=2"
+        )
+
+    def test_k4_tw3(self):
+        text = (
+            "SELECT * WHERE { ?a <p> ?b . ?a <p> ?c . ?a <p> ?d . "
+            "?b <p> ?c . ?b <p> ?d . ?c <p> ?d }"
+        )
+        assert self.shape(text) == "tw<=3"
+
+    def test_constants_create_edges(self):
+        # with constants, <x> is a node joining the two triples
+        text = "SELECT * WHERE { ?a <p> <x> . ?b <q> <x> }"
+        assert self.shape(text) == "chain"
+        # without constants both edges vanish
+        assert self.shape(text, with_constants=False) == "no-edge"
+
+    def test_self_loop_not_forest(self):
+        shape = self.shape("SELECT * WHERE { ?a <p> ?a . ?a <q> ?b }")
+        assert shape not in ("chain", "star", "tree", "forest")
+
+    def test_filter_edge_counts(self):
+        text = (
+            "SELECT * WHERE { ?a <p> ?b . ?c <q> ?d FILTER(?b = ?c) }"
+        )
+        assert self.shape(text) == "chain"
+
+
+class TestGraphPatternSuitability:
+    def test_wildcard_predicate_ok(self):
+        query = parse_query("SELECT * WHERE { ?a ?p ?b }")
+        assert is_graph_pattern(query)
+
+    def test_shared_predicate_variable_not_ok(self):
+        query = parse_query("SELECT * WHERE { ?a ?p ?b . ?c ?p ?d }")
+        assert not is_graph_pattern(query)
+
+    def test_predicate_var_in_subject_not_ok(self):
+        query = parse_query("SELECT * WHERE { ?a ?p ?b . ?p <q> ?c }")
+        assert not is_graph_pattern(query)
+
+    def test_suitability_requires_cq_f(self):
+        query = parse_query(
+            "SELECT * WHERE { ?a <p> ?b OPTIONAL { ?b <q> ?c } }"
+        )
+        assert not is_suitable_for_graph_analysis(query)
+
+    def test_suitability_requires_simple_filters(self):
+        query = parse_query(
+            "SELECT * WHERE { ?a <p> ?b . ?b <q> ?c "
+            "FILTER(?a + ?b > ?c) }"
+        )
+        assert not is_suitable_for_graph_analysis(query)
+
+    def test_suitable_example(self):
+        query = parse_query(
+            "SELECT * WHERE { ?a <p> ?b . ?b <q> ?c FILTER(?a != ?c) }"
+        )
+        assert is_suitable_for_graph_analysis(query)

@@ -1,0 +1,44 @@
+"""Smoke tests: the runnable examples must keep running.
+
+Only the fast examples are executed here; the long-running studies
+(query_log_study, schema_inference) are covered by the benchmark
+harness, which exercises the same code paths.
+"""
+
+import pathlib
+import runpy
+import sys
+
+import pytest
+
+EXAMPLES = pathlib.Path(__file__).parent.parent / "examples"
+
+
+def run_example(name: str, capsys) -> str:
+    argv = sys.argv
+    sys.argv = [name]
+    try:
+        runpy.run_path(str(EXAMPLES / name), run_name="__main__")
+    finally:
+        sys.argv = argv
+    return capsys.readouterr().out
+
+
+class TestExamples:
+    def test_quickstart(self, capsys):
+        out = run_example("quickstart.py", capsys)
+        assert "deterministic? False" in out
+        assert "Figure 1 tree valid: True" in out
+        assert "Table 8 bucket 'ab*|a+'" in out
+        assert "Done." in out
+
+    def test_regex_complexity(self, capsys):
+        out = run_example("regex_complexity.py", capsys)
+        assert "randomized agreement with brute force: 20/20" in out
+        assert "x1 ∨ ¬x1 valid: True; containment: True" in out
+
+    def test_treewidth_study(self, capsys):
+        out = run_example("treewidth_study.py", capsys)
+        assert "Royal-like" in out
+        assert "Wikipedia-like" in out
+        assert "ordering matches Table 1" in out

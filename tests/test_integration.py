@@ -1,0 +1,168 @@
+"""Cross-layer integration tests: the pieces of the toolkit composed the
+way the paper composes them."""
+
+import random
+
+import pytest
+
+from repro.graphs import TripleStore, evaluate_rpq, foaf_rdf
+from repro.regex import parse as parse_regex
+from repro.sparql import Evaluator, PathPattern, parse_query
+from repro.trees import (
+    DTD,
+    EDTD,
+    PatternSchema,
+    Tree,
+    events_of,
+    infer_dtd,
+    parse_xml,
+    random_tree,
+    serialize,
+    validate_stream,
+)
+
+
+class TestXmlSchemaRoundtrip:
+    """XML text -> tree -> inferred DTD -> serialization -> validation."""
+
+    def test_full_cycle(self):
+        documents = [
+            "<library><book><title/></book><book><title/><author/></book>"
+            "</library>",
+            "<library><book><title/><author/><author/></book></library>",
+            "<library></library>",
+        ]
+        trees = [parse_xml(text) for text in documents]
+        dtd = infer_dtd(trees)
+        for tree in trees:
+            assert dtd.validate(tree)
+            assert validate_stream(dtd, events_of(tree))
+        # generalization: one more author is fine, a bare author is not
+        more = parse_xml(
+            "<library><book><title/><author/><author/><author/></book>"
+            "</library>"
+        )
+        assert dtd.validate(more)
+        bad = parse_xml("<library><book><author/></book></library>")
+        assert not dtd.validate(bad)
+
+    def test_generated_trees_serialize_and_revalidate(self):
+        rng = random.Random(3)
+        from repro.trees.schema_corpus import DTDCorpusProfile, random_dtd
+
+        dtd = random_dtd(rng, DTDCorpusProfile(recursion_rate=0.0))
+        for _ in range(5):
+            tree = random_tree(dtd, rng)
+            again = parse_xml(serialize(tree))
+            assert dtd.validate(again)
+
+
+class TestSchemaLanguageTower:
+    """DTD ⊂ stEDTD ⊂ EDTD, with BonXai on the side (Sections 4.3–4.4)."""
+
+    def test_dtd_as_edtd(self):
+        dtd = DTD.from_rules(
+            {"r": "a b?", "a": "", "b": ""}, start=["r"]
+        )
+        edtd = EDTD.from_rules(
+            {"r": "a b?", "a": "", "b": ""}, start=["r"]
+        )
+        for tree in (
+            Tree.build("r", "a"),
+            Tree.build("r", "a", "b"),
+            Tree.build("r", "b"),
+        ):
+            assert dtd.validate(tree) == edtd.validate(tree)
+
+    def test_pattern_schema_to_edtd_to_dtd_check(self):
+        # an ancestor-independent pattern schema collapses to a DTD
+        schema = PatternSchema.from_rules(
+            {"r": "x*", "x": "y?", "y": ""}
+        )
+        edtd = schema.to_edtd()
+        assert edtd.is_single_type()
+        assert edtd.is_structurally_dtd()
+        dtd = edtd.to_dtd()
+        tree = Tree.build("r", ("x", "y"), "x")
+        assert schema.validate(tree) and dtd.validate(tree)
+
+
+class TestSparqlOverGeneratedRdf:
+    """SPARQL evaluation over the graph generators (Sections 7 + 9)."""
+
+    def test_foaf_queries(self):
+        store = foaf_rdf(40, random.Random(1))
+        evaluator = Evaluator(store)
+        rows = evaluator.evaluate(
+            parse_query(
+                "SELECT ?p WHERE { ?p <rdf:type> <foaf:Person> }"
+            )
+        )
+        # rdf:type is stored unbracketed by the generator
+        rows2 = evaluator.evaluate(
+            parse_query("SELECT ?p WHERE { ?p rdf:type foaf:Person }")
+        )
+        assert len(rows2) == 40
+
+    def test_property_path_matches_rpq_engine(self):
+        store = TripleStore(
+            [
+                ("a", "<knows>", "b"),
+                ("b", "<knows>", "c"),
+                ("c", "<knows>", "d"),
+            ]
+        )
+        sparql_pairs = {
+            (row["x"], row["y"])
+            for row in Evaluator(store).evaluate(
+                parse_query("SELECT ?x ?y WHERE { ?x <knows>+ ?y }")
+            )
+        }
+        from repro.regex.ast import Plus, Symbol
+
+        rpq_pairs = evaluate_rpq(store, Plus(Symbol("<knows>")))
+        assert sparql_pairs == rpq_pairs
+
+    def test_aggregation_over_knows_graph(self):
+        store = foaf_rdf(25, random.Random(2))
+        rows = Evaluator(store).evaluate(
+            parse_query(
+                "SELECT ?p (COUNT(*) AS ?n) WHERE "
+                "{ ?p foaf:knows ?q } GROUP BY ?p"
+            )
+        )
+        total = sum(row["n"] for row in rows)
+        assert total == len(list(store.triples(p="foaf:knows")))
+
+
+class TestLogPipelineAgainstEvaluator:
+    """Generated queries are not just parseable — the CQ+F ones actually
+    run on a store."""
+
+    def test_generated_queries_evaluate(self):
+        from repro.logs import DBPEDIA, QueryGenerator
+        from repro.sparql.features import is_cq_f
+
+        rng = random.Random(4)
+        generator = QueryGenerator(DBPEDIA, rng)
+        store = TripleStore(
+            [
+                (
+                    f"<http://ex.org/e{i}>",
+                    f"<http://ex.org/p{i % 10}>",
+                    f"<http://ex.org/e{(i * 7) % 40}>",
+                )
+                for i in range(100)
+            ]
+        )
+        evaluator = Evaluator(store)
+        executed = 0
+        for _ in range(40):
+            query = parse_query(generator.generate_valid())
+            if query.query_type != "SELECT":
+                continue
+            if not is_cq_f(query):
+                continue
+            evaluator.evaluate(query)  # must not raise
+            executed += 1
+        assert executed >= 5

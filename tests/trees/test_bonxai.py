@@ -1,0 +1,144 @@
+"""Tests for pattern-based (BonXai-style) schemas (repro.trees.bonxai)."""
+
+import pytest
+
+from repro.errors import ParseError
+from repro.trees.bonxai import PathPattern, PatternSchema
+from repro.trees.tree import Tree
+
+
+def fig2b_schema() -> PatternSchema:
+    """The pattern-based schema of Figure 2b (plus leaf rules)."""
+    return PatternSchema.from_rules(
+        {
+            "a": "b + c",
+            "b": "e d f",
+            "c": "e d f",
+            "d": "g h i",
+            "e": "",
+            "f": "",
+            "g": "",
+            "i": "",
+            "//b//h": "j",
+            "//c//h": "k",
+            "j": "",
+            "k": "",
+        }
+    )
+
+
+def tree_under(branch: str, leaf: str) -> Tree:
+    return Tree.build(
+        "a", (branch, "e", ("d", "g", ("h", leaf), "i"), "f")
+    )
+
+
+class TestPathPattern:
+    def test_bare_label_floats(self):
+        pattern = PathPattern.parse("h")
+        assert pattern.matches(("a", "b", "h"))
+        assert pattern.matches(("h",))
+        assert not pattern.matches(("a", "b"))
+
+    def test_descendant_chain(self):
+        pattern = PathPattern.parse("//b//h")
+        assert pattern.matches(("a", "b", "d", "h"))
+        assert pattern.matches(("b", "h"))
+        assert not pattern.matches(("a", "c", "d", "h"))
+        assert not pattern.matches(("a", "b", "h", "x"))
+
+    def test_child_axis_anchored(self):
+        pattern = PathPattern.parse("/a/b")
+        assert pattern.matches(("a", "b"))
+        assert not pattern.matches(("x", "a", "b"))
+
+    def test_mixed_axes(self):
+        pattern = PathPattern.parse("/a//h")
+        assert pattern.matches(("a", "b", "d", "h"))
+        assert not pattern.matches(("b", "h"))
+
+    def test_parse_errors(self):
+        with pytest.raises(ParseError):
+            PathPattern.parse("")
+        with pytest.raises(ParseError):
+            PathPattern.parse("//")
+
+    def test_render(self):
+        assert str(PathPattern.parse("//b//h")) == "//b//h"
+        assert str(PathPattern.parse("/a/b")) == "/a/b"
+
+
+class TestSchemaSemantics:
+    def test_fig2_b_branch(self):
+        assert fig2b_schema().validate(tree_under("b", "j"))
+
+    def test_fig2_c_branch(self):
+        assert fig2b_schema().validate(tree_under("c", "k"))
+
+    def test_fig2_wrong_content_under_b(self):
+        assert not fig2b_schema().validate(tree_under("b", "k"))
+
+    def test_fig2_wrong_content_under_c(self):
+        assert not fig2b_schema().validate(tree_under("c", "j"))
+
+    def test_unselected_node_rejected(self):
+        schema = PatternSchema.from_rules({"a": "b?", "b": ""})
+        tree = Tree.build("a", "z")
+        violation = schema.first_violation(tree)
+        assert violation is not None
+        # 'z' breaks both conditions; content check fires first on 'a'
+        assert "a" in violation or "z" in violation
+
+    def test_conjunctive_rules(self):
+        # two rules select the same node; both constrain it
+        schema = PatternSchema.from_rules(
+            {
+                "a": "b* c?",
+                "//a": "b b* c?",  # additionally requires >= 1 b
+                "b": "",
+                "c": "",
+            }
+        )
+        assert schema.validate(Tree.build("a", "b"))
+        assert not schema.validate(Tree.build("a", "c"))
+
+    def test_alphabet(self):
+        assert "h" in fig2b_schema().alphabet()
+        assert "j" in fig2b_schema().alphabet()
+
+
+class TestToEDTD:
+    def test_fig2_roundtrip(self):
+        schema = fig2b_schema()
+        edtd = schema.to_edtd()
+        assert edtd.is_single_type()
+        for branch, leaf in [("b", "j"), ("c", "k")]:
+            tree = tree_under(branch, leaf)
+            assert edtd.validate(tree) == schema.validate(tree)
+        for branch, leaf in [("b", "k"), ("c", "j")]:
+            tree = tree_under(branch, leaf)
+            assert edtd.validate(tree) == schema.validate(tree)
+
+    def test_fig2_edtd_is_not_structurally_dtd(self):
+        # the h-type genuinely depends on its ancestors
+        assert not fig2b_schema().to_edtd().is_structurally_dtd()
+
+    def test_conjunctive_rules_intersect(self):
+        schema = PatternSchema.from_rules(
+            {
+                "a": "b* c?",
+                "//a": "b b* c?",
+                "b": "",
+                "c": "",
+            }
+        )
+        edtd = schema.to_edtd()
+        assert edtd.validate(Tree.build("a", "b"))
+        assert not edtd.validate(Tree.build("a", "c"))
+        assert not edtd.validate(Tree.build("a"))
+
+    def test_unmatched_label_unsatisfiable(self):
+        schema = PatternSchema.from_rules({"a": "z?", "z": ""})
+        edtd = schema.to_edtd()
+        # 'q' is never selected by any rule; trees containing it fail
+        assert edtd.validate(Tree.build("a", "z"))

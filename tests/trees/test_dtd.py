@@ -1,0 +1,213 @@
+"""Tests for DTDs (repro.trees.dtd)."""
+
+import pytest
+
+from repro.errors import DTDParseError, SchemaError, ValidationError
+from repro.regex.ops import equivalent
+from repro.regex.parser import parse as parse_regex
+from repro.trees.dtd import (
+    DTD,
+    parse_dtd,
+    sgml_unordered,
+    sgml_unordered_approximation,
+    uses_any_type,
+)
+from repro.trees.tree import Tree
+
+
+def example_dtd() -> DTD:
+    """The DTD of Example 4.2."""
+    return DTD.from_rules(
+        {
+            "persons": "person*",
+            "person": "name birthplace",
+            "birthplace": "city state country?",
+        },
+        start=["persons"],
+    )
+
+
+def fig1_tree() -> Tree:
+    return Tree.build(
+        "persons",
+        ("person", "name", ("birthplace", "city", "state", "country")),
+    )
+
+
+class TestValidation:
+    def test_example_42_validates_fig1(self):
+        assert example_dtd().validate(fig1_tree())
+
+    def test_optional_country(self):
+        tree = Tree.build(
+            "persons", ("person", "name", ("birthplace", "city", "state"))
+        )
+        assert example_dtd().validate(tree)
+
+    def test_missing_name_rejected(self):
+        tree = Tree.build(
+            "persons", ("person", ("birthplace", "city", "state"))
+        )
+        assert not example_dtd().validate(tree)
+
+    def test_wrong_root_rejected(self):
+        tree = Tree.build("people", ("person", "name"))
+        assert not example_dtd().validate(tree)
+
+    def test_empty_persons_ok(self):
+        assert example_dtd().validate(Tree.build("persons"))
+
+    def test_first_violation_message(self):
+        tree = Tree.build("persons", ("person", "name"))
+        message = example_dtd().first_violation(tree)
+        assert "person" in message
+
+    def test_validate_or_raise(self):
+        with pytest.raises(ValidationError):
+            example_dtd().validate_or_raise(
+                Tree.build("persons", ("person", "name"))
+            )
+
+    def test_strict_mode_rejects_undeclared(self):
+        tree = Tree.build(
+            "persons",
+            ("person", "name", ("birthplace", "city", "state"), "pet"),
+        )
+        # 'pet' breaks the content model anyway; craft an undeclared leaf
+        tree2 = Tree.build("persons", ("person", "name", "birthplace"))
+        # birthplace with no children is fine non-strictly? it needs
+        # city state — so use a label outside Σ under non-strict default:
+        dtd = DTD.from_rules({"a": "b?"}, start=["a"])
+        stray = Tree.build("a", "c")
+        assert not dtd.validate(stray)  # content model fails anyway
+        ok_stray = DTD.from_rules({"a": "c?"}, start=["a"])
+        assert ok_stray.validate(Tree.build("a", "c"))
+
+    def test_needs_start_label(self):
+        with pytest.raises(SchemaError):
+            DTD({}, frozenset())
+
+
+class TestRecursion:
+    def test_example_42_nonrecursive(self):
+        dtd = example_dtd()
+        assert not dtd.is_recursive()
+        assert dtd.max_document_depth() == 4
+
+    def test_recursive_dtd(self):
+        dtd = DTD.from_rules(
+            {"section": "title section*", "title": ""},
+            start=["section"],
+        )
+        assert dtd.is_recursive()
+        assert dtd.max_document_depth() is None
+
+    def test_indirect_recursion(self):
+        dtd = DTD.from_rules(
+            {"a": "b?", "b": "c?", "c": "a?"}, start=["a"]
+        )
+        assert dtd.is_recursive()
+
+    def test_depth_ignores_unreachable(self):
+        dtd = DTD.from_rules(
+            {"a": "b", "b": "", "deep1": "deep2", "deep2": "deep3"},
+            start=["a"],
+        )
+        assert dtd.max_document_depth() == 2
+
+
+class TestExpressionReport:
+    def test_report_fields(self):
+        report = example_dtd().expression_report()
+        assert report["person"]["deterministic"]
+        assert report["person"]["chare"]
+        assert report["person"]["sore"]
+        assert report["birthplace"]["max_occurrences"] == 1
+
+    def test_nondeterministic_flagged(self):
+        dtd = DTD.from_rules({"r": "(a + b)* a"}, start=["r"])
+        assert not dtd.all_content_models_deterministic()
+
+    def test_example_is_deterministic(self):
+        assert example_dtd().all_content_models_deterministic()
+
+
+class TestRealSyntax:
+    DOC = """
+    <!ELEMENT persons (person*)>
+    <!ELEMENT person (name, birthplace)>
+    <!ELEMENT birthplace (city, state, country?)>
+    <!ELEMENT name (#PCDATA)>
+    <!ELEMENT city (#PCDATA)>
+    <!ELEMENT state (#PCDATA)>
+    <!ELEMENT country (#PCDATA)>
+    """
+
+    def test_parse_real_dtd(self):
+        dtd = parse_dtd(self.DOC)
+        assert dtd.start_labels == frozenset({"persons"})
+        assert dtd.validate(fig1_tree())
+
+    def test_equivalent_to_from_rules(self):
+        dtd = parse_dtd(self.DOC)
+        assert equivalent(
+            dtd.rules["birthplace"],
+            parse_regex("city state country?", multi_char=True),
+        )
+
+    def test_choice_syntax(self):
+        dtd = parse_dtd("<!ELEMENT a (b | c)> <!ELEMENT b EMPTY> "
+                        "<!ELEMENT c EMPTY>")
+        assert dtd.validate(Tree.build("a", "b"))
+        assert dtd.validate(Tree.build("a", "c"))
+        assert not dtd.validate(Tree.build("a", "b", "c"))
+
+    def test_modifiers(self):
+        dtd = parse_dtd("<!ELEMENT a (b+, c*)> <!ELEMENT b EMPTY> "
+                        "<!ELEMENT c EMPTY>")
+        assert dtd.validate(Tree.build("a", "b", "b", "c"))
+        assert not dtd.validate(Tree.build("a", "c"))
+
+    def test_mixed_content(self):
+        dtd = parse_dtd(
+            "<!ELEMENT p (#PCDATA | em | strong)*>"
+            "<!ELEMENT em (#PCDATA)> <!ELEMENT strong (#PCDATA)>"
+        )
+        assert dtd.validate(Tree.build("p", "em", "strong", "em"))
+        assert dtd.validate(Tree.build("p"))
+
+    def test_any_type(self):
+        text = "<!ELEMENT a ANY> <!ELEMENT b EMPTY>"
+        assert uses_any_type(text)
+        dtd = parse_dtd(text, start=["a"])
+        assert dtd.validate(Tree.build("a", "b", "b", "a"))
+
+    def test_any_rarity_detector(self):
+        assert not uses_any_type(self.DOC)
+
+    def test_duplicate_declaration_rejected(self):
+        with pytest.raises(DTDParseError):
+            parse_dtd("<!ELEMENT a (b)> <!ELEMENT a (c)>")
+
+    def test_no_declarations_rejected(self):
+        with pytest.raises(DTDParseError):
+            parse_dtd("<!-- nothing here -->")
+
+
+class TestSGMLUnordered:
+    def test_exact_permutations(self):
+        expr = sgml_unordered(["a", "b", "c"])
+        from repro.regex.ops import accepts
+
+        for word in ["abc", "acb", "bac", "bca", "cab", "cba"]:
+            assert accepts(expr, tuple(word))
+        assert not accepts(expr, tuple("ab"))
+        assert not accepts(expr, tuple("aabc"))
+
+    def test_approximation_is_strict_superset(self):
+        exact = sgml_unordered(["a", "b"])
+        approx = sgml_unordered_approximation(["a", "b"])
+        from repro.regex.ops import is_contained
+
+        assert is_contained(exact, approx)
+        assert not is_contained(approx, exact)  # drastic overapproximation

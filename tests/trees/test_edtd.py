@@ -1,0 +1,184 @@
+"""Tests for extended DTDs and single-type EDTDs (repro.trees.edtd)."""
+
+import pytest
+
+from repro.errors import SchemaError, ValidationError
+from repro.trees.edtd import EDTD, validate_single_type
+from repro.trees.tree import Tree
+
+
+def example_411() -> EDTD:
+    """The EDTD of Example 4.11 (not single-type)."""
+    return EDTD.from_rules(
+        {
+            "persons": "person*",
+            "person": "name (birthplace-US + birthplace-Intl)",
+            "birthplace-US": "city state country?",
+            "birthplace-Intl": "city state country",
+        },
+        start=["persons"],
+        mu={
+            "birthplace-US": "birthplace",
+            "birthplace-Intl": "birthplace",
+        },
+    )
+
+
+def fig2a_edtd() -> EDTD:
+    """The single-type EDTD of Figure 2a."""
+    return EDTD.from_rules(
+        {
+            "a": "b + c",
+            "b": "e d1 f",
+            "c": "e d2 f",
+            "d1": "g h1 i",
+            "d2": "g h2 i",
+            "h1": "j",
+            "h2": "k",
+        },
+        start=["a"],
+        mu={"d1": "d", "d2": "d", "h1": "h", "h2": "h"},
+    )
+
+
+def us_tree(with_country: bool) -> Tree:
+    birthplace = (
+        ("birthplace", "city", "state", "country")
+        if with_country
+        else ("birthplace", "city", "state")
+    )
+    return Tree.build("persons", ("person", "name", birthplace))
+
+
+class TestEDTDValidation:
+    def test_fig1_tree_valid(self):
+        assert example_411().validate(us_tree(with_country=True))
+
+    def test_us_birthplace_without_country(self):
+        assert example_411().validate(us_tree(with_country=False))
+
+    def test_invalid_children(self):
+        tree = Tree.build("persons", ("person", ("birthplace", "city")))
+        assert not example_411().validate(tree)
+
+    def test_wrong_root_label(self):
+        assert not example_411().validate(Tree.build("people"))
+
+    def test_validate_or_raise(self):
+        with pytest.raises(ValidationError):
+            example_411().validate_or_raise(Tree.build("nope"))
+
+    def test_witness_typing(self):
+        witness = example_411().witness_typing(us_tree(with_country=False))
+        assert witness is not None
+        labels = [node.label for node in witness.root.walk()]
+        assert "birthplace-US" in labels  # country omitted => US type
+
+    def test_witness_typing_international(self):
+        witness = example_411().witness_typing(us_tree(with_country=True))
+        assert witness is not None
+        labels = set(node.label for node in witness.root.walk())
+        # both typings exist; the witness must be one of them
+        assert labels & {"birthplace-US", "birthplace-Intl"}
+
+    def test_witness_none_for_invalid(self):
+        assert example_411().witness_typing(Tree.build("x")) is None
+
+    def test_mu_defaults_to_identity(self):
+        edtd = EDTD.from_rules({"a": "b?"}, start=["a"])
+        assert edtd.mu["a"] == "a"
+        assert edtd.mu["b"] == "b"
+
+
+class TestSingleType:
+    def test_example_411_not_single_type(self):
+        edtd = example_411()
+        assert not edtd.is_single_type()
+        violation = edtd.single_type_violation()
+        assert "birthplace" in violation
+
+    def test_fig2a_is_single_type(self):
+        assert fig2a_edtd().is_single_type()
+
+    def test_start_set_violation(self):
+        edtd = EDTD.from_rules(
+            {"t1": "", "t2": ""},
+            start=["t1", "t2"],
+            mu={"t1": "a", "t2": "a"},
+        )
+        assert not edtd.is_single_type()
+
+    def test_single_type_validation_agrees_with_general(self):
+        edtd = fig2a_edtd()
+        good = Tree.build(
+            "a", ("b", "e", ("d", "g", ("h", "j"), "i"), "f")
+        )
+        bad = Tree.build(
+            "a", ("b", "e", ("d", "g", ("h", "k"), "i"), "f")
+        )
+        assert edtd.validate(good) and validate_single_type(edtd, good)
+        assert not edtd.validate(bad)
+        assert not validate_single_type(edtd, bad)
+
+    def test_single_type_validator_rejects_non_st(self):
+        with pytest.raises(SchemaError):
+            validate_single_type(example_411(), Tree.build("persons"))
+
+    def test_ancestor_dependent_content(self):
+        # under c, h must contain k
+        edtd = fig2a_edtd()
+        good_c = Tree.build(
+            "a", ("c", "e", ("d", "g", ("h", "k"), "i"), "f")
+        )
+        bad_c = Tree.build(
+            "a", ("c", "e", ("d", "g", ("h", "j"), "i"), "f")
+        )
+        assert edtd.validate(good_c)
+        assert not edtd.validate(bad_c)
+
+
+class TestDTDExpressibility:
+    def test_fig2a_not_dtd_expressible(self):
+        assert not fig2a_edtd().is_structurally_dtd()
+
+    def test_to_dtd_raises_for_fig2a(self):
+        with pytest.raises(SchemaError):
+            fig2a_edtd().to_dtd()
+
+    def test_trivially_dtd_expressible(self):
+        edtd = EDTD.from_rules(
+            {"persons": "person*", "person": "name"},
+            start=["persons"],
+        )
+        assert edtd.is_structurally_dtd()
+        dtd = edtd.to_dtd()
+        assert dtd.validate(Tree.build("persons", ("person", "name")))
+
+    def test_equivalent_duplicate_types_collapse(self):
+        # two types of the same label with the SAME content language
+        edtd = EDTD.from_rules(
+            {
+                "root": "x1 + x2",
+                "x1": "y?",
+                "x2": "y? ",
+            },
+            start=["root"],
+            mu={"x1": "x", "x2": "x"},
+        )
+        assert edtd.is_structurally_dtd()
+        dtd = edtd.to_dtd()
+        assert dtd.validate(Tree.build("root", ("x", "y")))
+        assert dtd.validate(Tree.build("root", "x"))
+
+    def test_reachability_limits_check(self):
+        # an unreachable conflicting type must not matter
+        edtd = EDTD.from_rules(
+            {
+                "root": "x1",
+                "x1": "y?",
+                "x2": "z z z",  # unreachable
+            },
+            start=["root"],
+            mu={"x1": "x", "x2": "x"},
+        )
+        assert edtd.is_structurally_dtd()

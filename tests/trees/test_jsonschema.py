@@ -1,0 +1,239 @@
+"""Tests for JSON Schema (repro.trees.jsonschema) — Section 4.5."""
+
+import random
+
+import pytest
+
+from repro.errors import SchemaError
+from repro.trees.jsonschema import (
+    JSONSchema,
+    corpus_study_json_schemas,
+    random_json_schema,
+    schema_report,
+)
+
+PERSON_SCHEMA = {
+    "type": "object",
+    "properties": {
+        "name": {"type": "string"},
+        "age": {"type": "integer", "minimum": 0},
+        "tags": {"type": "array", "items": {"type": "string"}},
+    },
+    "required": ["name"],
+}
+
+
+class TestValidation:
+    def test_object_ok(self):
+        schema = JSONSchema(PERSON_SCHEMA)
+        assert schema.validate({"name": "Aretha", "age": 76})
+
+    def test_missing_required(self):
+        assert not JSONSchema(PERSON_SCHEMA).validate({"age": 3})
+
+    def test_wrong_type(self):
+        assert not JSONSchema(PERSON_SCHEMA).validate({"name": 7})
+
+    def test_minimum(self):
+        assert not JSONSchema(PERSON_SCHEMA).validate(
+            {"name": "x", "age": -1}
+        )
+
+    def test_array_items(self):
+        schema = JSONSchema(PERSON_SCHEMA)
+        assert schema.validate({"name": "x", "tags": ["a", "b"]})
+        assert not schema.validate({"name": "x", "tags": ["a", 1]})
+
+    def test_schema_mixed_default(self):
+        # additional properties allowed by default (schema-mixed)
+        assert JSONSchema(PERSON_SCHEMA).validate(
+            {"name": "x", "anything": "goes"}
+        )
+
+    def test_schema_full_rejects_additional(self):
+        document = dict(PERSON_SCHEMA, additionalProperties=False)
+        assert not JSONSchema(document).validate(
+            {"name": "x", "extra": 1}
+        )
+
+    def test_typed_additional_properties(self):
+        document = dict(
+            PERSON_SCHEMA, additionalProperties={"type": "integer"}
+        )
+        schema = JSONSchema(document)
+        assert schema.validate({"name": "x", "extra": 1})
+        assert not schema.validate({"name": "x", "extra": "s"})
+
+    def test_boolean_schemas(self):
+        assert JSONSchema(True).validate({"anything": 1})
+        assert not JSONSchema(False).validate(1)
+
+    def test_enum_const(self):
+        schema = JSONSchema({"enum": ["red", "green"]})
+        assert schema.validate("red")
+        assert not schema.validate("blue")
+        assert JSONSchema({"const": 5}).validate(5)
+        assert not JSONSchema({"const": 5}).validate(6)
+
+    def test_combinators(self):
+        any_of = JSONSchema(
+            {"anyOf": [{"type": "string"}, {"type": "integer"}]}
+        )
+        assert any_of.validate("x") and any_of.validate(3)
+        assert not any_of.validate(True)
+        one_of = JSONSchema(
+            {
+                "oneOf": [
+                    {"type": "integer"},
+                    {"type": "number", "minimum": 0},
+                ]
+            }
+        )
+        assert one_of.validate("s") is False  # matches neither
+        assert one_of.validate(-3)  # integer only
+        assert not one_of.validate(3)  # matches both
+
+    def test_not(self):
+        schema = JSONSchema(
+            {"type": "object", "not": {"required": ["legacy"]}}
+        )
+        assert schema.validate({"modern": 1})
+        assert not schema.validate({"legacy": 1})
+
+    def test_string_lengths(self):
+        schema = JSONSchema(
+            {"type": "string", "minLength": 2, "maxLength": 3}
+        )
+        assert schema.validate("ab")
+        assert not schema.validate("a")
+        assert not schema.validate("abcd")
+
+    def test_integer_vs_boolean(self):
+        assert not JSONSchema({"type": "integer"}).validate(True)
+
+    def test_tuple_items(self):
+        schema = JSONSchema(
+            {"type": "array", "items": [{"type": "string"}, {"type": "integer"}]}
+        )
+        assert schema.validate(["a", 1])
+        assert not schema.validate([1, "a"])
+
+
+class TestReferencesAndRecursion:
+    def tree_schema(self) -> JSONSchema:
+        return JSONSchema(
+            {
+                "$ref": "#/definitions/node",
+                "definitions": {
+                    "node": {
+                        "type": "object",
+                        "properties": {
+                            "label": {"type": "string"},
+                            "children": {
+                                "type": "array",
+                                "items": {"$ref": "#/definitions/node"},
+                            },
+                        },
+                        "required": ["label"],
+                    }
+                },
+            }
+        )
+
+    def test_recursive_validation(self):
+        schema = self.tree_schema()
+        assert schema.validate(
+            {"label": "root", "children": [{"label": "leaf"}]}
+        )
+        assert not schema.validate(
+            {"label": "root", "children": [{"nolabel": 1}]}
+        )
+
+    def test_recursion_detected(self):
+        assert self.tree_schema().is_recursive()
+        assert not JSONSchema(PERSON_SCHEMA).is_recursive()
+
+    def test_recursive_depth_unbounded(self):
+        assert self.tree_schema().max_nesting_depth() is None
+
+    def test_nonrecursive_depth(self):
+        assert JSONSchema(PERSON_SCHEMA).max_nesting_depth() == 3
+
+    def test_dangling_ref(self):
+        schema = JSONSchema({"$ref": "#/definitions/missing"})
+        with pytest.raises(SchemaError):
+            schema.validate(1)
+
+
+class TestStudyMetrics:
+    def test_size(self):
+        assert JSONSchema(PERSON_SCHEMA).size() >= 5
+
+    def test_types_used(self):
+        assert JSONSchema(PERSON_SCHEMA).types_used() == {
+            "object",
+            "string",
+            "integer",
+            "array",
+        }
+
+    def test_schema_full_flag(self):
+        assert not JSONSchema(PERSON_SCHEMA).is_schema_full()
+        assert JSONSchema(
+            dict(PERSON_SCHEMA, additionalProperties=False)
+        ).is_schema_full()
+
+    def test_negation_flags(self):
+        schema = JSONSchema(
+            {
+                "type": "object",
+                "properties": {
+                    "x": {"not": {"required": ["legacy"]}},
+                },
+            }
+        )
+        assert schema.uses_negation()
+        assert "forbidden" in schema.negation_patterns()
+
+    def test_implication_pattern(self):
+        schema = JSONSchema(
+            {
+                "anyOf": [
+                    {"not": {"required": ["a"]}},
+                    {"required": ["b"]},
+                ]
+            }
+        )
+        assert "implication" in schema.negation_patterns()
+
+    def test_report_fields(self):
+        report = schema_report(JSONSchema(PERSON_SCHEMA))
+        assert report["recursive"] is False
+        assert report["max_nesting_depth"] == 3
+        assert report["schema_full"] is False
+
+
+class TestCorpusStudy:
+    def test_calibrated_rates(self):
+        rng = random.Random(2022)
+        schemas = [random_json_schema(rng) for _ in range(159)]
+        study = corpus_study_json_schemas(schemas)
+        assert study["schemas"] == 159
+        # Maiwald: 26/159 recursive, 8 schema-full, depths 3-43 avg 11
+        assert 5 <= study["recursive"] <= 60
+        assert 0 <= study["schema_full"] <= 25
+        assert study["max_depth_range"][0] >= 1
+        assert 0.0 <= study["negation_fraction"] <= 0.15
+
+    def test_generated_schemas_validate_something(self):
+        rng = random.Random(3)
+        for _ in range(20):
+            schema = random_json_schema(rng)
+            # an empty object is accepted unless root requires fields
+            document = schema.document
+            if (
+                isinstance(document, dict)
+                and document.get("type") == "object"
+                and not document.get("required")
+            ):
+                assert schema.validate({})

@@ -1,0 +1,151 @@
+"""Tests for streaming DTD validation (repro.trees.streaming)."""
+
+import pytest
+
+from repro.errors import ValidationError
+from repro.trees.dtd import DTD
+from repro.trees.streaming import (
+    StreamingDTDValidator,
+    events_of,
+    memory_bound,
+    validate_stream,
+    validate_stream_or_raise,
+)
+from repro.trees.tree import Tree
+
+
+def example_dtd() -> DTD:
+    return DTD.from_rules(
+        {
+            "persons": "person*",
+            "person": "name birthplace",
+            "birthplace": "city state country?",
+        },
+        start=["persons"],
+    )
+
+
+def fig1_tree() -> Tree:
+    return Tree.build(
+        "persons",
+        ("person", "name", ("birthplace", "city", "state")),
+    )
+
+
+class TestEvents:
+    def test_event_stream_shape(self):
+        events = list(events_of(Tree.build("a", "b", "c")))
+        assert events == [
+            ("start", "a"),
+            ("start", "b"),
+            ("end", "b"),
+            ("start", "c"),
+            ("end", "c"),
+            ("end", "a"),
+        ]
+
+
+class TestStreamingValidation:
+    def test_valid_stream(self):
+        assert validate_stream(example_dtd(), events_of(fig1_tree()))
+
+    def test_agrees_with_tree_validation(self):
+        dtd = example_dtd()
+        trees = [
+            fig1_tree(),
+            Tree.build("persons"),
+            Tree.build("persons", ("person", "name")),
+            Tree.build("person", "name", "birthplace"),
+        ]
+        for tree in trees:
+            assert validate_stream(dtd, events_of(tree)) == dtd.validate(
+                tree
+            ), tree
+
+    def test_rejects_bad_root(self):
+        events = [("start", "people"), ("end", "people")]
+        assert not validate_stream(example_dtd(), events)
+
+    def test_rejects_wrong_child_early(self):
+        validator = StreamingDTDValidator(example_dtd())
+        assert validator.feed(("start", "persons"))
+        assert validator.feed(("start", "person"))
+        assert not validator.feed(("start", "city"))  # name expected
+        assert "city" in validator.failure
+
+    def test_rejects_incomplete_content(self):
+        dtd = example_dtd()
+        events = [
+            ("start", "persons"),
+            ("start", "person"),
+            ("start", "name"),
+            ("end", "name"),
+            ("end", "person"),  # missing birthplace
+            ("end", "persons"),
+        ]
+        assert not validate_stream(dtd, events)
+
+    def test_rejects_truncated_stream(self):
+        events = [("start", "persons"), ("start", "person")]
+        assert not validate_stream(example_dtd(), events)
+
+    def test_rejects_unbalanced_end(self):
+        events = [("start", "persons"), ("end", "person")]
+        assert not validate_stream(example_dtd(), events)
+
+    def test_rejects_second_root(self):
+        events = [
+            ("start", "persons"),
+            ("end", "persons"),
+            ("start", "persons"),
+            ("end", "persons"),
+        ]
+        assert not validate_stream(example_dtd(), events)
+
+    def test_or_raise(self):
+        with pytest.raises(ValidationError):
+            validate_stream_or_raise(
+                example_dtd(), [("start", "nope"), ("end", "nope")]
+            )
+
+
+class TestMemoryBound:
+    def test_stack_depth_tracks_document_depth(self):
+        validator = StreamingDTDValidator(example_dtd())
+        for event in events_of(fig1_tree()):
+            validator.feed(event)
+        assert validator.finish()
+        assert validator.max_stack_depth == 4  # persons/person/birthplace/city
+
+    def test_constant_memory_for_nonrecursive(self):
+        """Stack depth is bounded by the DTD's max depth regardless of
+        document size — the Segoufin–Vianu constant-memory property."""
+        dtd = example_dtd()
+        bound = memory_bound(dtd)
+        assert bound == 4
+        # a much longer document: 50 persons
+        root = Tree.build(
+            "persons",
+            *[
+                ("person", "name", ("birthplace", "city", "state"))
+                for _ in range(50)
+            ],
+        )
+        validator = StreamingDTDValidator(dtd)
+        for event in events_of(root):
+            assert validator.feed(event)
+        assert validator.finish()
+        assert validator.max_stack_depth <= bound
+
+    def test_recursive_dtd_unbounded(self):
+        dtd = DTD.from_rules(
+            {"sec": "title sec*", "title": ""}, start=["sec"]
+        )
+        assert memory_bound(dtd) is None
+        # streaming still works, the stack just grows with nesting
+        deep = Tree.build("sec", "title", ("sec", "title", ("sec", "title")))
+        validator = StreamingDTDValidator(dtd)
+        for event in events_of(deep):
+            assert validator.feed(event)
+        assert validator.finish()
+        assert validator.max_stack_depth == 4  # sec/sec/sec/title

@@ -1,0 +1,127 @@
+"""Tests for labeled ordered trees (repro.trees.tree)."""
+
+from repro.trees.tree import Tree, TreeNode, is_broad_and_shallow
+
+
+def fig1_tree() -> Tree:
+    """The tree of Figure 1c."""
+    return Tree.build(
+        "persons",
+        (
+            "person",
+            "name",
+            ("birthplace", "city", "state", "country"),
+        ),
+    )
+
+
+class TestConstruction:
+    def test_build_nested(self):
+        tree = fig1_tree()
+        assert tree.root.label == "persons"
+        person = tree.root.children[0]
+        assert person.label == "person"
+        assert [c.label for c in person.children] == ["name", "birthplace"]
+
+    def test_child_word(self):
+        tree = fig1_tree()
+        birthplace = tree.root.children[0].children[1]
+        assert birthplace.child_word() == ("city", "state", "country")
+
+    def test_add_child_returns_child(self):
+        root = TreeNode("r")
+        child = root.add_child(TreeNode("c"))
+        assert child.label == "c"
+        assert root.children == [child]
+
+
+class TestStatistics:
+    def test_node_count(self):
+        assert fig1_tree().node_count() == 7
+
+    def test_depth(self):
+        assert fig1_tree().depth() == 4
+        assert Tree(TreeNode("only")).depth() == 1
+
+    def test_max_branching(self):
+        assert fig1_tree().max_branching() == 3
+
+    def test_average_branching(self):
+        tree = fig1_tree()
+        # internal nodes: persons(1), person(2), birthplace(3)
+        assert tree.average_branching() == (1 + 2 + 3) / 3
+
+    def test_average_branching_leaf_only(self):
+        assert Tree(TreeNode("x")).average_branching() == 0.0
+
+    def test_label_distribution(self):
+        dist = fig1_tree().label_distribution()
+        assert dist["city"] == 1
+        assert dist["persons"] == 1
+
+    def test_labels(self):
+        assert "state" in fig1_tree().labels()
+
+
+class TestTraversal:
+    def test_walk_is_preorder(self):
+        labels = [node.label for node in fig1_tree().root.walk()]
+        assert labels == [
+            "persons",
+            "person",
+            "name",
+            "birthplace",
+            "city",
+            "state",
+            "country",
+        ]
+
+    def test_breadth_first(self):
+        labels = [node.label for node in fig1_tree().nodes_breadth_first()]
+        assert labels[0] == "persons"
+        assert labels[1] == "person"
+        assert set(labels[-3:]) == {"city", "state", "country"}
+
+    def test_walk_with_depth(self):
+        depths = {
+            node.label: depth
+            for node, depth in fig1_tree().root.walk_with_depth()
+        }
+        assert depths["persons"] == 1
+        assert depths["country"] == 4
+
+
+class TestOperations:
+    def test_relabel(self):
+        tree = fig1_tree().relabel(str.upper)
+        assert tree.root.label == "PERSONS"
+        assert "CITY" in tree.labels()
+
+    def test_equal_structure(self):
+        assert fig1_tree().equal_structure(fig1_tree())
+
+    def test_equal_structure_ignores_values(self):
+        t1, t2 = fig1_tree(), fig1_tree()
+        t2.root.children[0].children[0].value = "Aretha"
+        assert t1.equal_structure(t2)
+
+    def test_unequal_structure(self):
+        other = Tree.build("persons", ("person", "name"))
+        assert not fig1_tree().equal_structure(other)
+
+
+class TestBroadShallow:
+    def test_shallow_tree(self):
+        # mimic DBLP: many nodes, small depth
+        root = TreeNode("dblp")
+        for i in range(100):
+            article = root.add_child(TreeNode("article"))
+            article.add_child(TreeNode("title"))
+        assert is_broad_and_shallow(Tree(root))
+
+    def test_deep_chain_is_not(self):
+        node = TreeNode("n0")
+        root = node
+        for i in range(1, 60):
+            node = node.add_child(TreeNode(f"n{i}"))
+        assert not is_broad_and_shallow(Tree(root))

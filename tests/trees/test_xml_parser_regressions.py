@@ -1,0 +1,30 @@
+"""Regression tests for pathological XML inputs (must terminate)."""
+
+from repro.trees.xml_parser import (
+    BAD_ATTRIBUTE,
+    PREMATURE_END,
+    check_well_formedness,
+)
+
+
+class TestPathologicalInputs:
+    def test_truncated_self_closing_tag(self):
+        # regression: '<e0/' used to loop forever in attribute resync
+        report = check_well_formedness("<e0/")
+        assert not report.well_formed
+        categories = {e.category for e in report.errors}
+        assert PREMATURE_END in categories or BAD_ATTRIBUTE in categories
+
+    def test_lone_slash_inside_tag(self):
+        report = check_well_formedness("<a / ></a>")
+        assert not report.well_formed
+
+    def test_many_stray_slashes(self):
+        report = check_well_formedness("<a ///////></a>")
+        assert len(report.errors) >= 1
+
+    def test_truncated_everywhere(self):
+        # every prefix of a well-formed document must terminate quickly
+        text = '<a x="1"><b/><c>text &amp; more</c><!-- c --></a>'
+        for cut in range(len(text)):
+            check_well_formedness(text[:cut])

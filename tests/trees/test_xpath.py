@@ -1,0 +1,115 @@
+"""Tests for tree patterns / XPath fragment (repro.trees.xpath)."""
+
+import pytest
+
+from repro.errors import ParseError
+from repro.trees.tree import Tree
+from repro.trees.xpath import (
+    CHILD,
+    DESCENDANT,
+    XPathQuery,
+    axes_used,
+    is_downward,
+    is_tree_pattern,
+    syntax_size,
+)
+
+
+def library() -> Tree:
+    return Tree.build(
+        "library",
+        (
+            "shelf",
+            ("book", "title", ("author", "name")),
+            ("book", "title"),
+        ),
+        ("shelf", ("journal", "title")),
+    )
+
+
+class TestParsing:
+    def test_simple_absolute(self):
+        query = XPathQuery.parse("/library/shelf")
+        assert len(query.steps) == 2
+        assert query.steps[0].axis == CHILD
+
+    def test_descendant(self):
+        query = XPathQuery.parse("//title")
+        assert query.steps[0].axis == DESCENDANT
+
+    def test_predicates(self):
+        query = XPathQuery.parse("//book[author/name]/title")
+        assert len(query.steps[0].predicates) == 1
+
+    def test_wildcard(self):
+        query = XPathQuery.parse("/library/*")
+        assert query.steps[1].test == "*"
+
+    def test_roundtrip(self):
+        for text in ["/a/b", "//a//b", "//a[b]/c", "//a[b//c][d]/e"]:
+            assert str(XPathQuery.parse(text)) == text
+
+    def test_errors(self):
+        with pytest.raises(ParseError):
+            XPathQuery.parse("")
+        with pytest.raises(ParseError):
+            XPathQuery.parse("//a[b")
+        with pytest.raises(ParseError):
+            XPathQuery.parse("//")
+
+
+class TestEvaluation:
+    def test_root_step(self):
+        assert len(XPathQuery.parse("/library").evaluate(library())) == 1
+
+    def test_root_step_wrong_label(self):
+        assert XPathQuery.parse("/shelf").evaluate(library()) == []
+
+    def test_descendant_collects_all(self):
+        titles = XPathQuery.parse("//title").evaluate(library())
+        assert len(titles) == 3
+
+    def test_child_chain(self):
+        books = XPathQuery.parse("/library/shelf/book").evaluate(library())
+        assert len(books) == 2
+
+    def test_predicate_filters(self):
+        books = XPathQuery.parse("//book[author]").evaluate(library())
+        assert len(books) == 1
+
+    def test_nested_predicate(self):
+        books = XPathQuery.parse("//book[author/name]").evaluate(library())
+        assert len(books) == 1
+        none = XPathQuery.parse("//book[author/title]").evaluate(library())
+        assert none == []
+
+    def test_wildcard_step(self):
+        children = XPathQuery.parse("/library/*").evaluate(library())
+        assert len(children) == 2
+
+    def test_document_order_and_dedup(self):
+        nodes = XPathQuery.parse("//shelf//title").evaluate(library())
+        labels = [node.label for node in nodes]
+        assert labels == ["title", "title", "title"]
+
+
+class TestClassifiers:
+    def test_axes_used(self):
+        assert axes_used(XPathQuery.parse("/a/b")) == {CHILD}
+        assert axes_used(XPathQuery.parse("//a[b//c]")) == {
+            CHILD,
+            DESCENDANT,
+        } or axes_used(XPathQuery.parse("//a[b//c]")) == {DESCENDANT, CHILD}
+
+    def test_is_downward(self):
+        assert is_downward(XPathQuery.parse("//a/b[c]"))
+
+    def test_tree_pattern(self):
+        assert is_tree_pattern(XPathQuery.parse("//a[b]/c"))
+        assert not is_tree_pattern(XPathQuery.parse("//a/*"))
+        assert not is_tree_pattern(XPathQuery.parse("//a[*]/c"))
+
+    def test_syntax_size(self):
+        assert syntax_size(XPathQuery.parse("/a")) == 1
+        assert syntax_size(XPathQuery.parse("//a[b]/c")) == 3
+        assert syntax_size(XPathQuery.parse("//a[b//c][d]/e")) == 5

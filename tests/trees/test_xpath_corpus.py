@@ -1,0 +1,60 @@
+"""Tests for the XPath corpus generator and study
+(repro.trees.xpath_corpus) — Section 5."""
+
+import random
+
+from repro.trees.xpath import ATTRIBUTE, CHILD, DESCENDANT, XPathQuery
+from repro.trees.xpath_corpus import (
+    XPathGenerator,
+    XPathProfile,
+    xpath_corpus_study,
+)
+
+
+class TestGenerator:
+    def test_generated_queries_parse(self):
+        generator = XPathGenerator(rng=random.Random(1))
+        for _ in range(100):
+            XPathQuery.parse(generator.generate())
+
+    def test_reproducible(self):
+        g1 = XPathGenerator(rng=random.Random(5)).generate_corpus(20)
+        g2 = XPathGenerator(rng=random.Random(5)).generate_corpus(20)
+        assert g1 == g2
+
+    def test_corpus_size(self):
+        corpus = XPathGenerator(rng=random.Random(2)).generate_corpus(37)
+        assert len(corpus) == 37
+
+
+class TestStudy:
+    def test_study_shape(self):
+        corpus = XPathGenerator(rng=random.Random(2022)).generate_corpus(
+            800
+        )
+        study = xpath_corpus_study(corpus)
+        assert study["queries"] == 800
+        # Baelde et al.: majority of queries have size at most 13
+        assert study["size_at_most_13"] > 0.5
+        # heavy tail exists
+        assert study["max_size"] > 13
+        # child dominates among axes; attribute is prominent
+        fractions = study["axis_fractions"]
+        assert fractions[CHILD] > fractions[DESCENDANT]
+        assert fractions[ATTRIBUTE] > 0.05
+        # Pasqua: tree patterns dominate overall...
+        assert study["tree_pattern_fraction"] > 0.7
+        # ...but less so among the largest queries
+        assert (
+            study["tree_pattern_fraction_large"]
+            <= study["tree_pattern_fraction"] + 0.05
+        )
+
+    def test_attribute_queries_not_downward(self):
+        study = xpath_corpus_study(["//book/@id", "//book/title"])
+        assert study["downward_fraction"] == 0.5
+
+    def test_empty_handled_by_caller(self):
+        study = xpath_corpus_study(["/a"])
+        assert study["queries"] == 1
+        assert study["median_size"] == 1
