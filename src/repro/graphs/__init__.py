@@ -10,8 +10,18 @@ Public surface:
 * Power laws: :func:`fit_power_law`, :func:`ccdf`, :func:`looks_heavy_tailed`
 * Path queries: :func:`evaluate_rpq`, :func:`exists_simple_path`,
   :func:`exists_trail`, :func:`exists_simple_path_smart`
+* Compiled plans: :class:`CompiledRPQ`, :func:`compile_rpq`,
+  :func:`configure_plan_cache`, :func:`plan_cache_info`,
+  :func:`clear_plan_cache`
 """
 
+from .engine import (
+    CompiledRPQ,
+    clear_plan_cache,
+    compile_rpq,
+    configure_plan_cache,
+    plan_cache_info,
+)
 from .generator import (
     foaf_rdf,
     hierarchy_graph,
@@ -50,6 +60,11 @@ from .treewidth import (
 )
 
 __all__ = [
+    "CompiledRPQ",
+    "clear_plan_cache",
+    "compile_rpq",
+    "configure_plan_cache",
+    "plan_cache_info",
     "foaf_rdf",
     "hierarchy_graph",
     "p2p_network",

@@ -20,6 +20,13 @@ Three semantics, mirroring the theory the paper surveys:
 
 Two-way expressions (2RPQs) are supported by the inverse-atom
 convention: a symbol ``^p`` traverses a ``p``-edge backwards.
+
+Evaluation is delegated to the compiled-plan engine
+(:mod:`repro.graphs.engine`): expressions are compiled once into
+bitmask-stepping plans, cached per canonical AST, and run on the
+store's integer-interned adjacency.  The original direct procedures are
+kept as ``*_reference`` functions — they define the semantics, back the
+randomized equivalence tests, and serve as the benchmark baseline.
 """
 
 from __future__ import annotations
@@ -30,6 +37,7 @@ from typing import FrozenSet, Iterable, Optional as Opt, Set, Tuple
 from ..regex.ast import Regex
 from ..regex.automata import NFA, glushkov
 from ..regex.chare import is_downward_closed_chain
+from .engine import compile_rpq
 from .rdf import TripleStore
 
 
@@ -50,10 +58,28 @@ def evaluate_rpq(
 ) -> Set[Tuple[str, str]]:
     """All pairs (u, v) connected by a walk spelling a word of L(expr).
 
-    Product BFS over (graph node, automaton state); when ``sources`` is
-    given only those start nodes are explored, and ``targets`` filters
-    the result.
+    Product BFS over (graph node, automaton state) using the compiled
+    plan for ``expr``; when ``sources`` is given only those start nodes
+    are explored.  ``targets`` filters the *answers*, not the
+    exploration: the walk may pass through any node of the graph, and
+    only the final (u, v) pairs are restricted to ``v in targets``.
     """
+    if sources is not None:
+        sources = list(sources)
+        if not sources:
+            return set()  # nothing to explore; skip compiling the plan
+    return compile_rpq(expr).evaluate(store, sources, targets)
+
+
+def evaluate_rpq_reference(
+    store: TripleStore,
+    expr: Regex,
+    sources: Opt[Iterable[str]] = None,
+    targets: Opt[Iterable[str]] = None,
+) -> Set[Tuple[str, str]]:
+    """The seed evaluator: uncompiled per-source product BFS over the
+    string-keyed indexes.  Semantically authoritative, kept as the
+    equivalence-test oracle and benchmark baseline."""
     nfa = glushkov(expr)
     start_states = nfa.epsilon_closure(nfa.initial)
     start_nodes = (
@@ -160,13 +186,27 @@ def exists_simple_path(
 ) -> bool:
     """Exact simple-path decision (no repeated nodes); NP-hard in
     general, fine on study-sized graphs."""
-    return _search(store, glushkov(expr), source, target, forbid_nodes=True)
+    return compile_rpq(expr).search(store, source, target, forbid_nodes=True)
 
 
 def exists_trail(
     store: TripleStore, expr: Regex, source: str, target: str
 ) -> bool:
     """Exact trail decision (no repeated edges)."""
+    return compile_rpq(expr).search(store, source, target, forbid_nodes=False)
+
+
+def exists_simple_path_reference(
+    store: TripleStore, expr: Regex, source: str, target: str
+) -> bool:
+    """Uncompiled simple-path decision (the equivalence-test oracle)."""
+    return _search(store, glushkov(expr), source, target, forbid_nodes=True)
+
+
+def exists_trail_reference(
+    store: TripleStore, expr: Regex, source: str, target: str
+) -> bool:
+    """Uncompiled trail decision (the equivalence-test oracle)."""
     return _search(store, glushkov(expr), source, target, forbid_nodes=False)
 
 

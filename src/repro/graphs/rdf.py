@@ -24,14 +24,22 @@ The analysis methods reproduce the practical-study metrics:
 from __future__ import annotations
 
 from collections import Counter, defaultdict
-from dataclasses import field
 from typing import Dict, FrozenSet, Iterable, Iterator, List, Optional as Opt, Set, Tuple
 
 Triple = Tuple[str, str, str]
 
 
 class TripleStore:
-    """An in-memory RDF store with SPO / POS / OSP indexes."""
+    """An in-memory RDF store with SPO / POS / OSP indexes.
+
+    Alongside the classical string-keyed permutation indexes the store
+    maintains an *interning layer*: every node (subject or object) and
+    every predicate is assigned a dense integer id on first sight, and
+    per-predicate forward/backward adjacency is kept as ``{node id:
+    [successor ids]}`` dicts.  The compiled RPQ engine
+    (:mod:`repro.graphs.engine`) runs entirely on these integer indexes;
+    the string-keyed API stays the source of truth for everything else.
+    """
 
     def __init__(self, triples: Opt[Iterable[Triple]] = None):
         self._spo: Dict[str, Dict[str, Set[str]]] = defaultdict(
@@ -44,9 +52,37 @@ class TripleStore:
             lambda: defaultdict(set)
         )
         self._size = 0
+        # interning layer ---------------------------------------------------
+        self._node_ids: Dict[str, int] = {}
+        self._node_names: List[str] = []
+        self._pred_ids: Dict[str, int] = {}
+        # _fwd[pid][nid] = successor node ids, _bwd[pid][nid] = predecessors
+        self._fwd: List[Dict[int, List[int]]] = []
+        self._bwd: List[Dict[int, List[int]]] = []
+        self._version = 0
+        # memoized frozensets handed out by successors()/predecessors()
+        self._succ_cache: Dict[Tuple[str, str], FrozenSet[str]] = {}
+        self._pred_cache: Dict[Tuple[str, str], FrozenSet[str]] = {}
         if triples:
             for s, p, o in triples:
                 self.add(s, p, o)
+
+    def _intern_node(self, name: str) -> int:
+        nid = self._node_ids.get(name)
+        if nid is None:
+            nid = len(self._node_names)
+            self._node_ids[name] = nid
+            self._node_names.append(name)
+        return nid
+
+    def _intern_predicate(self, name: str) -> int:
+        pid = self._pred_ids.get(name)
+        if pid is None:
+            pid = len(self._fwd)
+            self._pred_ids[name] = pid
+            self._fwd.append({})
+            self._bwd.append({})
+        return pid
 
     def add(self, s: str, p: str, o: str) -> bool:
         """Insert a triple; returns False when it was already present."""
@@ -56,6 +92,14 @@ class TripleStore:
         self._pos[p][o].add(s)
         self._osp[o][s].add(p)
         self._size += 1
+        sid = self._intern_node(s)
+        oid = self._intern_node(o)
+        pid = self._intern_predicate(p)
+        self._fwd[pid].setdefault(sid, []).append(oid)
+        self._bwd[pid].setdefault(oid, []).append(sid)
+        self._version += 1
+        self._succ_cache.pop((s, p), None)
+        self._pred_cache.pop((o, p), None)
         return True
 
     def __len__(self) -> int:
@@ -123,15 +167,58 @@ class TripleStore:
 
     def nodes(self) -> FrozenSet[str]:
         """Subjects and objects — the nodes of the edge-labeled graph."""
-        return self.subjects() | self.objects()
+        return frozenset(self._node_names)
 
     # -- edge-labeled-graph navigation (used by the RPQ engine) ---------------------
 
     def successors(self, node: str, predicate: str) -> FrozenSet[str]:
-        return frozenset(self._spo.get(node, {}).get(predicate, set()))
+        key = (node, predicate)
+        cached = self._succ_cache.get(key)
+        if cached is None:
+            cached = frozenset(self._spo.get(node, {}).get(predicate, ()))
+            self._succ_cache[key] = cached
+        return cached
 
     def predecessors(self, node: str, predicate: str) -> FrozenSet[str]:
-        return frozenset(self._pos.get(predicate, {}).get(node, set()))
+        key = (node, predicate)
+        cached = self._pred_cache.get(key)
+        if cached is None:
+            cached = frozenset(self._pos.get(predicate, {}).get(node, ()))
+            self._pred_cache[key] = cached
+        return cached
+
+    # -- integer interning layer (the compiled engine's substrate) -------------------
+
+    @property
+    def version(self) -> int:
+        """Monotone mutation counter (bumped on every successful add)."""
+        return self._version
+
+    def node_count(self) -> int:
+        return len(self._node_names)
+
+    def node_id(self, name: str) -> Opt[int]:
+        """Dense integer id of a node, or None if it never occurred."""
+        return self._node_ids.get(name)
+
+    def node_name(self, nid: int) -> str:
+        return self._node_names[nid]
+
+    def node_names(self) -> List[str]:
+        """All node names indexed by their dense ids (do not mutate)."""
+        return self._node_names
+
+    def predicate_id(self, name: str) -> Opt[int]:
+        """Dense integer id of a predicate, or None if absent."""
+        return self._pred_ids.get(name)
+
+    def forward_adjacency(self, pid: int) -> Dict[int, List[int]]:
+        """``{subject id: [object ids]}`` for one predicate (do not mutate)."""
+        return self._fwd[pid]
+
+    def backward_adjacency(self, pid: int) -> Dict[int, List[int]]:
+        """``{object id: [subject ids]}`` for one predicate (do not mutate)."""
+        return self._bwd[pid]
 
     def out_edges(self, node: str) -> Iterator[Tuple[str, str]]:
         """(predicate, object) pairs leaving ``node``."""

@@ -1,0 +1,177 @@
+"""Randomized equivalence: the compiled-plan RPQ engine must return
+exactly the answers of the seed (reference) procedures, across walk,
+simple-path, and trail semantics, on power-law generated graphs with
+inverse atoms in the mix (repro.graphs.engine vs repro.graphs.paths
+references)."""
+
+import random
+
+from repro.graphs.engine import (
+    ast_key,
+    clear_plan_cache,
+    compile_rpq,
+    configure_plan_cache,
+    plan_cache_info,
+)
+from repro.graphs.generator import web_graph
+from repro.graphs.paths import (
+    evaluate_rpq,
+    evaluate_rpq_reference,
+    exists_simple_path,
+    exists_simple_path_reference,
+    exists_simple_path_smart,
+    exists_trail,
+    exists_trail_reference,
+)
+from repro.graphs.rdf import TripleStore
+from repro.regex.parser import parse
+
+WALK_EXPRS = [
+    "a*b?",
+    "(a+b)*",
+    "a(^b)a?",
+    "(^a)+",
+    "(ab)+c?",
+    "a?b*c?",
+    "ab*+c",
+    "(a+^c)(b+c)*",
+    "abc",
+]
+
+SEARCH_EXPRS = ["a*b?", "(a+b)*", "a(^b)a?", "(ab)+", "ab*+c"]
+
+DC_CHAIN_EXPRS = ["a*b?", "a?b*c?", "(a+b)*"]
+
+
+def labeled_powerlaw_store(
+    rng: random.Random, num_nodes: int, labels=("a", "b", "c")
+) -> TripleStore:
+    """A preferential-attachment graph with random edge labels and a
+    sprinkling of reverse edges (so ^p atoms have work to do)."""
+    graph = web_graph(num_nodes, 2, rng)
+    store = TripleStore()
+    for u, neighbours in graph.items():
+        for v in neighbours:
+            if u < v:
+                store.add(f"v{u}", rng.choice(labels), f"v{v}")
+            if rng.random() < 0.3:
+                store.add(f"v{v}", rng.choice(labels), f"v{u}")
+    return store
+
+
+class TestWalkEquivalence:
+    def test_all_pairs(self):
+        rng = random.Random(11)
+        for _trial in range(5):
+            store = labeled_powerlaw_store(rng, 30)
+            for text in WALK_EXPRS:
+                expr = parse(text)
+                assert evaluate_rpq(store, expr) == evaluate_rpq_reference(
+                    store, expr
+                ), text
+
+    def test_sources_and_targets(self):
+        rng = random.Random(12)
+        for _trial in range(5):
+            store = labeled_powerlaw_store(rng, 40)
+            nodes = sorted(store.nodes())
+            for text in WALK_EXPRS:
+                expr = parse(text)
+                sources = rng.sample(nodes, 6)
+                targets = rng.sample(nodes, 6)
+                assert evaluate_rpq(
+                    store, expr, sources=sources
+                ) == evaluate_rpq_reference(store, expr, sources=sources)
+                assert evaluate_rpq(
+                    store, expr, sources=sources, targets=targets
+                ) == evaluate_rpq_reference(
+                    store, expr, sources=sources, targets=targets
+                )
+
+    def test_source_outside_graph(self):
+        store = labeled_powerlaw_store(random.Random(13), 12)
+        for text in ("a*", "a+"):
+            expr = parse(text)
+            assert evaluate_rpq(
+                store, expr, sources=["ghost"]
+            ) == evaluate_rpq_reference(store, expr, sources=["ghost"])
+
+    def test_empty_sources_short_circuits(self):
+        store = labeled_powerlaw_store(random.Random(14), 10)
+        clear_plan_cache()
+        assert evaluate_rpq(store, parse("(a+b)*c"), sources=[]) == set()
+        info = plan_cache_info()
+        assert info["misses"] == 0 and info["size"] == 0
+
+
+class TestSearchEquivalence:
+    def test_simple_path_and_trail(self):
+        rng = random.Random(21)
+        for _trial in range(3):
+            store = labeled_powerlaw_store(rng, 10)
+            nodes = sorted(store.nodes())[:7]
+            for text in SEARCH_EXPRS:
+                expr = parse(text)
+                for u in nodes:
+                    for v in nodes:
+                        assert exists_simple_path(
+                            store, expr, u, v
+                        ) == exists_simple_path_reference(store, expr, u, v), (
+                            text,
+                            u,
+                            v,
+                        )
+                        assert exists_trail(
+                            store, expr, u, v
+                        ) == exists_trail_reference(store, expr, u, v), (
+                            text,
+                            u,
+                            v,
+                        )
+
+    def test_smart_ctract_fast_path(self):
+        rng = random.Random(22)
+        for _trial in range(3):
+            store = labeled_powerlaw_store(rng, 10)
+            nodes = sorted(store.nodes())[:7]
+            for text in DC_CHAIN_EXPRS:
+                expr = parse(text)
+                for u in nodes:
+                    for v in nodes:
+                        assert exists_simple_path_smart(
+                            store, expr, u, v
+                        ) == exists_simple_path_reference(store, expr, u, v), (
+                            text,
+                            u,
+                            v,
+                        )
+
+
+class TestPlanCache:
+    def test_stable_ast_key(self):
+        assert ast_key(parse("a*b?")) == ast_key(parse("a* b?"))
+        assert ast_key(parse("a*b?")) != ast_key(parse("a*b"))
+
+    def test_plans_are_reused(self):
+        clear_plan_cache()
+        expr = parse("(a+b)*c")
+        first = compile_rpq(expr)
+        second = compile_rpq(parse("(a+b)*c"))
+        assert first is second
+        info = plan_cache_info()
+        assert info["hits"] == 1 and info["misses"] == 1
+
+    def test_lru_bound(self):
+        clear_plan_cache()
+        configure_plan_cache(2)
+        try:
+            a, b, c = parse("a"), parse("b"), parse("c")
+            compile_rpq(a)
+            compile_rpq(b)
+            compile_rpq(c)  # evicts the plan for "a"
+            assert plan_cache_info()["size"] == 2
+            compile_rpq(a)
+            assert plan_cache_info()["misses"] == 4
+        finally:
+            configure_plan_cache(256)
+            clear_plan_cache()

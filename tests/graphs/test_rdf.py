@@ -124,3 +124,54 @@ class TestFoafCalibration:
     def test_overlaps_zero(self):
         store = foaf_rdf(100, random.Random(3))
         assert store.predicate_subject_overlap() == 0.0
+
+
+class TestInterningLayer:
+    """The integer-interning substrate the compiled RPQ engine runs on."""
+
+    def test_node_ids_roundtrip(self):
+        store = small_store()
+        for name in store.nodes():
+            nid = store.node_id(name)
+            assert nid is not None
+            assert store.node_name(nid) == name
+        assert store.node_id("missing") is None
+        assert store.node_count() == len(store.nodes())
+
+    def test_adjacency_matches_string_indexes(self):
+        store = small_store()
+        for predicate in store.predicates():
+            pid = store.predicate_id(predicate)
+            forward = store.forward_adjacency(pid)
+            backward = store.backward_adjacency(pid)
+            for name in store.nodes():
+                nid = store.node_id(name)
+                succ = {
+                    store.node_name(other)
+                    for other in forward.get(nid, [])
+                }
+                assert succ == set(store.successors(name, predicate))
+                pred = {
+                    store.node_name(other)
+                    for other in backward.get(nid, [])
+                }
+                assert pred == set(store.predecessors(name, predicate))
+        assert store.predicate_id("nope") is None
+
+    def test_duplicate_add_does_not_duplicate_adjacency(self):
+        store = small_store()
+        assert not store.add("a", "p", "b")
+        pid = store.predicate_id("p")
+        assert store.forward_adjacency(pid)[store.node_id("a")].count(
+            store.node_id("b")
+        ) == 1
+
+    def test_successor_frozensets_are_memoized_and_invalidated(self):
+        store = small_store()
+        first = store.successors("a", "p")
+        assert store.successors("a", "p") is first
+        version = store.version
+        store.add("a", "p", "z")
+        assert store.version == version + 1
+        assert store.successors("a", "p") == frozenset({"b", "z"})
+        assert store.predecessors("z", "p") == frozenset({"a"})

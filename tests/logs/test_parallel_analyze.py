@@ -1,0 +1,63 @@
+"""The process-pool analysis path must be invisible in the results:
+analyze_many(workers=2) returns LogReports identical, counter for
+counter, to the sequential battery (repro.logs.analyzer)."""
+
+from repro.logs.analyzer import LogReport, analyze_many
+from repro.logs.corpus import QueryLogCorpus
+from repro.logs.workload import DBPEDIA, WIKIDATA_ORGANIC, generate_source_log
+
+_COUNTER_FIELDS = (
+    "triple_histogram",
+    "features",
+    "operator_sets",
+    "query_types",
+    "htw",
+    "free_connex",
+    "shapes_with_constants",
+    "shapes_without_constants",
+    "path_buckets",
+    "path_classes",
+    "well_designed",
+    "union_well_designed",
+    "well_behaved",
+)
+
+
+def synthetic_corpora():
+    corpora = []
+    for profile in (DBPEDIA, WIKIDATA_ORGANIC):
+        texts = generate_source_log(profile, total=120, seed=7)
+        corpora.append(QueryLogCorpus.from_texts(profile.name, texts))
+    return corpora
+
+
+def assert_reports_identical(left: LogReport, right: LogReport):
+    assert left.source == right.source
+    assert (left.total, left.valid, left.unique) == (
+        right.total,
+        right.valid,
+        right.unique,
+    )
+    for name in _COUNTER_FIELDS:
+        assert getattr(left, name).items() == getattr(right, name).items(), name
+
+
+def test_workers_match_sequential():
+    corpora = synthetic_corpora()
+    sequential = analyze_many(corpora)
+    # small chunk_size forces intra-corpus chunking through the pool
+    parallel = analyze_many(corpora, workers=2, chunk_size=16)
+    assert sequential.keys() == parallel.keys()
+    for source in sequential:
+        assert_reports_identical(sequential[source], parallel[source])
+
+
+def test_workers_one_is_sequential():
+    corpora = synthetic_corpora()[:1]
+    for report_map in (
+        analyze_many(corpora, workers=1),
+        analyze_many(corpora, workers=0),
+    ):
+        assert_reports_identical(
+            report_map[corpora[0].source], analyze_many(corpora)[corpora[0].source]
+        )
