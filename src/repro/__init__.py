@@ -16,11 +16,13 @@ Open-source reproduction of the systems surveyed in Wim Martens,
   and the SHARQL-style analysis pipeline (Sections 9, 11).
 * :mod:`repro.core` — the practical-study orchestration layer tying the
   pieces together.
+* :mod:`repro.testing` — seedable differential fuzzing harness pitting
+  the fast implementations against reference oracles.
 """
 
 __version__ = "1.0.0"
 
-from . import core, errors, graphs, logs, regex, sparql, trees
+from . import core, errors, graphs, logs, regex, sparql, testing, trees
 
 __all__ = [
     "core",
@@ -29,6 +31,7 @@ __all__ = [
     "logs",
     "regex",
     "sparql",
+    "testing",
     "trees",
     "__version__",
 ]

@@ -36,7 +36,7 @@ from collections import deque
 from typing import Dict, List, Set, Tuple
 
 from .ast import Regex
-from .automata import DFA, glushkov, glushkov_position_labels, minimal_dfa
+from .automata import DFA, glushkov, minimal_dfa
 
 
 def is_deterministic(expr: Regex) -> bool:
@@ -53,14 +53,46 @@ def determinism_violation(expr: Regex):
     """Return ``None`` for deterministic expressions, else a diagnostic
     triple ``(state, label, positions)``: from Glushkov state ``state``,
     reading ``label`` may continue to any of the (≥ 2) listed positions.
+
+    One-unambiguity is defined over the *marked language* (BKW), so only
+    positions that actually occur in some marked word matter: the Glushkov
+    automaton is trimmed to accessible states first, and a choice point
+    counts only when at least two of its targets are co-accessible.
+    Positions killed by an ``[]`` subexpression, for example, are never a
+    violation — no marked word reaches them.
     """
     nfa = glushkov(expr)
-    labels = glushkov_position_labels(expr)
-    labels[0] = "^"  # initial state, for readability of diagnostics
-    for state, transitions in enumerate(nfa.transitions):
-        for label, targets in transitions.items():
-            if len(targets) > 1:
-                return (state, label, tuple(sorted(targets)))
+    num_states = len(nfa.transitions)
+
+    accessible: Set[int] = set(nfa.initial)
+    queue = deque(accessible)
+    while queue:
+        state = queue.popleft()
+        for targets in nfa.transitions[state].values():
+            for dst in targets:
+                if dst not in accessible:
+                    accessible.add(dst)
+                    queue.append(dst)
+
+    reverse: List[Set[int]] = [set() for _ in range(num_states)]
+    for src in range(num_states):
+        for targets in nfa.transitions[src].values():
+            for dst in targets:
+                reverse[dst].add(src)
+    coaccessible: Set[int] = set(nfa.finals)
+    queue = deque(coaccessible)
+    while queue:
+        state = queue.popleft()
+        for prev in reverse[state]:
+            if prev not in coaccessible:
+                coaccessible.add(prev)
+                queue.append(prev)
+
+    for state in sorted(accessible):
+        for label, targets in nfa.transitions[state].items():
+            useful = targets & coaccessible
+            if len(useful) > 1:
+                return (state, label, tuple(sorted(useful)))
     return None
 
 

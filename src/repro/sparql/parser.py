@@ -83,6 +83,67 @@ _TOKEN_RE = _re.compile(
 _A_KEYWORD = "a"  # rdf:type shorthand
 RDF_TYPE = IRI("rdf:type")
 
+_STRING_ESCAPES = {
+    "t": "\t",
+    "n": "\n",
+    "r": "\r",
+    "b": "\b",
+    "f": "\f",
+    '"': '"',
+    "'": "'",
+    "\\": "\\",
+}
+_HEX_DIGITS = "0123456789abcdefABCDEF"
+
+
+def _unescape_string(raw: str, pos: int) -> str:
+    """Decode the escape sequences of a quoted string's body.
+
+    ``pos`` is the source offset of ``raw`` so error positions point at
+    the offending escape, not the token start.
+    """
+    if "\\" not in raw:
+        return raw
+    out: List[str] = []
+    i = 0
+    n = len(raw)
+    while i < n:
+        ch = raw[i]
+        if ch != "\\":
+            out.append(ch)
+            i += 1
+            continue
+        if i + 1 >= n:
+            raise SPARQLParseError(
+                "dangling backslash in string", position=pos + i
+            )
+        esc = raw[i + 1]
+        if esc in _STRING_ESCAPES:
+            out.append(_STRING_ESCAPES[esc])
+            i += 2
+            continue
+        if esc in ("u", "U"):
+            width = 4 if esc == "u" else 8
+            hexpart = raw[i + 2 : i + 2 + width]
+            if len(hexpart) < width or any(
+                c not in _HEX_DIGITS for c in hexpart
+            ):
+                raise SPARQLParseError(
+                    f"bad \\{esc} escape in string", position=pos + i
+                )
+            code = int(hexpart, 16)
+            if code > 0x10FFFF:
+                raise SPARQLParseError(
+                    "string escape beyond U+10FFFF", position=pos + i
+                )
+            out.append(chr(code))
+            i += 2 + width
+            continue
+        raise SPARQLParseError(
+            f"bad escape \\{esc} in string", position=pos + i
+        )
+    return "".join(out)
+
 
 class _Token:
     __slots__ = ("kind", "text", "pos")
@@ -736,7 +797,7 @@ class _Parser:
             return BlankNode(token.text[2:])
         if token.kind == "STRING":
             self.advance()
-            lexical = token.text[1:-1]
+            lexical = _unescape_string(token.text[1:-1], token.pos + 1)
             language = None
             datatype = None
             if self.at_op("@"):

@@ -1,0 +1,263 @@
+"""Render a :class:`~repro.sparql.ast.Query` back to SPARQL text.
+
+The serializer is the inverse the parser needs for the differential
+round-trip oracle in :mod:`repro.testing`: for every query the parser
+accepts, ``parse(serialize(parse(text)))`` must equal ``parse(text)``
+modulo the recorded source ``text``.  It therefore mirrors the parser's
+structural conventions precisely:
+
+* group bodies are emitted in the order the parser combines them
+  (left-deep ``And`` chains joined by `` . ``, ``OPTIONAL``/``MINUS``
+  extending the accumulated left side, ``FILTER`` constraints at the
+  end of their group, where the parser hoists them);
+* a pattern that the parser can only produce *nested* (a ``Union``, a
+  filtered group, an ``OPTIONAL`` appearing as the right operand of an
+  ``And``) is wrapped in braces so it reparses into the same position;
+* literals are rendered in quoted form with escapes (via
+  :func:`~repro.sparql.ast.Literal.__str__`), so numeric and boolean
+  literals round-trip through their datatype rather than the bare
+  token.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from .ast import (
+    And,
+    Bind,
+    BoolExpr,
+    Comparison,
+    EmptyPattern,
+    ExistsExpr,
+    Expression,
+    Filter,
+    FunctionCall,
+    Graph,
+    Minus,
+    Optional as OptPattern,
+    PathPattern,
+    Pattern,
+    Query,
+    Service,
+    SolutionModifier,
+    StarExpr,
+    SubQuery,
+    TermExpr,
+    TriplePattern,
+    Union as UnionPattern,
+    Values,
+    Var,
+)
+
+__all__ = ["serialize_query"]
+
+
+def _term(term) -> str:
+    return str(term)
+
+
+def _expr(expr: Expression) -> str:
+    if isinstance(expr, TermExpr):
+        return _term(expr.term)
+    if isinstance(expr, Comparison):
+        if expr.op in ("IN", "NOT IN"):
+            right = expr.right
+            if isinstance(right, FunctionCall) and right.name == "LIST":
+                inner = ", ".join(_expr(a) for a in right.args)
+                return f"({_expr(expr.left)} {expr.op} ({inner}))"
+        return f"({_expr(expr.left)} {expr.op} {_expr(expr.right)})"
+    if isinstance(expr, BoolExpr):
+        if expr.op == "!":
+            return f"!({_expr(expr.operands[0])})"
+        joined = f" {expr.op} ".join(_expr(op) for op in expr.operands)
+        return f"({joined})"
+    if isinstance(expr, FunctionCall):
+        distinct = "DISTINCT " if expr.distinct else ""
+        inner = ", ".join(_expr(a) for a in expr.args)
+        return f"{expr.name}({distinct}{inner})"
+    if isinstance(expr, StarExpr):
+        return "*"
+    if isinstance(expr, ExistsExpr):
+        keyword = "NOT EXISTS " if expr.negated else "EXISTS "
+        return keyword + _group(expr.pattern)
+    raise TypeError(f"cannot serialize expression {expr!r}")
+
+
+def _group(pattern: Pattern) -> str:
+    body = _body(pattern)
+    return "{ " + body + " }" if body else "{ }"
+
+
+def _body(pattern: Pattern) -> str:
+    # The parser hoists FILTER constraints to the end of their group,
+    # wrapping the group's pattern inside-out; unwrap in the same order.
+    constraints: List[Expression] = []
+    while isinstance(pattern, Filter):
+        constraints.append(pattern.constraint)
+        pattern = pattern.pattern
+    constraints.reverse()
+    parts: List[str] = []
+    if not isinstance(pattern, EmptyPattern):
+        parts.append(_sequence(pattern))
+    # always parenthesize: parse_constraint does not start at '!' or a
+    # bare term, and extra parens are transparent to the expression AST
+    parts.extend(f"FILTER ({_expr(c)})" for c in constraints)
+    return " ".join(p for p in parts if p)
+
+
+def _sequence(pattern: Pattern) -> str:
+    """The ``.``-joined element sequence of one group body."""
+    if isinstance(pattern, And):
+        return _sequence(pattern.left) + " . " + _element(pattern.right)
+    if isinstance(pattern, OptPattern):
+        left = (
+            ""
+            if isinstance(pattern.left, EmptyPattern)
+            else _sequence(pattern.left) + " "
+        )
+        return left + "OPTIONAL " + _group(pattern.right)
+    if isinstance(pattern, Minus):
+        left = (
+            ""
+            if isinstance(pattern.left, EmptyPattern)
+            else _sequence(pattern.left) + " "
+        )
+        return left + "MINUS " + _group(pattern.right)
+    return _element(pattern)
+
+
+def _element(pattern: Pattern) -> str:
+    """One group element; nests in braces whatever the parser could only
+    have produced from a braced subgroup."""
+    if isinstance(pattern, TriplePattern):
+        return (
+            f"{_term(pattern.subject)} {_term(pattern.predicate)} "
+            f"{_term(pattern.object)}"
+        )
+    if isinstance(pattern, PathPattern):
+        return (
+            f"{_term(pattern.subject)} {pattern.path.to_string()} "
+            f"{_term(pattern.object)}"
+        )
+    if isinstance(pattern, Bind):
+        return f"BIND({_expr(pattern.expression)} AS ?{pattern.variable.name})"
+    if isinstance(pattern, Values):
+        return _values(pattern)
+    if isinstance(pattern, Graph):
+        return f"GRAPH {_term(pattern.graph)} {_group(pattern.pattern)}"
+    if isinstance(pattern, Service):
+        silent = "SILENT " if pattern.silent else ""
+        return (
+            f"SERVICE {silent}{_term(pattern.endpoint)} "
+            f"{_group(pattern.pattern)}"
+        )
+    if isinstance(pattern, SubQuery):
+        return "{ " + serialize_query(pattern.query) + " }"
+    if isinstance(pattern, UnionPattern):
+        return _union(pattern)
+    if isinstance(pattern, EmptyPattern):
+        return "{ }"
+    if isinstance(pattern, (And, OptPattern, Minus, Filter)):
+        return _group(pattern)
+    raise TypeError(f"cannot serialize pattern {pattern!r}")
+
+
+def _union(pattern: UnionPattern) -> str:
+    # the parser builds left-associative UNION chains of braced groups
+    if isinstance(pattern.left, UnionPattern):
+        left = _union(pattern.left)
+    else:
+        left = _group(pattern.left)
+    return left + " UNION " + _group(pattern.right)
+
+
+def _values(pattern: Values) -> str:
+    head = " ".join(f"?{v.name}" for v in pattern.variables_list)
+    rows = []
+    for row in pattern.rows:
+        cells = " ".join(
+            "UNDEF" if cell is None else _term(cell) for cell in row
+        )
+        rows.append(f"( {cells} )")
+    body = " ".join(rows)
+    return f"VALUES ( {head} ) {{ {body} }}"
+
+
+def _modifier(modifier: SolutionModifier) -> str:
+    parts: List[str] = []
+    if modifier.group_by:
+        rendered = []
+        for expr in modifier.group_by:
+            if isinstance(expr, TermExpr) and isinstance(expr.term, Var):
+                rendered.append(str(expr.term))
+            else:
+                rendered.append(f"( {_expr(expr)} )")
+        parts.append("GROUP BY " + " ".join(rendered))
+    for having in modifier.having:
+        parts.append(f"HAVING ( {_expr(having)} )")
+    if modifier.order_by:
+        rendered = []
+        for cond in modifier.order_by:
+            if cond.descending:
+                rendered.append(f"DESC( {_expr(cond.expression)} )")
+            elif isinstance(cond.expression, TermExpr) and isinstance(
+                cond.expression.term, Var
+            ):
+                rendered.append(str(cond.expression.term))
+            else:
+                rendered.append(f"ASC( {_expr(cond.expression)} )")
+        parts.append("ORDER BY " + " ".join(rendered))
+    if modifier.limit is not None:
+        parts.append(f"LIMIT {modifier.limit}")
+    if modifier.offset is not None:
+        parts.append(f"OFFSET {modifier.offset}")
+    return " ".join(parts)
+
+
+def serialize_query(query: Query) -> str:
+    """Serialize a query AST to SPARQL text the parser maps back to it.
+
+    The result carries no prologue: the parser keeps prefixed names
+    unresolved, so PREFIX/BASE declarations do not influence the AST.
+    """
+    if query.query_type == "SELECT":
+        head = "SELECT"
+        if query.modifier.distinct:
+            head += " DISTINCT"
+        elif query.modifier.reduced:
+            head += " REDUCED"
+        if query.projections:
+            for projection in query.projections:
+                if projection.expression is None:
+                    head += f" ?{projection.variable.name}"
+                else:
+                    head += (
+                        f" ( {_expr(projection.expression)}"
+                        f" AS ?{projection.variable.name} )"
+                    )
+        else:
+            head += " *"
+        out = f"{head} WHERE {_group(query.pattern)}"
+    elif query.query_type == "ASK":
+        out = f"ASK {_group(query.pattern)}"
+    elif query.query_type == "CONSTRUCT":
+        template = " . ".join(
+            _element(triple) for triple in query.construct_template
+        )
+        out = (
+            f"CONSTRUCT {{ {template} }} WHERE {_group(query.pattern)}"
+            if template
+            else f"CONSTRUCT {{ }} WHERE {_group(query.pattern)}"
+        )
+    elif query.query_type == "DESCRIBE":
+        terms = " ".join(_term(t) for t in query.describe_terms) or "*"
+        out = f"DESCRIBE {terms}"
+        if not isinstance(query.pattern, EmptyPattern):
+            out += f" WHERE {_group(query.pattern)}"
+    else:
+        raise TypeError(f"unknown query type {query.query_type!r}")
+    modifier = _modifier(query.modifier)
+    if modifier:
+        out += " " + modifier
+    return out

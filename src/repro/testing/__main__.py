@@ -1,0 +1,7 @@
+"""``python -m repro.testing`` — see :mod:`repro.testing.cli`."""
+
+import sys
+
+from .cli import main
+
+sys.exit(main())

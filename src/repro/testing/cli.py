@@ -1,0 +1,155 @@
+"""Command line entry point: ``python -m repro.testing <command>``.
+
+Commands
+--------
+
+``fuzz``
+    Run one oracle (or all of them) for a time/iteration budget with a
+    deterministic seed.  Exit status 1 when any divergence is found.
+    With ``--record``, shrunk divergences are appended to the corpus.
+
+``replay``
+    Re-check the regression corpus.  Exit status 1 on any failure.
+
+``list``
+    List the registered oracles.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+from typing import List
+
+from .corpus import DEFAULT_CORPUS_DIR, append_entry, corpus_path, load_corpus
+from .oracles import ORACLES
+from .runner import fuzz, replay
+
+
+def _targets(option: str) -> List[str]:
+    if option == "all":
+        return sorted(ORACLES)
+    if option not in ORACLES:
+        raise SystemExit(
+            f"unknown target {option!r}; known: {', '.join(sorted(ORACLES))}"
+        )
+    return [option]
+
+
+def _cmd_fuzz(args: argparse.Namespace) -> int:
+    status = 0
+    for target in _targets(args.target):
+        report = fuzz(
+            target,
+            seconds=args.seconds if args.iterations is None else None,
+            iterations=args.iterations,
+            seed=args.seed,
+            max_divergences=args.max_divergences,
+        )
+        verdict = "ok" if report.ok else "DIVERGED"
+        print(
+            f"[{target}] {verdict}: {report.executed} cases in "
+            f"{report.elapsed:.1f}s (seed {report.seed}, "
+            f"{len(report.divergences)} divergence(s))"
+        )
+        for divergence in report.divergences:
+            status = 1
+            print(f"  message: {divergence.shrunk_message}")
+            print(
+                "  shrunk case: "
+                + json.dumps(divergence.shrunk, ensure_ascii=False)
+            )
+            if args.record:
+                append_entry(
+                    corpus_path(Path(args.corpus), target),
+                    f"fuzz seed={report.seed}: {divergence.shrunk_message}",
+                    divergence.shrunk,
+                )
+                print("  recorded to corpus")
+    return status
+
+
+def _cmd_replay(args: argparse.Namespace) -> int:
+    status = 0
+    for target in _targets(args.target):
+        entries = load_corpus(corpus_path(Path(args.corpus), target))
+        failures = replay(target, [entry["case"] for entry in entries])
+        verdict = "ok" if not failures else "FAILED"
+        print(
+            f"[{target}] {verdict}: {len(entries)} corpus case(s), "
+            f"{len(failures)} failure(s)"
+        )
+        for encoded, message in failures:
+            status = 1
+            print(f"  {message}")
+            print("  case: " + json.dumps(encoded, ensure_ascii=False))
+    return status
+
+
+def _cmd_list(_args: argparse.Namespace) -> int:
+    for name in sorted(ORACLES):
+        print(f"{name}: {ORACLES[name].description}")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.testing",
+        description="differential fuzzing harness",
+    )
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    fuzz_parser = sub.add_parser("fuzz", help="run a fuzz campaign")
+    fuzz_parser.add_argument(
+        "--target",
+        default="all",
+        help="oracle name or 'all' (default: all)",
+    )
+    fuzz_parser.add_argument(
+        "--seconds",
+        type=float,
+        default=10.0,
+        help="wall-clock budget per target (default 10; ignored with "
+        "--iterations)",
+    )
+    fuzz_parser.add_argument(
+        "--iterations",
+        type=int,
+        default=None,
+        help="exact case count instead of a time budget",
+    )
+    fuzz_parser.add_argument("--seed", type=int, default=0)
+    fuzz_parser.add_argument("--max-divergences", type=int, default=5)
+    fuzz_parser.add_argument(
+        "--record",
+        action="store_true",
+        help="append shrunk divergences to the corpus",
+    )
+    fuzz_parser.add_argument(
+        "--corpus", default=str(DEFAULT_CORPUS_DIR)
+    )
+    fuzz_parser.set_defaults(func=_cmd_fuzz)
+
+    replay_parser = sub.add_parser(
+        "replay", help="re-check the regression corpus"
+    )
+    replay_parser.add_argument("--target", default="all")
+    replay_parser.add_argument(
+        "--corpus", default=str(DEFAULT_CORPUS_DIR)
+    )
+    replay_parser.set_defaults(func=_cmd_replay)
+
+    list_parser = sub.add_parser("list", help="list registered oracles")
+    list_parser.set_defaults(func=_cmd_list)
+    return parser
+
+
+def main(argv=None) -> int:
+    args = build_parser().parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

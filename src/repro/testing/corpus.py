@@ -1,0 +1,59 @@
+"""The checked-in regression corpus.
+
+One JSONL file per target under ``tests/testing/corpus/``; each line is
+``{"note": <why this case is here>, "case": <oracle-encoded case>}``.
+Every bug the harness has found gets its shrunk trigger recorded here,
+and ``tests/testing/test_regressions.py`` replays every file on every
+test run.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Any, Dict, List
+
+#: repo-relative default location (the CLI resolves it from the cwd)
+DEFAULT_CORPUS_DIR = Path("tests") / "testing" / "corpus"
+
+
+def corpus_path(corpus_dir: Path, target: str) -> Path:
+    return Path(corpus_dir) / f"{target}.jsonl"
+
+
+def load_corpus(path: Path) -> List[Dict[str, Any]]:
+    """The entries of one corpus file ([] when the file is absent)."""
+    path = Path(path)
+    if not path.exists():
+        return []
+    entries: List[Dict[str, Any]] = []
+    with path.open(encoding="utf-8") as handle:
+        for line_number, line in enumerate(handle, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                entry = json.loads(line)
+            except json.JSONDecodeError as exc:
+                raise ValueError(
+                    f"{path}:{line_number}: corrupt corpus line: {exc}"
+                ) from exc
+            if "case" not in entry:
+                raise ValueError(
+                    f"{path}:{line_number}: corpus entry without a case"
+                )
+            entries.append(entry)
+    return entries
+
+
+def append_entry(path: Path, note: str, encoded_case: Any) -> None:
+    """Record one case (used by the CLI when a fuzz run finds a bug)."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with path.open("a", encoding="utf-8") as handle:
+        handle.write(
+            json.dumps(
+                {"note": note, "case": encoded_case}, ensure_ascii=False
+            )
+            + "\n"
+        )

@@ -1,0 +1,457 @@
+"""Differential oracles: fast path vs reference path on generated input.
+
+Each oracle bundles five things: a case generator, a divergence check
+(``None`` means "agrees"), shrink candidates for failing cases, and an
+``encode``/``decode`` pair mapping cases to JSON-able objects for the
+checked-in regression corpus.
+
+Register new oracles in :data:`ORACLES`; the runner, the CLI and the
+corpus replay tests discover them by name.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json as _stdjson
+import random
+from collections import deque
+from typing import Any, Dict, Iterable, List, Optional as Opt, Set, Tuple
+
+from ..errors import (
+    DTDParseError,
+    JSONParseError,
+    RegexParseError,
+    SPARQLParseError,
+)
+from ..graphs.paths import (
+    evaluate_rpq,
+    evaluate_rpq_reference,
+    exists_simple_path,
+    exists_simple_path_reference,
+    exists_simple_path_smart,
+    exists_trail,
+    exists_trail_reference,
+)
+from ..graphs.rdf import TripleStore
+from ..regex.ast import Concat, Optional as OptRegex, Plus, Regex, Star, Union
+from ..regex.automata import glushkov
+from ..regex.determinism import is_deterministic
+from ..sparql.parser import parse_query
+from ..sparql.serialize import serialize_query
+from ..trees.dtd import DTD
+from ..trees.json_parser import parse_json
+from ..trees.streaming import validate_stream
+from ..trees.tree import Tree, TreeNode
+from .generators import (
+    Event,
+    random_dtd_rules,
+    random_event_stream,
+    random_json_text,
+    random_regex_ast,
+    random_rpq_case,
+    random_sparql_text,
+    regex_from_json,
+    regex_to_json,
+)
+from .shrink import sequence_candidates, text_candidates
+
+
+class Oracle:
+    """Base class of differential oracles (see module docstring)."""
+
+    name: str = ""
+    description: str = ""
+
+    def generate(self, rng: random.Random) -> Any:
+        raise NotImplementedError
+
+    def check(self, case: Any) -> Opt[str]:
+        """A divergence message, or ``None`` when both sides agree (a
+        case outside the oracle's precondition also returns ``None``)."""
+        raise NotImplementedError
+
+    def shrink_candidates(self, case: Any) -> Iterable[Any]:
+        return iter(())
+
+    def encode(self, case: Any) -> Any:
+        return case
+
+    def decode(self, obj: Any) -> Any:
+        return obj
+
+
+# ---------------------------------------------------------------------------
+# JSON: custom scanner vs stdlib
+# ---------------------------------------------------------------------------
+
+
+def _reject_constant(text: str) -> None:
+    # stdlib json accepts NaN/Infinity by default, an extension RFC 8259
+    # (and our scanner) rejects; pin the oracle to the strict grammar.
+    raise ValueError(f"non-RFC constant {text!r}")
+
+
+def _typed_equal(a: Any, b: Any) -> bool:
+    """Equality that does not conflate bool/int or int/float."""
+    if type(a) is not type(b):
+        return False
+    if isinstance(a, dict):
+        return len(a) == len(b) and all(
+            k in b and _typed_equal(v, b[k]) for k, v in a.items()
+        )
+    if isinstance(a, list):
+        return len(a) == len(b) and all(
+            _typed_equal(x, y) for x, y in zip(a, b)
+        )
+    return a == b
+
+
+class JSONOracle(Oracle):
+    name = "json"
+    description = "custom JSON scanner vs stdlib json (verdict + value)"
+
+    def generate(self, rng: random.Random) -> str:
+        return random_json_text(rng)
+
+    def check(self, case: str) -> Opt[str]:
+        try:
+            ours: Tuple[str, Any] = ("ok", parse_json(case))
+        except JSONParseError:
+            ours = ("err", None)
+        except RecursionError:
+            return None  # recursion-depth parity is not a target
+        except Exception as exc:
+            return (
+                f"custom parser leaked {type(exc).__name__}: {exc} "
+                f"(JSONParseError expected)"
+            )
+        try:
+            std: Tuple[str, Any] = (
+                "ok",
+                _stdjson.loads(case, parse_constant=_reject_constant),
+            )
+        except RecursionError:
+            return None
+        except Exception:
+            std = ("err", None)
+        if ours[0] != std[0]:
+            return (
+                f"accept/reject divergence: custom={ours[0]} "
+                f"stdlib={std[0]}"
+            )
+        if ours[0] == "ok" and not _typed_equal(ours[1], std[1]):
+            return (
+                f"value divergence: custom={ours[1]!r} stdlib={std[1]!r}"
+            )
+        return None
+
+    def shrink_candidates(self, case: str) -> Iterable[str]:
+        return text_candidates(case)
+
+
+# ---------------------------------------------------------------------------
+# DTD: streaming validator vs in-memory validation
+# ---------------------------------------------------------------------------
+
+
+def _tree_of_events(events: List[Event]) -> Opt[Tree]:
+    """The document tree of an event stream, or ``None`` when the stream
+    is not a single balanced element (text events are ignored; any other
+    unknown kind makes the stream malformed)."""
+    root: Opt[TreeNode] = None
+    stack: List[TreeNode] = []
+    for kind, label in events:
+        if kind == "text":
+            continue
+        if kind == "start":
+            node = TreeNode(label)
+            if stack:
+                stack[-1].add_child(node)
+            elif root is None:
+                root = node
+            else:
+                return None  # second root element
+            stack.append(node)
+        elif kind == "end":
+            if not stack or stack[-1].label != label:
+                return None  # unbalanced
+            stack.pop()
+        else:
+            return None  # unknown event kind
+    if stack or root is None:
+        return None
+    return Tree(root)
+
+
+class DTDStreamOracle(Oracle):
+    name = "dtd-stream"
+    description = "validate_stream vs DTD.validate on the event's tree"
+
+    def generate(self, rng: random.Random) -> Dict[str, Any]:
+        rules, start = random_dtd_rules(rng)
+        return {
+            "rules": rules,
+            "start": start,
+            "events": [list(e) for e in random_event_stream(rng)],
+        }
+
+    def check(self, case: Dict[str, Any]) -> Opt[str]:
+        try:
+            dtd = DTD.from_rules(case["rules"], start=[case["start"]])
+        except (DTDParseError, RegexParseError):
+            return None  # malformed rule text is outside the oracle
+        events = [tuple(e) for e in case["events"]]
+        streaming = validate_stream(dtd, events)
+        tree = _tree_of_events(events)
+        reference = tree is not None and dtd.validate(tree)
+        if streaming != reference:
+            return (
+                f"stream/in-memory divergence: streaming={streaming} "
+                f"in-memory={reference}"
+            )
+        return None
+
+    def shrink_candidates(
+        self, case: Dict[str, Any]
+    ) -> Iterable[Dict[str, Any]]:
+        for events in sequence_candidates(case["events"]):
+            yield {**case, "events": events}
+        for label in list(case["rules"]):
+            if label == case["start"]:
+                continue
+            smaller = dict(case["rules"])
+            del smaller[label]
+            yield {**case, "rules": smaller}
+        for label, body in case["rules"].items():
+            if body:
+                yield {**case, "rules": {**case["rules"], label: ""}}
+
+
+# ---------------------------------------------------------------------------
+# RPQ: compiled engine vs reference evaluators, all three semantics
+# ---------------------------------------------------------------------------
+
+
+class RPQOracle(Oracle):
+    name = "rpq"
+    description = (
+        "compiled RPQ engine vs *_reference under walk/simple-path/trail"
+    )
+
+    def generate(self, rng: random.Random) -> Dict[str, Any]:
+        return random_rpq_case(rng)
+
+    def check(self, case: Dict[str, Any]) -> Opt[str]:
+        store = TripleStore()
+        for s, p, o in case["triples"]:
+            store.add(s, p, o)
+        expr = regex_from_json(case["expr"])
+        source, target = case["source"], case["target"]
+        semantics = case["semantics"]
+        if semantics == "walk":
+            fast = evaluate_rpq(store, expr)
+            ref = evaluate_rpq_reference(store, expr)
+            if fast != ref:
+                return (
+                    f"walk all-pairs divergence: engine-only="
+                    f"{sorted(fast - ref)} reference-only={sorted(ref - fast)}"
+                )
+            fast = evaluate_rpq(store, expr, sources=[source], targets=[target])
+            ref = evaluate_rpq_reference(
+                store, expr, sources=[source], targets=[target]
+            )
+            if fast != ref:
+                return (
+                    f"walk filtered divergence at ({source}, {target}): "
+                    f"engine={sorted(fast)} reference={sorted(ref)}"
+                )
+            return None
+        if semantics == "simple":
+            fast = exists_simple_path(store, expr, source, target)
+            ref = exists_simple_path_reference(store, expr, source, target)
+            if fast != ref:
+                return (
+                    f"simple-path divergence at ({source}, {target}): "
+                    f"engine={fast} reference={ref}"
+                )
+            smart = exists_simple_path_smart(store, expr, source, target)
+            if smart != ref:
+                return (
+                    f"simple-path smart-route divergence at "
+                    f"({source}, {target}): smart={smart} reference={ref}"
+                )
+            return None
+        fast = exists_trail(store, expr, source, target)
+        ref = exists_trail_reference(store, expr, source, target)
+        if fast != ref:
+            return (
+                f"trail divergence at ({source}, {target}): "
+                f"engine={fast} reference={ref}"
+            )
+        return None
+
+    def shrink_candidates(
+        self, case: Dict[str, Any]
+    ) -> Iterable[Dict[str, Any]]:
+        for triples in sequence_candidates(case["triples"]):
+            yield {**case, "triples": triples}
+        expr = regex_from_json(case["expr"])
+        for candidate in _regex_candidates(expr):
+            yield {**case, "expr": regex_to_json(candidate)}
+
+
+# ---------------------------------------------------------------------------
+# Regex determinism: syntactic Glushkov test vs brute-force search
+# ---------------------------------------------------------------------------
+
+
+def _brute_force_unambiguous(expr: Regex) -> bool:
+    """One-unambiguity by exploration of the trimmed Glushkov automaton.
+
+    BKW define determinism over the *marked language*: after any marked
+    prefix, the next symbol must determine the next position among the
+    positions that can still complete to a marked word.  Explore the
+    reachable subsets, drop non-co-accessible positions, and look for a
+    subset with two live same-symbol successors.
+    """
+    nfa = glushkov(expr)
+    num_states = len(nfa.transitions)
+    reverse: List[Set[int]] = [set() for _ in range(num_states)]
+    for src in range(num_states):
+        for targets in nfa.transitions[src].values():
+            for dst in targets:
+                reverse[dst].add(src)
+    alive: Set[int] = set(nfa.finals)
+    queue = deque(alive)
+    while queue:
+        state = queue.popleft()
+        for prev in reverse[state]:
+            if prev not in alive:
+                alive.add(prev)
+                queue.append(prev)
+    start = frozenset(nfa.initial)
+    seen = {start}
+    frontier = deque([start])
+    while frontier:
+        subset = frontier.popleft()
+        merged: Dict[str, Set[int]] = {}
+        for state in subset:
+            for label, targets in nfa.transitions[state].items():
+                merged.setdefault(label, set()).update(
+                    t for t in targets if t in alive
+                )
+        for targets in merged.values():
+            if len(targets) > 1:
+                return False
+            if not targets:
+                continue
+            nxt = frozenset(targets)
+            if nxt not in seen:
+                seen.add(nxt)
+                frontier.append(nxt)
+    return True
+
+
+def _regex_candidates(expr: Regex) -> Iterable[Regex]:
+    """Strictly smaller variants of an expression (hoist a child, drop a
+    part of an n-ary node, shrink a child in place)."""
+    if isinstance(expr, (Union, Concat)):
+        for part in expr.parts:
+            yield part
+        if len(expr.parts) > 2:
+            for i in range(len(expr.parts)):
+                yield type(expr)(expr.parts[:i] + expr.parts[i + 1 :])
+        for i, part in enumerate(expr.parts):
+            for candidate in _regex_candidates(part):
+                yield type(expr)(
+                    expr.parts[:i] + (candidate,) + expr.parts[i + 1 :]
+                )
+    elif isinstance(expr, (Star, Plus, OptRegex)):
+        yield expr.child
+        for candidate in _regex_candidates(expr.child):
+            yield type(expr)(candidate)
+
+
+class RegexDeterminismOracle(Oracle):
+    name = "regex-determinism"
+    description = "is_deterministic vs brute-force Glushkov ambiguity search"
+
+    _ALPHABET = ("a", "b", "c")
+
+    def generate(self, rng: random.Random) -> Regex:
+        return random_regex_ast(
+            rng, self._ALPHABET, rng.randrange(1, 5), allow_empty=True
+        )
+
+    def check(self, case: Regex) -> Opt[str]:
+        syntactic = is_deterministic(case)
+        brute = _brute_force_unambiguous(case)
+        if syntactic != brute:
+            return (
+                f"determinism divergence on {case}: syntactic={syntactic} "
+                f"brute-force={brute}"
+            )
+        return None
+
+    def shrink_candidates(self, case: Regex) -> Iterable[Regex]:
+        return _regex_candidates(case)
+
+    def encode(self, case: Regex) -> Any:
+        return {"expr": regex_to_json(case)}
+
+    def decode(self, obj: Any) -> Regex:
+        return regex_from_json(obj["expr"])
+
+
+# ---------------------------------------------------------------------------
+# SPARQL: parse -> serialize -> parse round trip
+# ---------------------------------------------------------------------------
+
+
+class SPARQLRoundTripOracle(Oracle):
+    name = "sparql-roundtrip"
+    description = "parse→serialize→parse preserves the AST (modulo text)"
+
+    def generate(self, rng: random.Random) -> str:
+        return random_sparql_text(rng)
+
+    def check(self, case: str) -> Opt[str]:
+        try:
+            first = parse_query(case)
+        except SPARQLParseError:
+            return None  # unparseable input is outside the oracle
+        except RecursionError:
+            return None
+        except Exception as exc:
+            return f"parser crashed: {type(exc).__name__}: {exc}"
+        try:
+            rendered = serialize_query(first)
+        except Exception as exc:
+            return f"serializer failed: {type(exc).__name__}: {exc}"
+        try:
+            second = parse_query(rendered)
+        except Exception as exc:
+            return (
+                f"serialized form does not reparse: {rendered!r} "
+                f"({type(exc).__name__}: {exc})"
+            )
+        if dataclasses.replace(first, text=None) != dataclasses.replace(
+            second, text=None
+        ):
+            return f"round-trip AST mismatch via {rendered!r}"
+        return None
+
+    def shrink_candidates(self, case: str) -> Iterable[str]:
+        return text_candidates(case)
+
+
+ORACLES: Dict[str, Oracle] = {
+    oracle.name: oracle
+    for oracle in (
+        JSONOracle(),
+        DTDStreamOracle(),
+        RPQOracle(),
+        RegexDeterminismOracle(),
+        SPARQLRoundTripOracle(),
+    )
+}

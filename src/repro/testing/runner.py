@@ -1,0 +1,118 @@
+"""The fuzz loop and corpus replay.
+
+``fuzz`` drives one oracle for a wall-clock budget or an iteration
+count with a deterministic seed; every divergence is shrunk before it
+is reported.  ``replay`` re-checks previously recorded cases (the
+regression corpus).
+"""
+
+from __future__ import annotations
+
+import random
+import time
+from dataclasses import dataclass, field
+from typing import Any, List, Optional as Opt, Tuple
+
+from .oracles import ORACLES, Oracle
+from .shrink import shrink
+
+
+@dataclass
+class Divergence:
+    """One fuzz failure: the raw case, its shrunk form, the messages."""
+
+    target: str
+    message: str
+    case: Any  # encoded (JSON-able)
+    shrunk: Any  # encoded (JSON-able)
+    shrunk_message: str
+
+
+@dataclass
+class FuzzReport:
+    target: str
+    seed: int
+    executed: int
+    elapsed: float
+    divergences: List[Divergence] = field(default_factory=list)
+
+    @property
+    def ok(self) -> bool:
+        return not self.divergences
+
+
+def _checked(oracle: Oracle, case: Any) -> Opt[str]:
+    try:
+        return oracle.check(case)
+    except Exception as exc:
+        # a crashing oracle is a divergence too — the harness must never
+        # silently swallow it
+        return f"oracle crashed: {type(exc).__name__}: {exc}"
+
+
+def fuzz(
+    target: str,
+    seconds: Opt[float] = None,
+    iterations: Opt[int] = None,
+    seed: int = 0,
+    max_divergences: int = 5,
+    do_shrink: bool = True,
+) -> FuzzReport:
+    """Fuzz one oracle; deterministic given (target, seed, iterations).
+
+    With a ``seconds`` budget the case *sequence* is still seed-determined
+    — only how far the loop gets depends on the clock.  At least one of
+    ``seconds``/``iterations`` is required.
+    """
+    if seconds is None and iterations is None:
+        raise ValueError("fuzz() needs a seconds or iterations budget")
+    oracle = ORACLES[target]
+    rng = random.Random(seed)
+    deadline = None if seconds is None else time.monotonic() + seconds
+    started = time.monotonic()
+    report = FuzzReport(target=target, seed=seed, executed=0, elapsed=0.0)
+    while True:
+        if iterations is not None and report.executed >= iterations:
+            break
+        if deadline is not None and time.monotonic() >= deadline:
+            break
+        case = oracle.generate(rng)
+        report.executed += 1
+        message = _checked(oracle, case)
+        if message is None:
+            continue
+        shrunk = case
+        if do_shrink:
+            shrunk = shrink(
+                case,
+                lambda c: _checked(oracle, c),
+                oracle.shrink_candidates,
+            )
+        report.divergences.append(
+            Divergence(
+                target=target,
+                message=message,
+                case=oracle.encode(case),
+                shrunk=oracle.encode(shrunk),
+                shrunk_message=_checked(oracle, shrunk) or message,
+            )
+        )
+        if len(report.divergences) >= max_divergences:
+            break
+    report.elapsed = time.monotonic() - started
+    return report
+
+
+def replay(
+    target: str, encoded_cases: List[Any]
+) -> List[Tuple[Any, str]]:
+    """Re-check recorded cases; returns the (encoded case, message)
+    pairs that diverge (empty list = everything passes)."""
+    oracle = ORACLES[target]
+    failures: List[Tuple[Any, str]] = []
+    for encoded in encoded_cases:
+        case = oracle.decode(encoded)
+        message = _checked(oracle, case)
+        if message is not None:
+            failures.append((encoded, message))
+    return failures

@@ -1,0 +1,79 @@
+"""Greedy shrinking of failing fuzz cases (ddmin-style).
+
+The loop is oracle-agnostic: an oracle supplies a stream of *smaller*
+candidate cases for the current failure; the first candidate that still
+fails becomes the new current case and the loop restarts.  Termination
+is guaranteed because candidates are strictly smaller by the oracle's
+own size measure and the step budget is bounded.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Iterable, Optional as Opt
+
+Check = Callable[[Any], Opt[str]]
+Candidates = Callable[[Any], Iterable[Any]]
+
+
+def _safe_check(check: Check, case: Any) -> Opt[str]:
+    try:
+        return check(case)
+    except Exception as exc:  # a crashing check is itself a failure
+        return f"oracle crashed: {type(exc).__name__}: {exc}"
+
+
+def shrink(
+    case: Any,
+    check: Check,
+    candidates: Candidates,
+    max_steps: int = 3000,
+) -> Any:
+    """Smallest case found that still fails ``check``.
+
+    ``case`` must already fail; the original is returned unchanged when
+    no candidate preserves the failure.
+    """
+    if _safe_check(check, case) is None:
+        raise ValueError("shrink() needs a failing case")
+    current = case
+    steps = 0
+    improved = True
+    while improved and steps < max_steps:
+        improved = False
+        for candidate in candidates(current):
+            steps += 1
+            if _safe_check(check, candidate) is not None:
+                current = candidate
+                improved = True
+                break
+            if steps >= max_steps:
+                break
+    return current
+
+
+def text_candidates(text: str) -> Iterable[str]:
+    """Chunk-removal candidates for string cases, largest cuts first."""
+    n = len(text)
+    size = max(1, n // 2)
+    while size >= 1:
+        start = 0
+        while start < n:
+            yield text[:start] + text[start + size :]
+            start += size
+        if size == 1:
+            break
+        size //= 2
+
+
+def sequence_candidates(items: list) -> Iterable[list]:
+    """Chunk-removal candidates for list cases (events, triples, …)."""
+    n = len(items)
+    size = max(1, n // 2)
+    while size >= 1:
+        start = 0
+        while start < n:
+            yield items[:start] + items[start + size :]
+            start += size
+        if size == 1:
+            break
+        size //= 2

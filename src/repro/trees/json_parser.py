@@ -30,8 +30,11 @@ BAD_LITERAL = "bad-literal"
 MISSING_DELIMITER = "missing-delimiter"
 UNEXPECTED_END = "unexpected-end"
 BAD_ESCAPE = "bad-escape"
+CONTROL_CHAR = "control-character"
 
 _WHITESPACE = " \t\n\r"
+_DIGITS = "0123456789"
+_HEX_DIGITS = "0123456789abcdefABCDEF"
 _ESCAPES = {
     '"': '"',
     "\\": "\\",
@@ -134,6 +137,14 @@ class _JSONScanner:
             self.expect("]")
             return out
 
+    def _parse_u_escape(self) -> int:
+        """One ``\\uXXXX`` code unit (the backslash and 'u' are consumed)."""
+        hexpart = self.text[self.pos : self.pos + 4]
+        if len(hexpart) < 4 or any(c not in _HEX_DIGITS for c in hexpart):
+            raise self.error("bad \\u escape", BAD_ESCAPE)
+        self.pos += 4
+        return int(hexpart, 16)
+
     def parse_string(self) -> str:
         self.expect('"')
         out: List[str] = []
@@ -152,43 +163,80 @@ class _JSONScanner:
                 esc = self.text[self.pos]
                 self.pos += 1
                 if esc == "u":
-                    hexpart = self.text[self.pos : self.pos + 4]
-                    if len(hexpart) < 4:
-                        raise self.error("bad \\u escape", BAD_ESCAPE)
-                    try:
-                        out.append(chr(int(hexpart, 16)))
-                    except ValueError:
-                        raise self.error("bad \\u escape", BAD_ESCAPE)
-                    self.pos += 4
+                    unit = self._parse_u_escape()
+                    # An escaped high surrogate followed by an escaped
+                    # low surrogate encodes one astral code point
+                    # (backslash-u D834 then DD1E decodes to U+1D11E);
+                    # unpaired surrogates are kept as-is, matching the
+                    # stdlib decoder.
+                    if (
+                        0xD800 <= unit <= 0xDBFF
+                        and self.text.startswith("\\u", self.pos)
+                    ):
+                        mark = self.pos
+                        self.pos += 2
+                        low = self._parse_u_escape()
+                        if 0xDC00 <= low <= 0xDFFF:
+                            unit = (
+                                0x10000
+                                + ((unit - 0xD800) << 10)
+                                + (low - 0xDC00)
+                            )
+                        else:
+                            self.pos = mark  # not a pair; reread normally
+                    out.append(chr(unit))
                 elif esc in _ESCAPES:
                     out.append(_ESCAPES[esc])
                 else:
                     raise self.error(f"bad escape \\{esc}", BAD_ESCAPE)
+            elif ch < "\x20":
+                self.pos -= 1
+                raise self.error(
+                    f"unescaped control character {ch!r} in string",
+                    CONTROL_CHAR,
+                )
             else:
                 out.append(ch)
 
+    def _scan_digits(self) -> int:
+        count = 0
+        while self.pos < self.n and self.text[self.pos] in _DIGITS:
+            self.pos += 1
+            count += 1
+        return count
+
     def parse_number(self):
+        """Scan a number with the exact RFC 8259 grammar.
+
+        ``int`` is ``0`` or a non-zero digit followed by digits (so ``01``
+        stops after the ``0`` and the ``1`` becomes trailing input, as in
+        the stdlib tokenizer); ``frac``/``exp`` require at least one digit.
+        """
         start = self.pos
         if self.peek() == "-":
             self.pos += 1
-        while self.pos < self.n and self.text[self.pos].isdigit():
+        if self.peek() == "0":
             self.pos += 1
+        elif self._scan_digits() == 0:
+            raise self.error("malformed number", BAD_LITERAL)
         is_float = False
         if self.peek() == ".":
             is_float = True
             self.pos += 1
-            while self.pos < self.n and self.text[self.pos].isdigit():
-                self.pos += 1
+            if self._scan_digits() == 0:
+                raise self.error(
+                    "expected digits after decimal point", BAD_LITERAL
+                )
         if self.peek() in ("e", "E"):
             is_float = True
             self.pos += 1
             if self.peek() in ("+", "-"):
                 self.pos += 1
-            while self.pos < self.n and self.text[self.pos].isdigit():
-                self.pos += 1
+            if self._scan_digits() == 0:
+                raise self.error(
+                    "expected digits in exponent", BAD_LITERAL
+                )
         raw = self.text[start : self.pos]
-        if raw in ("", "-"):
-            raise self.error("malformed number", BAD_LITERAL)
         return float(raw) if is_float else int(raw)
 
 

@@ -95,6 +95,11 @@ class StreamingDTDValidator:
             )
             self.max_stack_depth = max(self.max_stack_depth, len(self._stack))
             return True
+        if kind == "text":
+            # The structural abstraction ignores character data, so text
+            # events never change validator state (they may appear anywhere,
+            # even outside the root, mirroring ignorable whitespace).
+            return True
         if kind == "end":
             if not self._stack or self._stack[-1][0] != label:
                 self._failed = f"unbalanced end event for {label!r}"

@@ -1,0 +1,28 @@
+"""Short fixed-seed fuzz runs: every oracle must come back clean."""
+
+import pytest
+
+from repro.testing import ORACLES, fuzz
+
+
+@pytest.mark.parametrize("target", sorted(ORACLES))
+def test_fixed_seed_smoke(target):
+    report = fuzz(target, iterations=400, seed=0)
+    assert report.executed == 400
+    assert report.ok, (
+        f"{target}: {len(report.divergences)} divergence(s); first: "
+        f"{report.divergences[0].shrunk_message if report.divergences else ''}"
+    )
+
+
+def test_report_shape():
+    report = fuzz("json", iterations=50, seed=7)
+    assert report.target == "json"
+    assert report.seed == 7
+    assert report.elapsed >= 0.0
+    assert report.divergences == []
+
+
+def test_unknown_target_rejected():
+    with pytest.raises(KeyError):
+        fuzz("no-such-oracle", iterations=1)

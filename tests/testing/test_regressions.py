@@ -1,0 +1,50 @@
+"""Replay the checked-in regression corpus against every oracle.
+
+Every bug the fuzzing harness has found is recorded as its shrunk
+triggering input in ``tests/testing/corpus/<target>.jsonl``; this test
+keeps those inputs passing forever.
+"""
+
+from pathlib import Path
+
+import pytest
+
+from repro.testing.corpus import corpus_path, load_corpus
+from repro.testing.oracles import ORACLES
+
+CORPUS_DIR = Path(__file__).parent / "corpus"
+
+
+@pytest.mark.parametrize("target", sorted(ORACLES))
+def test_corpus_exists_for_every_target(target):
+    assert corpus_path(CORPUS_DIR, target).exists(), (
+        f"no regression corpus for oracle {target!r}"
+    )
+
+
+def _entries():
+    for target in sorted(ORACLES):
+        for index, entry in enumerate(
+            load_corpus(corpus_path(CORPUS_DIR, target))
+        ):
+            yield pytest.param(
+                target,
+                entry,
+                id=f"{target}-{index}-{entry.get('note', '')[:40]}",
+            )
+
+
+@pytest.mark.parametrize("target,entry", _entries())
+def test_corpus_case_passes(target, entry):
+    oracle = ORACLES[target]
+    case = oracle.decode(entry["case"])
+    message = oracle.check(case)
+    assert message is None, (
+        f"corpus regression ({entry.get('note')}): {message}"
+    )
+
+
+@pytest.mark.parametrize("target,entry", _entries())
+def test_corpus_case_encoding_round_trips(target, entry):
+    oracle = ORACLES[target]
+    assert oracle.encode(oracle.decode(entry["case"])) == entry["case"]

@@ -1,0 +1,76 @@
+"""Shrinker unit tests: shrunk failures still fail, and get smaller."""
+
+import pytest
+
+from repro.regex.ast import Concat, Plus, Star, Symbol, Union
+from repro.testing.oracles import _regex_candidates
+from repro.testing.shrink import (
+    sequence_candidates,
+    shrink,
+    text_candidates,
+)
+
+
+def test_shrink_requires_a_failing_case():
+    with pytest.raises(ValueError):
+        shrink("ok", lambda case: None, text_candidates)
+
+
+def test_text_shrink_preserves_failure_and_minimizes():
+    # failure condition: the text contains the token 'BUG'
+    def check(text):
+        return "still failing" if "BUG" in text else None
+
+    noisy = "prefix-prefix-BUG-suffix-suffix" * 4
+    shrunk = shrink(noisy, check, text_candidates)
+    assert check(shrunk) is not None  # the shrunk case still fails
+    assert len(shrunk) < len(noisy)
+    assert shrunk == "BUG"  # greedy chunk removal reaches the core
+
+
+def test_sequence_shrink_preserves_failure():
+    def check(events):
+        return "fails" if ["start", "x"] in events else None
+
+    events = [["start", "a"], ["text", ""], ["start", "x"], ["end", "x"]]
+    shrunk = shrink(events, check, sequence_candidates)
+    assert check(shrunk) is not None
+    assert shrunk == [["start", "x"]]
+
+
+def test_regex_candidates_are_strictly_smaller():
+    expr = Concat(
+        (
+            Star(Union((Symbol("a"), Symbol("b")))),
+            Plus(Symbol("c")),
+            Symbol("d"),
+        )
+    )
+    for candidate in _regex_candidates(expr):
+        assert candidate.size() < expr.size()
+
+
+def test_regex_shrink_preserves_failure():
+    # failure condition: the expression still mentions the symbol 'a'
+    def check(expr):
+        return "has a" if "a" in expr.alphabet() else None
+
+    expr = Concat(
+        (
+            Star(Union((Symbol("a"), Symbol("b"), Symbol("c")))),
+            Plus(Symbol("b")),
+        )
+    )
+    shrunk = shrink(expr, check, _regex_candidates)
+    assert check(shrunk) is not None
+    assert shrunk.size() < expr.size()
+    assert shrunk == Symbol("a")
+
+
+def test_shrink_is_bounded():
+    # a check that always fails must still terminate via the step budget
+    def check(text):
+        return "always"
+
+    shrunk = shrink("x" * 64, check, text_candidates, max_steps=50)
+    assert check(shrunk) is not None
