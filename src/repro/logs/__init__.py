@@ -8,22 +8,37 @@ Public surface:
 * Corpora: :class:`QueryLogCorpus`, :func:`normalize_text`
 * Analysis: :func:`analyze_corpus`, :func:`analyze_query`,
   :class:`LogReport`, :func:`combine_reports`
+* Pipeline: :func:`run_study` (fused parse+analyze workers),
+  :func:`stream_corpus` (dedup-first parallel ingestion),
+  :class:`PipelineStats`, :class:`AnalysisCache`,
+  :func:`battery_fingerprint`
 * Reports: the ``render_table*`` functions of :mod:`repro.logs.report`
 """
 
 from .analyzer import (
+    BATTERY_VERSION,
+    COUNTER_FIELDS,
     LogReport,
     VUCounter,
     analyze_corpus,
     analyze_many,
     analyze_query,
+    apply_analysis,
     combine_reports,
+    encode_analysis,
 )
+from .cache import AnalysisCache, battery_fingerprint, cache_key
 from .corpus import (
     ParsedEntry,
     QueryLogCorpus,
     merge_table2,
     normalize_text,
+)
+from .pipeline import (
+    PipelineStats,
+    iter_log_entries,
+    run_study,
+    stream_corpus,
 )
 from .report import (
     render_figure3,
@@ -52,12 +67,23 @@ from .workload import (
 )
 
 __all__ = [
+    "AnalysisCache",
+    "BATTERY_VERSION",
+    "COUNTER_FIELDS",
     "LogReport",
+    "PipelineStats",
     "VUCounter",
     "analyze_corpus",
     "analyze_many",
     "analyze_query",
+    "apply_analysis",
+    "battery_fingerprint",
+    "cache_key",
     "combine_reports",
+    "encode_analysis",
+    "iter_log_entries",
+    "run_study",
+    "stream_corpus",
     "ParsedEntry",
     "QueryLogCorpus",
     "merge_table2",

@@ -55,6 +55,31 @@ from ..sparql.welldesigned import (
 )
 from .corpus import QueryLogCorpus
 
+#: Version of the analysis battery.  Bump whenever :func:`analyze_query`
+#: or :func:`apply_analysis` change what they compute or how results are
+#: keyed — the persistent cache (:mod:`repro.logs.cache`) folds it into
+#: its fingerprint, so stale cached analyses invalidate automatically.
+BATTERY_VERSION = "1"
+
+#: The counter fields of :class:`LogReport`, in declaration order; the
+#: single source of truth for merging, fingerprinting, and the identity
+#: checks of the differential oracle.
+COUNTER_FIELDS = (
+    "triple_histogram",
+    "features",
+    "operator_sets",
+    "query_types",
+    "htw",
+    "free_connex",
+    "shapes_with_constants",
+    "shapes_without_constants",
+    "path_buckets",
+    "path_classes",
+    "well_designed",
+    "union_well_designed",
+    "well_behaved",
+)
+
 
 class VUCounter:
     """A counter that tracks Valid (multiplicity-weighted) and Unique
@@ -97,6 +122,11 @@ class LogReport:
     well_designed: VUCounter = field(default_factory=VUCounter)
     union_well_designed: VUCounter = field(default_factory=VUCounter)
     well_behaved: VUCounter = field(default_factory=VUCounter)
+    #: per-stage timings and cache accounting when the report was built
+    #: by :func:`repro.logs.pipeline.run_study` (a
+    #: :class:`~repro.logs.pipeline.PipelineStats`); ``None`` for the
+    #: sequential battery
+    stats: Opt[object] = field(default=None, repr=False, compare=False)
 
     # subtotals over operator sets ------------------------------------------------
 
@@ -168,65 +198,110 @@ def analyze_query(query: Query) -> Dict[str, object]:
     return out
 
 
+def apply_analysis(
+    report: LogReport, analysis: Dict[str, object], multiplicity: int
+) -> None:
+    """Fold one per-query analysis into a report's counters.
+
+    Accepts both the in-memory form of :func:`analyze_query` and the
+    JSON round-tripped form of :func:`encode_analysis` (sets arrive as
+    lists, tuples as lists) — every counter key built here is identical
+    for the two, which is what makes the parallel and cached pipeline
+    paths counter-for-counter equal to the sequential battery.
+    """
+    report.query_types.add(analysis["type"], multiplicity)
+    if analysis["type"] == "DESCRIBE":
+        # the paper omits DESCRIBE from the per-feature statistics
+        return
+    report.triple_histogram.add(
+        _histogram_bucket(analysis["triples"]), multiplicity
+    )
+    for feature in analysis["features"]:
+        report.features.add(feature, multiplicity)
+    report.operator_sets.add(
+        tuple(sorted(analysis["operators"])), multiplicity
+    )
+    if "htw" in analysis and analysis["htw"] is not None:
+        report.htw.add(analysis["htw"], multiplicity)
+        report.free_connex.add(bool(analysis["fca"]), multiplicity)
+    if "shape_with" in analysis:
+        report.shapes_with_constants.add(
+            analysis["shape_with"], multiplicity
+        )
+        report.shapes_without_constants.add(
+            analysis["shape_without"], multiplicity
+        )
+    if "well_designed" in analysis:
+        report.well_designed.add(
+            bool(analysis["well_designed"]), multiplicity
+        )
+        report.well_behaved.add(
+            bool(analysis["well_behaved"]), multiplicity
+        )
+    if "uwd" in analysis:
+        report.union_well_designed.add(
+            bool(analysis["uwd"]), multiplicity
+        )
+    for bucket in analysis.get("path_buckets", ()):
+        report.path_buckets.add(bucket, multiplicity)
+    for ste, ctract, ttract in analysis.get("path_classes", ()):
+        report.path_classes.add(
+            (
+                "ste" if ste else "non-ste",
+                "ctract" if ctract else "non-ctract",
+                "ttract" if ttract else "non-ttract",
+            ),
+            multiplicity,
+        )
+
+
+def encode_analysis(analysis: Dict[str, object]) -> Dict[str, object]:
+    """The JSON-able form of an :func:`analyze_query` result.
+
+    Sets become sorted lists and bool-triples become lists; everything
+    else (ints, bools, strings, the ``htw: None`` marker) is already
+    JSON.  :func:`apply_analysis` accepts this form directly, so the
+    encoded record is what workers ship back and what the persistent
+    cache stores — never an AST.
+    """
+    out: Dict[str, object] = {}
+    for key, value in analysis.items():
+        if key in ("features", "operators"):
+            out[key] = sorted(value)
+        elif key == "path_classes":
+            out[key] = [
+                [bool(ste), bool(ctract), bool(ttract)]
+                for ste, ctract, ttract in value
+            ]
+        else:
+            out[key] = value
+    return out
+
+
 def analyze_corpus(corpus: QueryLogCorpus) -> LogReport:
-    """Run the full battery over one corpus."""
+    """Run the full battery over one corpus (the sequential reference
+    path — :func:`repro.logs.pipeline.run_study` is checked against it
+    counter for counter)."""
     report = LogReport(
         corpus.source, corpus.total, corpus.valid, corpus.unique
     )
     for query, multiplicity in corpus.iter_valid():
-        analysis = analyze_query(query)
-        report.query_types.add(analysis["type"], multiplicity)
-        if analysis["type"] == "DESCRIBE":
-            # the paper omits DESCRIBE from the per-feature statistics
-            continue
-        report.triple_histogram.add(
-            _histogram_bucket(analysis["triples"]), multiplicity
-        )
-        for feature in analysis["features"]:
-            report.features.add(feature, multiplicity)
-        report.operator_sets.add(
-            tuple(sorted(analysis["operators"])), multiplicity
-        )
-        if "htw" in analysis and analysis["htw"] is not None:
-            report.htw.add(analysis["htw"], multiplicity)
-            report.free_connex.add(bool(analysis["fca"]), multiplicity)
-        if "shape_with" in analysis:
-            report.shapes_with_constants.add(
-                analysis["shape_with"], multiplicity
-            )
-            report.shapes_without_constants.add(
-                analysis["shape_without"], multiplicity
-            )
-        if "well_designed" in analysis:
-            report.well_designed.add(
-                bool(analysis["well_designed"]), multiplicity
-            )
-            report.well_behaved.add(
-                bool(analysis["well_behaved"]), multiplicity
-            )
-        if "uwd" in analysis:
-            report.union_well_designed.add(
-                bool(analysis["uwd"]), multiplicity
-            )
-        for bucket in analysis.get("path_buckets", ()):
-            report.path_buckets.add(bucket, multiplicity)
-        for ste, ctract, ttract in analysis.get("path_classes", ()):
-            report.path_classes.add(
-                (
-                    "ste" if ste else "non-ste",
-                    "ctract" if ctract else "non-ctract",
-                    "ttract" if ttract else "non-ttract",
-                ),
-                multiplicity,
-            )
+        apply_analysis(report, analyze_query(query), multiplicity)
     return report
 
 
-def _analyze_chunk(corpus: QueryLogCorpus) -> LogReport:
-    """Process-pool worker: analyze one (sub-)corpus.  Module-level so it
-    pickles; corpora, reports, and VUCounters are all plain picklable
-    dataclasses/classes."""
-    return analyze_corpus(corpus)
+def _analyze_pairs(
+    payload: Tuple[str, List[Tuple[Query, int]]]
+) -> LogReport:
+    """Process-pool worker: analyze one shard of (query, multiplicity)
+    pairs.  Workers receive only the ASTs and multiplicities — the raw
+    texts and dedup keys of the entries never cross the pickle boundary.
+    The header numbers are restored by the caller."""
+    source, pairs = payload
+    report = LogReport(source, 0, 0, 0)
+    for query, multiplicity in pairs:
+        apply_analysis(report, analyze_query(query), multiplicity)
+    return report
 
 
 def analyze_many(
@@ -242,27 +317,37 @@ def analyze_many(
     on a process pool and the partial :class:`LogReport`\\ s merged via
     :func:`combine_reports`.  Per-query analyses are independent, so the
     merged counters are identical to the sequential ones.
+
+    Only ``(query, multiplicity)`` pairs are shipped to the workers (not
+    the entry texts and keys), and empty corpora never reach the pool.
+    For end-to-end studies that start from raw text prefer
+    :func:`repro.logs.pipeline.run_study`, which fuses parsing and
+    analysis in the workers and skips this AST-pickling round-trip
+    entirely.
     """
     if not workers or workers <= 1:
         return {corpus.source: analyze_corpus(corpus) for corpus in corpora}
-    tasks: List[Tuple[int, QueryLogCorpus]] = []
+    tasks: List[Tuple[int, Tuple[str, List[Tuple[Query, int]]]]] = []
     for index, corpus in enumerate(corpora):
         entries = corpus.entries
-        for start in range(0, max(len(entries), 1), chunk_size):
-            chunk = entries[start : start + chunk_size]
-            tasks.append(
-                (index, QueryLogCorpus(corpus.source, entries=list(chunk)))
-            )
+        for start in range(0, len(entries), chunk_size):
+            pairs = [
+                (entry.query, entry.occurrences)
+                for entry in entries[start : start + chunk_size]
+            ]
+            tasks.append((index, (corpus.source, pairs)))
     with ProcessPoolExecutor(max_workers=workers) as pool:
-        partials = list(pool.map(_analyze_chunk, [sub for _, sub in tasks]))
+        partials = list(
+            pool.map(_analyze_pairs, [payload for _, payload in tasks])
+        )
     grouped: Dict[int, List[LogReport]] = defaultdict(list)
     for (index, _), partial in zip(tasks, partials):
         grouped[index].append(partial)
     out: Dict[str, LogReport] = {}
     for index, corpus in enumerate(corpora):
         merged = combine_reports(grouped[index], name=corpus.source)
-        # chunk headers double-count nothing but miss the invalid entries;
-        # restore the exact Table 2 numbers from the corpus itself
+        # chunk headers carry no Table 2 numbers (and an empty corpus has
+        # no chunks at all); restore them from the corpus itself
         merged.total = corpus.total
         merged.valid = corpus.valid
         merged.unique = corpus.unique
@@ -281,21 +366,7 @@ def combine_reports(
         sum(r.unique for r in reports),
     )
     for report in reports:
-        for attribute in (
-            "triple_histogram",
-            "features",
-            "operator_sets",
-            "query_types",
-            "htw",
-            "free_connex",
-            "shapes_with_constants",
-            "shapes_without_constants",
-            "path_buckets",
-            "path_classes",
-            "well_designed",
-            "union_well_designed",
-            "well_behaved",
-        ):
+        for attribute in COUNTER_FIELDS:
             source: VUCounter = getattr(report, attribute)
             target: VUCounter = getattr(combined, attribute)
             target.valid.update(source.valid)

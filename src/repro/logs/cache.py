@@ -1,0 +1,200 @@
+"""Persistent, content-addressed analysis cache for log studies.
+
+Repeated studies over overlapping logs (the normal situation: monthly
+log drops share most of their unique queries with the previous drop)
+re-parse and re-analyze nothing that is already known.  The cache maps
+the *normalized query text* (hashed — the same dedup key the corpora
+use) to the encoded per-query analysis record of
+:func:`repro.logs.analyzer.encode_analysis`, or to ``None`` for texts
+known not to parse.  No AST is ever stored.
+
+Layout and invariants
+---------------------
+
+* ``root/<fingerprint>/shard-XX.jsonl`` — records are sharded by the
+  first two hex digits of the key so no single file grows unboundedly
+  and concurrent writers rarely touch the same file.
+* The *fingerprint* (:func:`battery_fingerprint`) digests the battery
+  version and the report schema.  A changed battery lands in a fresh
+  subdirectory, so stale analyses of an older schema are never read —
+  versioned invalidation without a migration step.
+* Appends are whole-line writes on an ``O_APPEND`` descriptor, so
+  concurrent writers on the same directory interleave at line
+  granularity in the common case; the cache is content-addressed, so a
+  duplicated key is idempotent and last-write-wins on load is safe.
+* A corrupt line (torn write, truncation, garbage) is *skipped and
+  counted*, never fatal: the worst outcome of a damaged cache file is a
+  re-computed analysis.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import shutil
+from pathlib import Path
+from typing import Any, Dict, Optional as Opt, Tuple, Union
+
+from . import analyzer as _analyzer
+
+#: bump when the on-disk record layout (not the battery) changes
+RECORD_VERSION = "1"
+
+
+def battery_fingerprint() -> str:
+    """Digest of everything a cached record's meaning depends on: the
+    battery version, the report's counter schema, and the record
+    layout.  Any change moves the cache to a fresh subdirectory."""
+    payload = json.dumps(
+        {
+            "battery": _analyzer.BATTERY_VERSION,
+            "counters": list(_analyzer.COUNTER_FIELDS),
+            "record": RECORD_VERSION,
+        },
+        sort_keys=True,
+    )
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()[:16]
+
+
+def cache_key(normalized_text: str) -> str:
+    """The content address of one unique query: SHA-256 of its
+    whitespace-normalized text (the corpus dedup key)."""
+    return hashlib.sha256(normalized_text.encode("utf-8")).hexdigest()
+
+
+class AnalysisCache:
+    """On-disk analysis cache (see module docstring for the layout).
+
+    ``get``/``put`` work against an in-memory map loaded lazily from the
+    shard files; ``flush`` appends the new records.  ``hits``/``misses``
+    count ``get`` outcomes; ``corrupt_lines`` counts skipped damage.
+    """
+
+    def __init__(
+        self,
+        root: Union[str, Path],
+        fingerprint: Opt[str] = None,
+    ):
+        self.root = Path(root)
+        self.fingerprint = fingerprint or battery_fingerprint()
+        self.directory = self.root / self.fingerprint
+        self.hits = 0
+        self.misses = 0
+        self.corrupt_lines = 0
+        self._records: Dict[str, Any] = {}
+        self._dirty: Dict[str, Any] = {}
+        self._loaded = False
+
+    # -- loading ----------------------------------------------------------------
+
+    def load(self) -> "AnalysisCache":
+        """Read every shard of this fingerprint (idempotent).  Damaged
+        lines and unreadable files are skipped and counted."""
+        if self._loaded:
+            return self
+        self._loaded = True
+        if not self.directory.is_dir():
+            return self
+        for path in sorted(self.directory.glob("shard-*.jsonl")):
+            try:
+                text = path.read_text(encoding="utf-8", errors="replace")
+            except OSError:
+                continue
+            for line in text.splitlines():
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    entry = json.loads(line)
+                except json.JSONDecodeError:
+                    self.corrupt_lines += 1
+                    continue
+                if not isinstance(entry, dict) or "k" not in entry:
+                    self.corrupt_lines += 1
+                    continue
+                self._records[entry["k"]] = entry.get("r")
+        return self
+
+    def __len__(self) -> int:
+        self.load()
+        return len(self._records)
+
+    # -- lookup / insert --------------------------------------------------------
+
+    def get(self, key: str) -> Tuple[bool, Any]:
+        """``(hit, record)`` — the record may legitimately be ``None``
+        (a text known not to parse), which is why the hit flag exists."""
+        self.load()
+        if key in self._records:
+            self.hits += 1
+            return True, self._records[key]
+        self.misses += 1
+        return False, None
+
+    def put(self, key: str, record: Any) -> None:
+        """Stage one record; a key already present is left alone (the
+        cache is content-addressed, so the record would be identical)."""
+        self.load()
+        if key in self._records:
+            return
+        self._records[key] = record
+        self._dirty[key] = record
+
+    def flush(self) -> int:
+        """Append the staged records to their shards; returns how many
+        were written.  One buffered ``write`` per shard keeps concurrent
+        writers line-atomic in practice."""
+        if not self._dirty:
+            return 0
+        self.directory.mkdir(parents=True, exist_ok=True)
+        by_shard: Dict[Path, list] = {}
+        for key, record in self._dirty.items():
+            path = self.directory / f"shard-{key[:2]}.jsonl"
+            by_shard.setdefault(path, []).append((key, record))
+        written = 0
+        for path, items in by_shard.items():
+            payload = "".join(
+                json.dumps(
+                    {"k": key, "r": record},
+                    ensure_ascii=False,
+                    separators=(",", ":"),
+                )
+                + "\n"
+                for key, record in items
+            )
+            descriptor = os.open(
+                str(path),
+                os.O_WRONLY | os.O_CREAT | os.O_APPEND,
+                0o644,
+            )
+            try:
+                os.write(descriptor, payload.encode("utf-8"))
+            finally:
+                os.close(descriptor)
+            written += len(items)
+        self._dirty.clear()
+        return written
+
+    # -- maintenance ------------------------------------------------------------
+
+    def purge_stale(self) -> int:
+        """Delete sibling fingerprint directories (caches of older
+        battery versions); returns how many were removed."""
+        removed = 0
+        if not self.root.is_dir():
+            return removed
+        for path in self.root.iterdir():
+            if path.is_dir() and path.name != self.fingerprint:
+                shutil.rmtree(path, ignore_errors=True)
+                removed += 1
+        return removed
+
+    def stats(self) -> Dict[str, Any]:
+        return {
+            "fingerprint": self.fingerprint,
+            "entries": len(self._records) if self._loaded else None,
+            "hits": self.hits,
+            "misses": self.misses,
+            "corrupt_lines": self.corrupt_lines,
+        }

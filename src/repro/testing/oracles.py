@@ -14,6 +14,7 @@ from __future__ import annotations
 import dataclasses
 import json as _stdjson
 import random
+import tempfile
 from collections import deque
 from typing import Any, Dict, Iterable, List, Optional as Opt, Set, Tuple
 
@@ -33,6 +34,10 @@ from ..graphs.paths import (
     exists_trail_reference,
 )
 from ..graphs.rdf import TripleStore
+from ..logs.analyzer import COUNTER_FIELDS, LogReport, analyze_corpus
+from ..logs.corpus import QueryLogCorpus
+from ..logs.pipeline import run_study
+from ..logs.workload import ALL_PROFILES, generate_source_log
 from ..regex.ast import Concat, Optional as OptRegex, Plus, Regex, Star, Union
 from ..regex.automata import glushkov
 from ..regex.determinism import is_deterministic
@@ -404,6 +409,107 @@ class RegexDeterminismOracle(Oracle):
 
 
 # ---------------------------------------------------------------------------
+# Log pipeline: fused run_study (workers + cache) vs sequential battery
+# ---------------------------------------------------------------------------
+
+
+def _report_divergence(
+    reference: LogReport, candidate: LogReport
+) -> Opt[str]:
+    """First counter (or header) where two reports differ, or ``None``."""
+    header = ("total", "valid", "unique")
+    for name in header:
+        left, right = getattr(reference, name), getattr(candidate, name)
+        if left != right:
+            return f"header {name}: sequential={left} pipeline={right}"
+    for name in COUNTER_FIELDS:
+        left = getattr(reference, name).items()
+        right = getattr(candidate, name).items()
+        if left != right:
+            return (
+                f"counter {name}: sequential={left!r} pipeline={right!r}"
+            )
+    return None
+
+
+class LogPipelineOracle(Oracle):
+    name = "log-pipeline"
+    description = (
+        "run_study (dedup-first pipeline, fused workers, analysis "
+        "cache) vs sequential analyze_corpus"
+    )
+
+    _PROFILES = tuple(profile.name for profile in ALL_PROFILES)
+
+    def generate(self, rng: random.Random) -> Dict[str, Any]:
+        return {
+            "profile": rng.choice(self._PROFILES),
+            "total": rng.randint(3, 24),
+            "seed": rng.randrange(1 << 20),
+            # the pool path is heavyweight, so it is sampled, not the
+            # default; a dedicated pytest test covers it deterministically
+            "workers": 2 if rng.random() < 0.1 else 0,
+            "chunk_size": rng.choice((1, 3, 8, 64)),
+            "cache": rng.random() < 0.5,
+        }
+
+    def check(self, case: Dict[str, Any]) -> Opt[str]:
+        profile = {p.name: p for p in ALL_PROFILES}[case["profile"]]
+        texts = generate_source_log(
+            profile, case["total"], seed=case["seed"]
+        )
+        reference = analyze_corpus(
+            QueryLogCorpus.from_texts(profile.name, texts)
+        )
+        runs: List[Tuple[str, LogReport]] = []
+        if case["cache"]:
+            with tempfile.TemporaryDirectory() as tmp:
+                for label in ("cold-cache", "warm-cache"):
+                    runs.append(
+                        (
+                            label,
+                            run_study(
+                                profile.name,
+                                texts,
+                                workers=case["workers"],
+                                cache=tmp,
+                                chunk_size=case["chunk_size"],
+                            ),
+                        )
+                    )
+        else:
+            runs.append(
+                (
+                    "uncached",
+                    run_study(
+                        profile.name,
+                        texts,
+                        workers=case["workers"],
+                        chunk_size=case["chunk_size"],
+                    ),
+                )
+            )
+        for label, report in runs:
+            message = _report_divergence(reference, report)
+            if message is not None:
+                return f"{label} run: {message}"
+        return None
+
+    def shrink_candidates(
+        self, case: Dict[str, Any]
+    ) -> Iterable[Dict[str, Any]]:
+        if case["total"] > 1:
+            yield {**case, "total": case["total"] // 2}
+            yield {**case, "total": case["total"] - 1}
+        if case["workers"]:
+            yield {**case, "workers": 0}
+        if case["cache"]:
+            yield {**case, "cache": False}
+        if case["chunk_size"] > 1:
+            yield {**case, "chunk_size": 1}
+
+
+# ---------------------------------------------------------------------------
 # SPARQL: parse -> serialize -> parse round trip
 # ---------------------------------------------------------------------------
 
@@ -453,5 +559,6 @@ ORACLES: Dict[str, Oracle] = {
         RPQOracle(),
         RegexDeterminismOracle(),
         SPARQLRoundTripOracle(),
+        LogPipelineOracle(),
     )
 }

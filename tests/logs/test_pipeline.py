@@ -1,0 +1,237 @@
+"""The scalable pipeline must be invisible in the results: stream_corpus
+builds the same corpus as the sequential add-loop, and run_study (fused
+workers, with or without the persistent cache) returns reports identical,
+counter for counter, to the sequential battery."""
+
+import json
+
+import pytest
+
+from repro.logs.analyzer import (
+    COUNTER_FIELDS,
+    LogReport,
+    analyze_corpus,
+    analyze_many,
+)
+from repro.logs.corpus import QueryLogCorpus
+from repro.logs.pipeline import (
+    PipelineStats,
+    iter_log_entries,
+    run_study,
+    stream_corpus,
+)
+from repro.logs.workload import (
+    BRITISH_MUSEUM,
+    DBPEDIA,
+    WIKIDATA_ORGANIC,
+    generate_source_log,
+)
+
+
+def assert_reports_identical(left: LogReport, right: LogReport):
+    assert left.source == right.source
+    assert (left.total, left.valid, left.unique) == (
+        right.total,
+        right.valid,
+        right.unique,
+    )
+    for name in COUNTER_FIELDS:
+        assert getattr(left, name).items() == getattr(right, name).items(), name
+
+
+@pytest.fixture(scope="module", params=["DBpedia", "WikiOrganic", "BritM"])
+def workload(request):
+    profile = {
+        p.name: p for p in (DBPEDIA, WIKIDATA_ORGANIC, BRITISH_MUSEUM)
+    }[request.param]
+    texts = generate_source_log(profile, total=160, seed=11)
+    return profile.name, texts
+
+
+class TestStreamCorpus:
+    def test_matches_from_texts_serial(self, workload):
+        source, texts = workload
+        reference = QueryLogCorpus.from_texts(source, texts)
+        streamed = stream_corpus(source, texts)
+        assert streamed.table2_row() == reference.table2_row()
+        assert streamed.invalid == reference.invalid
+        assert [
+            (e.key, e.text, e.occurrences) for e in streamed.entries
+        ] == [(e.key, e.text, e.occurrences) for e in reference.entries]
+
+    def test_matches_from_texts_parallel(self, workload):
+        source, texts = workload
+        reference = QueryLogCorpus.from_texts(source, texts)
+        streamed = stream_corpus(source, texts, workers=2, chunk_size=13)
+        assert streamed.table2_row() == reference.table2_row()
+        assert_reports_identical(
+            analyze_corpus(streamed), analyze_corpus(reference)
+        )
+
+    def test_from_stream_classmethod(self, workload):
+        source, texts = workload
+        corpus = QueryLogCorpus.from_stream(source, texts, workers=2)
+        assert corpus.table2_row() == QueryLogCorpus.from_texts(
+            source, texts
+        ).table2_row()
+
+    def test_empty_stream(self):
+        corpus = stream_corpus("empty", [])
+        assert corpus.table2_row() == ("empty", 0, 0, 0)
+
+    def test_all_invalid_stream(self):
+        corpus = stream_corpus("broken", ["NOT SPARQL", "ALSO } BAD"])
+        assert corpus.table2_row() == ("broken", 2, 0, 0)
+        assert corpus.invalid == 2
+
+
+class TestRunStudy:
+    def reference(self, source, texts):
+        return analyze_corpus(QueryLogCorpus.from_texts(source, texts))
+
+    def test_serial_identity(self, workload):
+        source, texts = workload
+        assert_reports_identical(
+            run_study(source, texts), self.reference(source, texts)
+        )
+
+    def test_parallel_identity(self, workload):
+        source, texts = workload
+        report = run_study(source, texts, workers=2, chunk_size=7)
+        assert_reports_identical(report, self.reference(source, texts))
+        assert report.stats.chunks > 1
+
+    def test_cache_cold_then_warm_identity(self, workload, tmp_path):
+        source, texts = workload
+        reference = self.reference(source, texts)
+        cold = run_study(source, texts, cache=tmp_path)
+        warm = run_study(source, texts, cache=tmp_path)
+        assert_reports_identical(cold, reference)
+        assert_reports_identical(warm, reference)
+        assert cold.stats.cache_hits == 0
+        assert cold.stats.cache_misses == cold.stats.unique_texts
+        assert warm.stats.cache_misses == 0
+        assert warm.stats.parsed_texts == 0
+        assert warm.stats.cache_hit_rate == 1.0
+
+    def test_cache_shared_across_overlapping_logs(self, tmp_path):
+        first = generate_source_log(DBPEDIA, total=120, seed=3)
+        second = first + generate_source_log(DBPEDIA, total=40, seed=4)
+        run_study("DBpedia", first, cache=tmp_path)
+        report = run_study("DBpedia", second, cache=tmp_path)
+        assert_reports_identical(
+            report, self.reference("DBpedia", second)
+        )
+        # the overlap is served from the cache, only the new tail parses
+        assert report.stats.cache_hits > 0
+        assert (
+            report.stats.parsed_texts < report.stats.unique_texts
+        )
+
+    def test_stats_are_coherent(self, workload):
+        source, texts = workload
+        report = run_study(source, texts, workers=2)
+        stats = report.stats
+        assert isinstance(stats, PipelineStats)
+        assert stats.entries == report.total == len(texts)
+        assert stats.unique_texts >= report.unique
+        for stage in (
+            stats.ingest_seconds,
+            stats.parse_analyze_seconds,
+            stats.merge_seconds,
+        ):
+            assert stage >= 0.0
+        assert stats.total_seconds >= max(
+            stats.ingest_seconds, stats.parse_analyze_seconds
+        )
+        as_dict = stats.as_dict()
+        assert as_dict["source"] == source
+        assert "cache_hit_rate" in as_dict
+        assert source in stats.summary()
+
+    def test_empty_study(self):
+        report = run_study("empty", [])
+        assert (report.total, report.valid, report.unique) == (0, 0, 0)
+        assert report.stats.parsed_texts == 0
+
+
+class TestFileSources:
+    def test_jsonl_source(self, tmp_path):
+        texts = generate_source_log(DBPEDIA, total=60, seed=9)
+        path = tmp_path / "log.jsonl"
+        with path.open("w", encoding="utf-8") as handle:
+            for index, text in enumerate(texts):
+                # mix the two supported JSONL shapes
+                if index % 2:
+                    handle.write(json.dumps({"query": text}) + "\n")
+                else:
+                    handle.write(json.dumps(text) + "\n")
+        assert list(iter_log_entries(path)) == texts
+        assert_reports_identical(
+            run_study("DBpedia", path),
+            analyze_corpus(QueryLogCorpus.from_texts("DBpedia", texts)),
+        )
+
+    def test_plain_text_source(self, tmp_path):
+        texts = [
+            "SELECT * WHERE { ?a <p> ?b }",
+            "SELECT * WHERE { ?a <p> ?b . ?b <q> ?c }",
+            "NOT SPARQL AT ALL",
+        ]
+        path = tmp_path / "log.txt"
+        path.write_text("\n".join(texts) + "\n", encoding="utf-8")
+        corpus = stream_corpus("plain", path)
+        assert corpus.table2_row() == ("plain", 3, 2, 2)
+
+    def test_jsonl_rejects_entries_without_text(self, tmp_path):
+        path = tmp_path / "log.jsonl"
+        path.write_text('{"other": 1}\n', encoding="utf-8")
+        with pytest.raises(ValueError):
+            list(iter_log_entries(path))
+
+
+class TestCorpusCounters:
+    def test_valid_is_a_running_counter(self):
+        corpus = QueryLogCorpus("t")
+        assert corpus.valid == 0
+        corpus.add("SELECT * WHERE { ?a <p> ?b }")
+        corpus.add("SELECT  * WHERE { ?a <p> ?b }")  # duplicate
+        corpus.add("broken {")
+        assert corpus.valid == 2
+        assert corpus.total == 3
+        assert corpus.invalid == 1
+
+    def test_constructor_supplied_entries_initialize_counter(self):
+        base = QueryLogCorpus.from_texts(
+            "t",
+            [
+                "SELECT * WHERE { ?a <p> ?b }",
+                "SELECT * WHERE { ?a <p> ?b }",
+                "SELECT * WHERE { ?a <q> ?b }",
+            ],
+        )
+        rebuilt = QueryLogCorpus("t", entries=list(base.entries))
+        assert rebuilt.valid == 3
+        assert rebuilt.unique == 2
+        # the derived index keeps add() deduplicating correctly
+        rebuilt.add("SELECT * WHERE { ?a <q> ?b }")
+        assert rebuilt.valid == 4
+        assert rebuilt.unique == 2
+
+
+class TestAnalyzeManyFixes:
+    def test_empty_corpus_spawns_no_chunk(self):
+        empty = QueryLogCorpus("empty")
+        out = analyze_many([empty], workers=2, chunk_size=4)
+        assert out["empty"].total == 0
+        assert out["empty"].valid == 0
+        assert out["empty"].unique == 0
+
+    def test_mixed_empty_and_nonempty(self):
+        texts = generate_source_log(DBPEDIA, total=50, seed=1)
+        corpus = QueryLogCorpus.from_texts("DBpedia", texts)
+        out = analyze_many(
+            [corpus, QueryLogCorpus("empty")], workers=2, chunk_size=8
+        )
+        assert_reports_identical(out["DBpedia"], analyze_corpus(corpus))
+        assert out["empty"].unique == 0
