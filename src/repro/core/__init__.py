@@ -1,5 +1,13 @@
-"""Orchestration: the practical-study methodology as a library."""
+"""Orchestration: the practical-study methodology as a library, plus
+cross-subsystem primitives (content-addressing in :mod:`.hashing`)."""
 
+from .hashing import payload_fingerprint, text_key
 from .study import PracticalStudy, StudyScale, perspective_note
 
-__all__ = ["PracticalStudy", "StudyScale", "perspective_note"]
+__all__ = [
+    "PracticalStudy",
+    "StudyScale",
+    "payload_fingerprint",
+    "perspective_note",
+    "text_key",
+]

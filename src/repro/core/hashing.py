@@ -1,0 +1,41 @@
+"""Shared content-addressing helpers.
+
+Two caches in the toolkit key their entries by content: the persistent
+log-analysis cache (:mod:`repro.logs.cache`) and the serving layer's
+result cache (:mod:`repro.service.resultcache`).  Both must use the
+*same* discipline — SHA-256 over a canonical text, plus a truncated
+digest of a JSON payload for versioned invalidation — or the two drift
+and one of them silently serves stale or duplicated work.  This module
+is the single home of that discipline; the log cache re-exports these
+helpers unchanged, so existing on-disk caches keep their keys.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from typing import Any
+
+
+def text_key(normalized_text: str) -> str:
+    """The content address of one canonical text: its full SHA-256 hex
+    digest.  Callers normalize first (whitespace collapse for query
+    texts, structural canonicalization for expressions); this function
+    only hashes."""
+    return hashlib.sha256(normalized_text.encode("utf-8")).hexdigest()
+
+
+def payload_fingerprint(payload: Any, length: int = 16) -> str:
+    """A short versioning digest of a JSON-able payload.
+
+    The payload is serialized with sorted keys so dict ordering cannot
+    change the digest.  The serialization deliberately matches what
+    :func:`repro.logs.cache.battery_fingerprint` always used
+    (``json.dumps(payload, sort_keys=True)`` with default separators):
+    existing cache directories stay valid across the extraction of this
+    helper.
+    """
+    digest = hashlib.sha256(
+        json.dumps(payload, sort_keys=True).encode("utf-8")
+    ).hexdigest()
+    return digest[:length]

@@ -79,3 +79,47 @@ class FragmentError(ReproError):
 class UnsupportedFeatureError(ReproError):
     """Raised when a query or schema uses a feature the evaluator does not
     implement (analysis code never raises this; only evaluation does)."""
+
+
+class ServiceError(ReproError):
+    """Base class of the query-serving layer's typed failures.
+
+    Every subclass carries a stable machine-readable ``code`` — the
+    wire protocol transports the code, and the client reconstructs the
+    matching exception type from it, so a caller of the remote service
+    catches exactly the exceptions an in-process caller would.
+    """
+
+    code = "service_error"
+
+
+class ServiceOverloaded(ServiceError):
+    """Admission control shed this request: the scheduler's bounded
+    queue was full when it arrived.  Load-shedding is deliberate —
+    failing fast beats queueing into timeout collapse."""
+
+    code = "overloaded"
+
+
+class DeadlineExceeded(ServiceError):
+    """The request's deadline expired before a result was produced.
+    The response is structured and immediate; any already-running
+    engine work completes in the background (and still populates the
+    result cache) rather than poisoning a worker."""
+
+    code = "deadline_exceeded"
+
+
+class BadRequest(ServiceError):
+    """The request was malformed: unknown operation, missing or
+    ill-typed parameters, unknown store, or an unparseable RPQ
+    expression."""
+
+    code = "bad_request"
+
+
+class ProtocolError(ServiceError):
+    """A wire-level framing violation (oversized frame, truncated
+    frame, or a frame that is not a JSON object)."""
+
+    code = "protocol_error"

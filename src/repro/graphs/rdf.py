@@ -194,6 +194,19 @@ class TripleStore:
         """Monotone mutation counter (bumped on every successful add)."""
         return self._version
 
+    def fingerprint(self) -> str:
+        """A cheap monotonic state tag for content-addressed caches.
+
+        Mixes the mutation counter with the triple count, so any
+        successful :meth:`add` changes the fingerprint and no later
+        state of the same store ever repeats an earlier tag.  This is a
+        *session* fingerprint (O(1), no hashing of the data): it
+        distinguishes states of one live store, which is exactly what a
+        result cache keyed on it needs — not a portable content digest
+        of the triples.
+        """
+        return f"g{self._version:x}-t{self._size:x}"
+
     def node_count(self) -> int:
         return len(self._node_names)
 

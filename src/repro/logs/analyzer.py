@@ -308,6 +308,7 @@ def analyze_many(
     corpora: List[QueryLogCorpus],
     workers: Opt[int] = None,
     chunk_size: int = 512,
+    pool: Opt[ProcessPoolExecutor] = None,
 ) -> Dict[str, LogReport]:
     """Run the battery over several corpora.
 
@@ -318,6 +319,13 @@ def analyze_many(
     :func:`combine_reports`.  Per-query analyses are independent, so the
     merged counters are identical to the sequential ones.
 
+    ``pool`` lends an externally managed
+    :class:`~concurrent.futures.ProcessPoolExecutor`: the call uses it
+    and leaves it running, so a long-lived caller (the serving layer, a
+    study loop) pays worker startup once instead of per invocation.
+    Without it, a pool of ``workers`` processes is created and torn
+    down inside the call, as before.
+
     Only ``(query, multiplicity)`` pairs are shipped to the workers (not
     the entry texts and keys), and empty corpora never reach the pool.
     For end-to-end studies that start from raw text prefer
@@ -325,7 +333,7 @@ def analyze_many(
     analysis in the workers and skips this AST-pickling round-trip
     entirely.
     """
-    if not workers or workers <= 1:
+    if pool is None and (not workers or workers <= 1):
         return {corpus.source: analyze_corpus(corpus) for corpus in corpora}
     tasks: List[Tuple[int, Tuple[str, List[Tuple[Query, int]]]]] = []
     for index, corpus in enumerate(corpora):
@@ -336,10 +344,18 @@ def analyze_many(
                 for entry in entries[start : start + chunk_size]
             ]
             tasks.append((index, (corpus.source, pairs)))
-    with ProcessPoolExecutor(max_workers=workers) as pool:
+    own_pool = (
+        ProcessPoolExecutor(max_workers=workers) if pool is None else None
+    )
+    try:
         partials = list(
-            pool.map(_analyze_pairs, [payload for _, payload in tasks])
+            (pool or own_pool).map(
+                _analyze_pairs, [payload for _, payload in tasks]
+            )
         )
+    finally:
+        if own_pool is not None:
+            own_pool.shutdown()
     grouped: Dict[int, List[LogReport]] = defaultdict(list)
     for (index, _), partial in zip(tasks, partials):
         grouped[index].append(partial)

@@ -29,13 +29,13 @@ Layout and invariants
 
 from __future__ import annotations
 
-import hashlib
 import json
 import os
 import shutil
 from pathlib import Path
 from typing import Any, Dict, Optional as Opt, Tuple, Union
 
+from ..core.hashing import payload_fingerprint, text_key
 from . import analyzer as _analyzer
 
 #: bump when the on-disk record layout (not the battery) changes
@@ -46,21 +46,21 @@ def battery_fingerprint() -> str:
     """Digest of everything a cached record's meaning depends on: the
     battery version, the report's counter schema, and the record
     layout.  Any change moves the cache to a fresh subdirectory."""
-    payload = json.dumps(
+    return payload_fingerprint(
         {
             "battery": _analyzer.BATTERY_VERSION,
             "counters": list(_analyzer.COUNTER_FIELDS),
             "record": RECORD_VERSION,
-        },
-        sort_keys=True,
+        }
     )
-    return hashlib.sha256(payload.encode("utf-8")).hexdigest()[:16]
 
 
 def cache_key(normalized_text: str) -> str:
     """The content address of one unique query: SHA-256 of its
-    whitespace-normalized text (the corpus dedup key)."""
-    return hashlib.sha256(normalized_text.encode("utf-8")).hexdigest()
+    whitespace-normalized text (the corpus dedup key).  The digest
+    itself lives in :func:`repro.core.hashing.text_key`, shared with the
+    service result cache so the two key disciplines cannot drift."""
+    return text_key(normalized_text)
 
 
 class AnalysisCache:

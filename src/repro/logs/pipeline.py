@@ -235,20 +235,33 @@ def stream_corpus(
     workers: Opt[int] = None,
     chunk_size: Opt[int] = None,
     text_field: str = "query",
+    pool: Opt[ProcessPoolExecutor] = None,
 ) -> QueryLogCorpus:
     """Streaming ingestion: build a :class:`QueryLogCorpus` equal to
     ``QueryLogCorpus.from_texts(source, entries)`` but dedup-first —
-    duplicates never reach the parser — and, with ``workers`` > 1, with
-    the unique texts parsed in chunks on a process pool."""
+    duplicates never reach the parser — and, with ``workers`` > 1 (or an
+    externally managed ``pool``, which is borrowed and left running),
+    with the unique texts parsed in chunks on a process pool."""
     chunk_size = chunk_size or DEFAULT_CHUNK_SIZE
     total, counts, first_text, order = _ingest(
         iter_log_entries(entries, text_field)
     )
     pairs = [(key, first_text[key]) for key in order]
-    if workers and workers > 1 and len(pairs) > 1:
-        with ProcessPoolExecutor(max_workers=workers) as pool:
-            chunks = pool.map(_parse_worker, _chunked(pairs, chunk_size))
+    parallel = pool is not None or (workers and workers > 1)
+    if parallel and len(pairs) > 1:
+        own_pool = (
+            ProcessPoolExecutor(max_workers=workers)
+            if pool is None
+            else None
+        )
+        try:
+            chunks = (pool or own_pool).map(
+                _parse_worker, _chunked(pairs, chunk_size)
+            )
             parsed = [pair for chunk in chunks for pair in chunk]
+        finally:
+            if own_pool is not None:
+                own_pool.shutdown()
     else:
         parsed = _parse_worker(pairs)
     invalid = 0
@@ -306,6 +319,7 @@ def run_study(
     cache: CacheSpec = None,
     chunk_size: Opt[int] = None,
     text_field: str = "query",
+    pool: Opt[ProcessPoolExecutor] = None,
 ) -> LogReport:
     """The fused end-to-end study: raw entries in, :class:`LogReport`
     out, counter-for-counter identical to
@@ -321,6 +335,12 @@ def run_study(
        (``workers`` > 1: a process pool; otherwise inline);
     4. *merge* — partials combine via :func:`combine_reports`, new
        records are flushed to the cache.
+
+    ``pool`` lends an externally managed
+    :class:`~concurrent.futures.ProcessPoolExecutor` for stage 3 and
+    leaves it running afterwards — the long-lived serving deployment
+    runs periodic studies without per-call pool construction.  Without
+    it (and ``workers`` > 1) a fresh pool lives only for the call.
     """
     overall_started = time.perf_counter()
     chunk_size = chunk_size or DEFAULT_CHUNK_SIZE
@@ -361,16 +381,25 @@ def run_study(
     partials: List[LogReport] = [cached_partial]
     new_records: List[Tuple[str, Opt[Dict[str, Any]]]] = []
     if pending:
-        if workers and workers > 1 and len(pending) > 1:
+        parallel = pool is not None or (workers and workers > 1)
+        if parallel and len(pending) > 1:
             chunks = _chunked(pending, chunk_size)
             stats.chunks = len(chunks)
-            with ProcessPoolExecutor(max_workers=workers) as pool:
+            own_pool = (
+                ProcessPoolExecutor(max_workers=workers)
+                if pool is None
+                else None
+            )
+            try:
                 results = list(
-                    pool.map(
+                    (pool or own_pool).map(
                         _study_worker,
                         [(source, chunk) for chunk in chunks],
                     )
                 )
+            finally:
+                if own_pool is not None:
+                    own_pool.shutdown()
         else:
             stats.chunks = 1
             results = [_study_worker((source, pending))]

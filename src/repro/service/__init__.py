@@ -1,0 +1,69 @@
+"""The async query-serving layer (the ROADMAP's traffic-facing front).
+
+The paper's studies are batch jobs; this package turns the same
+engines — RPQ evaluation, SPARQL parse+analysis, the log battery —
+into a served API: an asyncio TCP server speaking a length-prefixed
+JSON protocol, with admission control (bounded queue, load shedding),
+per-request deadlines, single-flight deduplication of identical
+in-flight requests, a content-addressed result cache, and per-endpoint
+metrics with latency percentiles.
+
+Public surface:
+
+* Serving: :class:`ReproServer`, :func:`serve`, :class:`ServiceCore`,
+  :class:`ServiceConfig`, :class:`EmbeddedService` (in-process, same
+  caller API)
+* Calling: :class:`ServiceClient`, :func:`connect`, :class:`RequestAPI`
+* Scheduling: :class:`Scheduler`
+* Caching: :class:`ResultCache`, :func:`result_key`
+* Metrics: :class:`ServiceMetrics`, :class:`LatencyHistogram`
+* Protocol: :mod:`repro.service.protocol`
+* Typed errors (re-exported from :mod:`repro.errors`):
+  :class:`ServiceError`, :class:`ServiceOverloaded`,
+  :class:`DeadlineExceeded`, :class:`BadRequest`, :class:`ProtocolError`
+
+Run a demo server with ``python -m repro.service --port 7411``.
+"""
+
+from ..errors import (
+    BadRequest,
+    DeadlineExceeded,
+    ProtocolError,
+    ServiceError,
+    ServiceOverloaded,
+)
+from .client import RequestAPI, ServiceClient, connect
+from .metrics import EndpointMetrics, LatencyHistogram, ServiceMetrics
+from .resultcache import ResultCache, result_key
+from .scheduler import Scheduler
+from .server import (
+    COMPUTE_OPS,
+    EmbeddedService,
+    ReproServer,
+    ServiceConfig,
+    ServiceCore,
+    serve,
+)
+
+__all__ = [
+    "BadRequest",
+    "COMPUTE_OPS",
+    "DeadlineExceeded",
+    "EmbeddedService",
+    "EndpointMetrics",
+    "LatencyHistogram",
+    "ProtocolError",
+    "ReproServer",
+    "RequestAPI",
+    "ResultCache",
+    "Scheduler",
+    "ServiceClient",
+    "ServiceConfig",
+    "ServiceCore",
+    "ServiceError",
+    "ServiceMetrics",
+    "ServiceOverloaded",
+    "connect",
+    "result_key",
+    "serve",
+]

@@ -1,0 +1,226 @@
+"""The asyncio client and the caller API shared with the embedded service.
+
+:class:`RequestAPI` is the surface every caller programs against —
+:meth:`~RequestAPI.call` plus typed convenience wrappers per operation
+— implemented over a single abstract :meth:`~RequestAPI.request`.
+:class:`ServiceClient` implements it over a TCP connection;
+:class:`~repro.service.server.EmbeddedService` implements it over an
+in-process core.  Code written against the API runs unchanged on
+either, which is what the differential oracle and the degradation
+tests rely on.
+
+The client multiplexes: requests are written as they are made, a
+single reader task dispatches responses to per-id futures, so any
+number of requests can be in flight on one connection and responses
+may return in any order.  Server-side failures are re-raised under
+their original :class:`~repro.errors.ServiceError` types.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import itertools
+from typing import Any, Dict, List, Optional as Opt, Sequence, Tuple
+
+from ..errors import ServiceError
+from .protocol import (
+    MAX_FRAME_BYTES,
+    encode_frame,
+    error_from_response,
+    read_frame,
+)
+
+
+class RequestAPI:
+    """The operation surface of the service, over one abstract
+    :meth:`request`."""
+
+    async def request(
+        self,
+        op: str,
+        params: Opt[Dict[str, Any]] = None,
+        *,
+        deadline_ms: Opt[float] = None,
+    ) -> Dict[str, Any]:
+        """Send one request; return the full response envelope."""
+        raise NotImplementedError
+
+    async def call(
+        self,
+        op: str,
+        params: Opt[Dict[str, Any]] = None,
+        *,
+        deadline_ms: Opt[float] = None,
+    ) -> Any:
+        """Send one request; return its result payload, raising the
+        typed :class:`~repro.errors.ServiceError` on failure."""
+        response = await self.request(op, params, deadline_ms=deadline_ms)
+        if not response.get("ok"):
+            raise error_from_response(response)
+        return response["result"]
+
+    # -- typed wrappers ---------------------------------------------------------
+
+    async def ping(self) -> Dict[str, Any]:
+        return await self.call("ping")
+
+    async def stats(self) -> Dict[str, Any]:
+        return await self.call("stats")
+
+    async def rpq(
+        self,
+        store: str,
+        expr: str,
+        semantics: str = "walk",
+        *,
+        source: Opt[str] = None,
+        target: Opt[str] = None,
+        sources: Opt[Sequence[str]] = None,
+        targets: Opt[Sequence[str]] = None,
+        deadline_ms: Opt[float] = None,
+    ) -> Dict[str, Any]:
+        params: Dict[str, Any] = {
+            "store": store,
+            "expr": expr,
+            "semantics": semantics,
+        }
+        if source is not None:
+            params["source"] = source
+        if target is not None:
+            params["target"] = target
+        if sources is not None:
+            params["sources"] = list(sources)
+        if targets is not None:
+            params["targets"] = list(targets)
+        return await self.call("rpq", params, deadline_ms=deadline_ms)
+
+    async def sparql(
+        self, query: str, *, deadline_ms: Opt[float] = None
+    ) -> Dict[str, Any]:
+        return await self.call(
+            "sparql", {"query": query}, deadline_ms=deadline_ms
+        )
+
+    async def log_battery(
+        self, query: str, *, deadline_ms: Opt[float] = None
+    ) -> Dict[str, Any]:
+        return await self.call(
+            "log", {"query": query}, deadline_ms=deadline_ms
+        )
+
+    async def mutate(
+        self,
+        store: str,
+        triples: Sequence[Tuple[str, str, str]],
+        *,
+        deadline_ms: Opt[float] = None,
+    ) -> Dict[str, Any]:
+        return await self.call(
+            "mutate",
+            {"store": store, "triples": [list(t) for t in triples]},
+            deadline_ms=deadline_ms,
+        )
+
+
+class ServiceClient(RequestAPI):
+    """A multiplexing TCP client for one server connection."""
+
+    def __init__(
+        self,
+        reader: asyncio.StreamReader,
+        writer: asyncio.StreamWriter,
+        max_frame_bytes: int = MAX_FRAME_BYTES,
+    ):
+        self._reader = reader
+        self._writer = writer
+        self._max_frame_bytes = max_frame_bytes
+        self._pending: Dict[str, asyncio.Future] = {}
+        self._ids = itertools.count(1)
+        self._closed = False
+        self._reader_task = asyncio.ensure_future(self._read_loop())
+
+    @classmethod
+    async def connect(
+        cls,
+        host: str,
+        port: int,
+        max_frame_bytes: int = MAX_FRAME_BYTES,
+    ) -> "ServiceClient":
+        reader, writer = await asyncio.open_connection(host, port)
+        return cls(reader, writer, max_frame_bytes)
+
+    async def request(
+        self,
+        op: str,
+        params: Opt[Dict[str, Any]] = None,
+        *,
+        deadline_ms: Opt[float] = None,
+    ) -> Dict[str, Any]:
+        if self._closed:
+            raise ConnectionError("client is closed")
+        request_id = f"c{next(self._ids)}"
+        message: Dict[str, Any] = {
+            "id": request_id,
+            "op": op,
+            "params": params or {},
+        }
+        if deadline_ms is not None:
+            message["deadline_ms"] = deadline_ms
+        future: asyncio.Future = asyncio.get_running_loop().create_future()
+        self._pending[request_id] = future
+        try:
+            self._writer.write(encode_frame(message))
+            await self._writer.drain()
+        except BaseException:
+            self._pending.pop(request_id, None)
+            raise
+        return await future
+
+    async def _read_loop(self) -> None:
+        failure: BaseException = ConnectionError(
+            "connection closed by the server"
+        )
+        try:
+            while True:
+                response = await read_frame(
+                    self._reader, self._max_frame_bytes
+                )
+                if response is None:
+                    break
+                future = self._pending.pop(response.get("id"), None)
+                if future is not None and not future.done():
+                    future.set_result(response)
+        except (ServiceError, ConnectionError, OSError) as exc:
+            failure = exc
+        finally:
+            self._closed = True
+            for future in self._pending.values():
+                if not future.done():
+                    future.set_exception(failure)
+            self._pending.clear()
+
+    async def close(self) -> None:
+        self._closed = True
+        self._writer.close()
+        try:
+            await self._writer.wait_closed()
+        except (ConnectionError, OSError):
+            pass
+        self._reader_task.cancel()
+        try:
+            await self._reader_task
+        except (asyncio.CancelledError, Exception):
+            pass
+
+    async def __aenter__(self) -> "ServiceClient":
+        return self
+
+    async def __aexit__(self, *exc_info) -> None:
+        await self.close()
+
+
+async def connect(
+    host: str, port: int, max_frame_bytes: int = MAX_FRAME_BYTES
+) -> ServiceClient:
+    """Open one client connection (module-level convenience)."""
+    return await ServiceClient.connect(host, port, max_frame_bytes)

@@ -1,0 +1,148 @@
+"""The wire protocol: length-prefixed JSON frames.
+
+One frame is a 4-byte big-endian payload length followed by that many
+bytes of UTF-8 JSON encoding a single object.  Length-prefixing (rather
+than newline-delimited JSON) keeps the framing independent of payload
+content, lets the reader allocate exactly once per message, and gives a
+hard, checkable bound (:data:`MAX_FRAME_BYTES`) before any payload byte
+is read — a malformed or hostile peer cannot make the server buffer an
+unbounded line.
+
+Requests and responses are plain dicts:
+
+* request — ``{"id": str, "op": str, "params": {...}}`` plus an
+  optional ``"deadline_ms"`` (a per-request budget in milliseconds,
+  measured from admission on the server);
+* success — ``{"id": str, "ok": true, "result": {...}}`` plus, for the
+  compute operations, ``"served_from": "cache" | "engine"`` so every
+  answer is traceable to how it was produced;
+* failure — ``{"id": str, "ok": false, "error": {"code": str,
+  "message": str}}`` where ``code`` is the stable identifier of one of
+  the typed :class:`~repro.errors.ServiceError` subclasses.
+
+Responses may arrive in any order; the ``id`` is the correlation key
+(the server handles requests of one connection concurrently, and the
+client demultiplexes by id).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import struct
+from typing import Any, Dict, Optional as Opt
+
+from ..errors import (
+    BadRequest,
+    DeadlineExceeded,
+    ProtocolError,
+    ServiceError,
+    ServiceOverloaded,
+)
+
+#: Hard bound on one frame's JSON payload (requests *and* responses).
+MAX_FRAME_BYTES = 16 * 1024 * 1024
+
+_LENGTH = struct.Struct(">I")
+
+#: ``code`` -> exception type, for reconstructing typed errors client-side.
+ERROR_TYPES: Dict[str, type] = {
+    cls.code: cls
+    for cls in (ServiceError, ServiceOverloaded, DeadlineExceeded, BadRequest, ProtocolError)
+}
+
+
+def encode_frame(message: Dict[str, Any]) -> bytes:
+    """One message as wire bytes (length prefix + compact JSON)."""
+    payload = json.dumps(
+        message, ensure_ascii=False, separators=(",", ":")
+    ).encode("utf-8")
+    if len(payload) > MAX_FRAME_BYTES:
+        raise ProtocolError(
+            f"frame of {len(payload)} bytes exceeds the "
+            f"{MAX_FRAME_BYTES}-byte bound"
+        )
+    return _LENGTH.pack(len(payload)) + payload
+
+
+async def read_frame(
+    reader: asyncio.StreamReader,
+    max_bytes: int = MAX_FRAME_BYTES,
+) -> Opt[Dict[str, Any]]:
+    """The next message from ``reader``, or ``None`` on a clean EOF
+    (connection closed between frames).
+
+    Raises :class:`~repro.errors.ProtocolError` for a declared length
+    over ``max_bytes``, a connection cut mid-frame, or a payload that is
+    not a JSON object — all cases where the stream can no longer be
+    trusted and the connection should be dropped.
+    """
+    try:
+        header = await reader.readexactly(_LENGTH.size)
+    except asyncio.IncompleteReadError as exc:
+        if not exc.partial:
+            return None
+        raise ProtocolError("connection closed inside a frame header")
+    (length,) = _LENGTH.unpack(header)
+    if length > max_bytes:
+        raise ProtocolError(
+            f"declared frame length {length} exceeds the {max_bytes}-byte bound"
+        )
+    try:
+        payload = await reader.readexactly(length)
+    except asyncio.IncompleteReadError:
+        raise ProtocolError("connection closed inside a frame payload")
+    try:
+        message = json.loads(payload.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise ProtocolError(f"frame payload is not valid JSON: {exc}")
+    if not isinstance(message, dict):
+        raise ProtocolError("frame payload is not a JSON object")
+    return message
+
+
+# -- message constructors ---------------------------------------------------
+
+
+def request(
+    request_id: str,
+    op: str,
+    params: Opt[Dict[str, Any]] = None,
+    deadline_ms: Opt[float] = None,
+) -> Dict[str, Any]:
+    message: Dict[str, Any] = {"id": request_id, "op": op, "params": params or {}}
+    if deadline_ms is not None:
+        message["deadline_ms"] = deadline_ms
+    return message
+
+
+def ok_response(
+    request_id: Opt[str],
+    result: Any,
+    served_from: Opt[str] = None,
+) -> Dict[str, Any]:
+    message: Dict[str, Any] = {"id": request_id, "ok": True, "result": result}
+    if served_from is not None:
+        message["served_from"] = served_from
+    return message
+
+
+def error_response(
+    request_id: Opt[str], code: str, message: str
+) -> Dict[str, Any]:
+    return {
+        "id": request_id,
+        "ok": False,
+        "error": {"code": code, "message": message},
+    }
+
+
+def error_from_response(response: Dict[str, Any]) -> ServiceError:
+    """The typed exception a failure response encodes (used by the
+    client to re-raise server-side failures under their original
+    types)."""
+    error = response.get("error") or {}
+    code = error.get("code", ServiceError.code)
+    exc_type = ERROR_TYPES.get(code, ServiceError)
+    exc = exc_type(error.get("message", "service error"))
+    return exc

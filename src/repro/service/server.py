@@ -1,0 +1,626 @@
+"""The serving layer: dispatch core, embedded service, and TCP server.
+
+:class:`ServiceCore` owns everything a deployment needs — the store
+registry, the admission-controlled :class:`~.scheduler.Scheduler`, the
+content-addressed :class:`~.resultcache.ResultCache`, and the
+:class:`~.metrics.ServiceMetrics` registry — and exposes exactly one
+entry point, :meth:`ServiceCore.handle`, mapping a request dict to a
+response dict.  :class:`ReproServer` frames that entry point over an
+asyncio TCP socket (length-prefixed JSON, concurrent per-connection
+requests); :class:`EmbeddedService` mounts the same core in-process
+with the same caller API as the network client, so every test and
+differential oracle exercises the identical dispatch, scheduling, and
+caching code paths with no socket in between.
+
+Operations
+----------
+
+* ``rpq`` — regular-path-query evaluation over a registered store via
+  the compiled engine (walk semantics all-pairs or filtered; simple /
+  trail existence between two nodes);
+* ``sparql`` — parse + structural analysis of one SPARQL query
+  (canonical text via :func:`~repro.sparql.serialize.serialize_query`,
+  features, operator set, triple count);
+* ``log`` — the full per-query log-battery record
+  (:func:`~repro.logs.analyzer.analyze_query`, shipped in its
+  JSON-able :func:`~repro.logs.analyzer.encode_analysis` form — the
+  same record the persistent log cache stores);
+* ``mutate`` — add triples to a registered store (admitted through the
+  scheduler like any other work; a per-store read-write gate excludes
+  it from running concurrently with engine reads);
+* ``stats`` — metrics snapshot, cache/scheduler accounting, per-store
+  fingerprints;
+* ``ping`` — liveness.
+
+Caching and consistency
+-----------------------
+
+Compute results are cached under ``(endpoint, store fingerprint,
+canonical text, semantics)``.  The store fingerprint is monotone under
+mutation, so a mutation invalidates by *changing the key* of every
+later identical request; entries computed against a superseded
+fingerprint can never be addressed again and age out of the LRU.
+Store reads run under a readers-writer gate (readers concurrent,
+mutations exclusive), so an engine execution never observes a
+half-applied mutation.  Responses always carry the request id and —
+for compute operations — ``served_from: cache | engine``.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import itertools
+import json
+import threading
+import time
+from dataclasses import dataclass
+from typing import Any, Dict, Iterable, List, Optional as Opt, Tuple
+
+from ..errors import (
+    BadRequest,
+    DeadlineExceeded,
+    RegexParseError,
+    ServiceError,
+    ServiceOverloaded,
+    SPARQLParseError,
+)
+from ..graphs.engine import ast_key
+from ..graphs.paths import evaluate_rpq, exists_simple_path, exists_trail
+from ..graphs.rdf import TripleStore
+from ..logs.analyzer import analyze_query, encode_analysis
+from ..logs.cache import battery_fingerprint
+from ..logs.corpus import normalize_text
+from ..regex.parser import parse as parse_regex
+from ..sparql.features import (
+    count_triple_patterns,
+    operator_set,
+    query_features,
+)
+from ..sparql.parser import parse_query
+from ..sparql.serialize import serialize_query
+from .client import RequestAPI
+from .metrics import ServiceMetrics
+from .protocol import (
+    MAX_FRAME_BYTES,
+    encode_frame,
+    error_response,
+    ok_response,
+    read_frame,
+)
+from .resultcache import DEFAULT_MAX_ENTRIES, ResultCache, result_key
+from .scheduler import DEFAULT_MAX_QUEUE, DEFAULT_MAX_WORKERS, Scheduler
+
+#: operations that go through cache + scheduler
+COMPUTE_OPS = ("rpq", "sparql", "log")
+
+#: version folded into the sparql endpoint's cache fingerprint; bump
+#: when the endpoint's result payload changes shape
+SPARQL_RESULT_VERSION = "sparql-1"
+
+_SEMANTICS = ("walk", "simple", "trail")
+
+
+@dataclass
+class ServiceConfig:
+    """Tunables of one service instance."""
+
+    max_workers: int = DEFAULT_MAX_WORKERS
+    max_queue: int = DEFAULT_MAX_QUEUE
+    cache_entries: int = DEFAULT_MAX_ENTRIES
+    max_frame_bytes: int = MAX_FRAME_BYTES
+    #: applied when a request carries no ``deadline_ms`` (None: no limit)
+    default_deadline_ms: Opt[float] = None
+
+
+class _StoreGate:
+    """A readers-writer gate over one store, acquired *inside* worker
+    threads (both engine reads and mutations execute on the pool, so
+    threading primitives are the right tool and the event loop never
+    blocks on it).  Readers are concurrent; a mutation waits for
+    in-flight readers to drain and excludes new ones while it runs.
+    Writers are not prioritized — acceptable at this scale, and starving
+    writers is impossible once admission control bounds the read queue.
+    """
+
+    __slots__ = ("_cond", "_readers", "_writing")
+
+    def __init__(self):
+        self._cond = threading.Condition()
+        self._readers = 0
+        self._writing = False
+
+    def read(self, fn):
+        with self._cond:
+            while self._writing:
+                self._cond.wait()
+            self._readers += 1
+        try:
+            return fn()
+        finally:
+            with self._cond:
+                self._readers -= 1
+                if not self._readers:
+                    self._cond.notify_all()
+
+    def write(self, fn):
+        with self._cond:
+            while self._writing or self._readers:
+                self._cond.wait()
+            self._writing = True
+        try:
+            return fn()
+        finally:
+            with self._cond:
+                self._writing = False
+                self._cond.notify_all()
+
+
+class ServiceCore:
+    """Dispatch, scheduling, caching, and metrics for one deployment."""
+
+    def __init__(
+        self,
+        stores: Opt[Dict[str, TripleStore]] = None,
+        config: Opt[ServiceConfig] = None,
+        executor=None,
+    ):
+        self.config = config or ServiceConfig()
+        self.stores: Dict[str, TripleStore] = dict(stores or {})
+        self._gates: Dict[str, _StoreGate] = {
+            name: _StoreGate() for name in self.stores
+        }
+        self.scheduler = Scheduler(
+            max_workers=self.config.max_workers,
+            max_queue=self.config.max_queue,
+            executor=executor,
+        )
+        self.cache = ResultCache(self.config.cache_entries)
+        self.metrics = ServiceMetrics()
+
+    def add_store(self, name: str, store: TripleStore) -> None:
+        self.stores[name] = store
+        self._gates[name] = _StoreGate()
+
+    def close(self) -> None:
+        self.scheduler.close()
+
+    # -- request entry point ----------------------------------------------------
+
+    async def handle(self, message: Dict[str, Any]) -> Dict[str, Any]:
+        """One request dict in, one response dict out.  Never raises:
+        every failure becomes a typed error response."""
+        started = time.monotonic()
+        request_id = message.get("id")
+        if request_id is not None and not isinstance(request_id, str):
+            request_id = str(request_id)
+        op = message.get("op")
+        if not isinstance(op, str) or not op:
+            self.metrics.record("?", started, "error", BadRequest.code)
+            return error_response(
+                request_id, BadRequest.code, "request has no 'op' string"
+            )
+        params = message.get("params") or {}
+        if not isinstance(params, dict):
+            self.metrics.record(op, started, "error", BadRequest.code)
+            return error_response(
+                request_id, BadRequest.code, "'params' must be an object"
+            )
+        try:
+            deadline = self._deadline_of(message)
+            if op == "ping":
+                response = ok_response(request_id, {"pong": True})
+            elif op == "stats":
+                response = ok_response(request_id, self._stats_payload())
+            elif op == "mutate":
+                response = ok_response(
+                    request_id, await self._mutate(params, deadline)
+                )
+            elif op in COMPUTE_OPS:
+                result, served_from = await self._compute(
+                    op, params, deadline
+                )
+                response = ok_response(request_id, result, served_from)
+            else:
+                raise BadRequest(f"unknown operation {op!r}")
+        except ServiceOverloaded as exc:
+            self.metrics.record(op, started, "shed", exc.code)
+            return error_response(request_id, exc.code, str(exc))
+        except DeadlineExceeded as exc:
+            self.metrics.record(op, started, "timeout", exc.code)
+            return error_response(request_id, exc.code, str(exc))
+        except ServiceError as exc:
+            self.metrics.record(op, started, "error", exc.code)
+            return error_response(request_id, exc.code, str(exc))
+        except Exception as exc:  # engine bug: report, don't drop the link
+            self.metrics.record(op, started, "error", "internal")
+            return error_response(
+                request_id,
+                "internal",
+                f"{type(exc).__name__}: {exc}",
+            )
+        self.metrics.record(op, started, "ok")
+        return response
+
+    def _deadline_of(self, message: Dict[str, Any]) -> Opt[float]:
+        deadline_ms = message.get(
+            "deadline_ms", self.config.default_deadline_ms
+        )
+        if deadline_ms is None:
+            return None
+        if not isinstance(deadline_ms, (int, float)) or deadline_ms <= 0:
+            raise BadRequest("'deadline_ms' must be a positive number")
+        return asyncio.get_running_loop().time() + deadline_ms / 1000.0
+
+    # -- compute operations -----------------------------------------------------
+
+    async def _compute(
+        self, op: str, params: Dict[str, Any], deadline: Opt[float]
+    ) -> Tuple[Any, str]:
+        """Cache lookup -> single-flight scheduled execution -> cache
+        fill.  Returns ``(result payload, served_from)``."""
+        endpoint = self.metrics.endpoint(op)
+        if op == "rpq":
+            key, fn = self._prepare_rpq(params)
+        elif op == "sparql":
+            key, fn = self._prepare_sparql(params)
+        else:
+            key, fn = self._prepare_log(params)
+        hit, payload = self.cache.get(key)
+        if hit:
+            endpoint.cache_hits += 1
+            return payload, "cache"
+        endpoint.cache_misses += 1
+        # the cache fill rides on execution completion, not on this
+        # request returning: a computation that outlives its caller's
+        # deadline still pays off for the next asker
+        payload, coalesced = await self.scheduler.run(
+            key, fn, deadline, on_result=lambda p: self.cache.put(key, p)
+        )
+        if coalesced:
+            endpoint.coalesced += 1
+        return payload, "engine"
+
+    def _store_of(self, params: Dict[str, Any]) -> Tuple[str, TripleStore]:
+        name = params.get("store")
+        if not isinstance(name, str):
+            raise BadRequest("'store' must name a registered store")
+        store = self.stores.get(name)
+        if store is None:
+            raise BadRequest(
+                f"unknown store {name!r} "
+                f"(registered: {sorted(self.stores) or 'none'})"
+            )
+        return name, store
+
+    @staticmethod
+    def _string_list(params: Dict[str, Any], field: str) -> Opt[List[str]]:
+        value = params.get(field)
+        if value is None:
+            return None
+        if not isinstance(value, list) or not all(
+            isinstance(item, str) for item in value
+        ):
+            raise BadRequest(f"'{field}' must be a list of strings")
+        return value
+
+    def _prepare_rpq(self, params: Dict[str, Any]):
+        name, store = self._store_of(params)
+        expr_text = params.get("expr")
+        if not isinstance(expr_text, str):
+            raise BadRequest("'expr' must be an RPQ expression string")
+        try:
+            expr = parse_regex(expr_text, multi_char=True)
+        except RegexParseError as exc:
+            raise BadRequest(f"unparseable expression: {exc}")
+        semantics = params.get("semantics", "walk")
+        if semantics not in _SEMANTICS:
+            raise BadRequest(
+                f"'semantics' must be one of {', '.join(_SEMANTICS)}"
+            )
+        gate = self._gates[name]
+        # the canonical form is the structural AST key — rendered text
+        # is ambiguous under academic union-'+' notation — plus every
+        # parameter the answer depends on
+        if semantics == "walk":
+            sources = self._string_list(params, "sources")
+            targets = self._string_list(params, "targets")
+            canonical = json.dumps(
+                [
+                    repr(ast_key(expr)),
+                    sorted(set(sources)) if sources is not None else None,
+                    sorted(set(targets)) if targets is not None else None,
+                ],
+                ensure_ascii=False,
+            )
+
+            def fn() -> Dict[str, Any]:
+                pairs = gate.read(
+                    lambda: evaluate_rpq(store, expr, sources, targets)
+                )
+                return {
+                    "semantics": "walk",
+                    "pairs": sorted(list(pair) for pair in pairs),
+                    "count": len(pairs),
+                }
+
+        else:
+            source, target = params.get("source"), params.get("target")
+            if not isinstance(source, str) or not isinstance(target, str):
+                raise BadRequest(
+                    f"{semantics} semantics needs 'source' and 'target' "
+                    f"strings"
+                )
+            decide = (
+                exists_simple_path
+                if semantics == "simple"
+                else exists_trail
+            )
+            canonical = json.dumps(
+                [repr(ast_key(expr)), source, target], ensure_ascii=False
+            )
+
+            def fn() -> Dict[str, Any]:
+                exists = gate.read(
+                    lambda: decide(store, expr, source, target)
+                )
+                return {"semantics": semantics, "exists": bool(exists)}
+
+        key = result_key("rpq", store.fingerprint(), canonical, semantics)
+        return key, fn
+
+    @staticmethod
+    def _query_text(params: Dict[str, Any]) -> str:
+        text = params.get("query")
+        if not isinstance(text, str):
+            raise BadRequest("'query' must be a SPARQL string")
+        return text
+
+    def _prepare_sparql(self, params: Dict[str, Any]):
+        text = self._query_text(params)
+        key = result_key(
+            "sparql", SPARQL_RESULT_VERSION, normalize_text(text), "sparql"
+        )
+
+        def fn() -> Dict[str, Any]:
+            try:
+                query = parse_query(text)
+            except (SPARQLParseError, RecursionError) as exc:
+                return {"valid": False, "reason": str(exc)}
+            return {
+                "valid": True,
+                "canonical": serialize_query(query),
+                "query_type": query.query_type,
+                "triples": count_triple_patterns(query),
+                "features": sorted(query_features(query)),
+                "operators": sorted(operator_set(query)),
+            }
+
+        return key, fn
+
+    def _prepare_log(self, params: Dict[str, Any]):
+        text = self._query_text(params)
+        # the battery fingerprint versions the record exactly as the
+        # persistent log cache does: a battery change invalidates here too
+        key = result_key(
+            "log", battery_fingerprint(), normalize_text(text), "battery"
+        )
+
+        def fn() -> Dict[str, Any]:
+            try:
+                query = parse_query(text)
+            except (SPARQLParseError, RecursionError) as exc:
+                return {"valid": False, "record": None, "reason": str(exc)}
+            return {
+                "valid": True,
+                "record": encode_analysis(analyze_query(query)),
+            }
+
+        return key, fn
+
+    # -- mutation ---------------------------------------------------------------
+
+    async def _mutate(
+        self, params: Dict[str, Any], deadline: Opt[float]
+    ) -> Dict[str, Any]:
+        name, store = self._store_of(params)
+        triples = params.get("triples")
+        if not isinstance(triples, list):
+            raise BadRequest("'triples' must be a list of [s, p, o]")
+        cleaned: List[Tuple[str, str, str]] = []
+        for item in triples:
+            if (
+                not isinstance(item, (list, tuple))
+                or len(item) != 3
+                or not all(isinstance(part, str) for part in item)
+            ):
+                raise BadRequest(
+                    f"not an [s, p, o] string triple: {item!r}"
+                )
+            cleaned.append((item[0], item[1], item[2]))
+        gate = self._gates[name]
+
+        def fn() -> Dict[str, Any]:
+            def apply() -> int:
+                return sum(store.add(s, p, o) for s, p, o in cleaned)
+
+            added = gate.write(apply)
+            return {
+                "added": added,
+                "size": len(store),
+                "fingerprint": store.fingerprint(),
+            }
+
+        # no single-flight key: mutations are never deduplicated
+        result, _ = await self.scheduler.run(None, fn, deadline)
+        return result
+
+    # -- stats ------------------------------------------------------------------
+
+    def _stats_payload(self) -> Dict[str, Any]:
+        return {
+            "metrics": self.metrics.snapshot(),
+            "cache": self.cache.stats(),
+            "scheduler": self.scheduler.stats(),
+            "stores": {
+                name: {
+                    "triples": len(store),
+                    "fingerprint": store.fingerprint(),
+                }
+                for name, store in sorted(self.stores.items())
+            },
+        }
+
+
+class EmbeddedService(RequestAPI):
+    """The serving layer mounted in-process: the same
+    :class:`ServiceCore` the TCP server fronts, behind the same caller
+    API as :class:`~repro.service.client.ServiceClient` — requests go
+    through identical dispatch, admission control, single-flight, and
+    caching, just without a socket.  The instance belongs to the event
+    loop it is first used on."""
+
+    def __init__(
+        self,
+        stores: Opt[Dict[str, TripleStore]] = None,
+        config: Opt[ServiceConfig] = None,
+        executor=None,
+    ):
+        self.core = ServiceCore(stores, config, executor)
+        self._ids = itertools.count(1)
+
+    async def request(
+        self,
+        op: str,
+        params: Opt[Dict[str, Any]] = None,
+        *,
+        deadline_ms: Opt[float] = None,
+    ) -> Dict[str, Any]:
+        message: Dict[str, Any] = {
+            "id": f"e{next(self._ids)}",
+            "op": op,
+            "params": params or {},
+        }
+        if deadline_ms is not None:
+            message["deadline_ms"] = deadline_ms
+        return await self.core.handle(message)
+
+    async def close(self) -> None:
+        self.core.close()
+
+    async def __aenter__(self) -> "EmbeddedService":
+        return self
+
+    async def __aexit__(self, *exc_info) -> None:
+        await self.close()
+
+
+class ReproServer:
+    """The asyncio TCP front-end.
+
+    One server wraps one :class:`ServiceCore`.  Each connection reads
+    length-prefixed frames and handles every request as its own task —
+    responses go back as each finishes (out of order; the id is the
+    correlation key) under a per-connection write lock.  A client that
+    disconnects mid-request costs nothing but the already-admitted
+    work: the handler task finishes, its result still lands in the
+    result cache, and the unsendable response is counted, not raised.
+    """
+
+    def __init__(
+        self,
+        stores: Opt[Dict[str, TripleStore]] = None,
+        config: Opt[ServiceConfig] = None,
+        host: str = "127.0.0.1",
+        port: int = 0,
+        core: Opt[ServiceCore] = None,
+    ):
+        self.core = core or ServiceCore(stores, config)
+        self.host = host
+        self.port = port
+        self._server: Opt[asyncio.base_events.Server] = None
+
+    @property
+    def address(self) -> Tuple[str, int]:
+        """The actually bound (host, port) — useful with ``port=0``."""
+        if self._server is None:
+            raise RuntimeError("server is not started")
+        sock = self._server.sockets[0]
+        host, port = sock.getsockname()[:2]
+        return host, port
+
+    async def start(self) -> "ReproServer":
+        self._server = await asyncio.start_server(
+            self._serve_connection, self.host, self.port
+        )
+        self.port = self.address[1]
+        return self
+
+    async def stop(self) -> None:
+        if self._server is not None:
+            self._server.close()
+            await self._server.wait_closed()
+            self._server = None
+        self.core.close()
+
+    async def __aenter__(self) -> "ReproServer":
+        return await self.start()
+
+    async def __aexit__(self, *exc_info) -> None:
+        await self.stop()
+
+    async def _serve_connection(
+        self, reader: asyncio.StreamReader, writer: asyncio.StreamWriter
+    ) -> None:
+        self.core.metrics.connections += 1
+        write_lock = asyncio.Lock()
+        tasks: set = set()
+
+        async def respond(message: Dict[str, Any]) -> None:
+            response = await self.core.handle(message)
+            try:
+                async with write_lock:
+                    writer.write(encode_frame(response))
+                    await writer.drain()
+            except (ConnectionError, RuntimeError, OSError):
+                # peer left before its answer; the work is done and
+                # cached, only the delivery failed
+                self.core.metrics.disconnects += 1
+
+        try:
+            while True:
+                try:
+                    message = await read_frame(
+                        reader, self.core.config.max_frame_bytes
+                    )
+                except ServiceError:
+                    self.core.metrics.protocol_errors += 1
+                    break
+                except ConnectionError:
+                    self.core.metrics.protocol_errors += 1
+                    break
+                if message is None:
+                    break
+                task = asyncio.ensure_future(respond(message))
+                tasks.add(task)
+                task.add_done_callback(tasks.discard)
+            if tasks:
+                # the peer left while requests were still in flight:
+                # finish the admitted work anyway (its results populate
+                # the cache) and count the unread answers
+                self.core.metrics.disconnects += 1
+                await asyncio.gather(*tasks, return_exceptions=True)
+        finally:
+            # close without awaiting the transport: the handler task may
+            # itself be cancelled at loop teardown, and the transport
+            # cleans up on its own
+            writer.close()
+
+
+async def serve(
+    stores: Opt[Dict[str, TripleStore]] = None,
+    config: Opt[ServiceConfig] = None,
+    host: str = "127.0.0.1",
+    port: int = 0,
+) -> ReproServer:
+    """Start a server and return it (mostly for the CLI and benchmarks)."""
+    return await ReproServer(stores, config, host, port).start()

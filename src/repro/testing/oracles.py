@@ -551,6 +551,182 @@ class SPARQLRoundTripOracle(Oracle):
         return text_candidates(case)
 
 
+# ---------------------------------------------------------------------------
+# Service: embedded serving layer vs direct library calls
+# ---------------------------------------------------------------------------
+
+
+class ServiceOracle(Oracle):
+    name = "service"
+    description = (
+        "EmbeddedService responses (engine and cached) vs direct "
+        "library calls"
+    )
+
+    def generate(self, rng: random.Random) -> Dict[str, Any]:
+        roll = rng.random()
+        if roll < 0.5:
+            case = random_rpq_case(rng)
+            # the service takes expression *text*; reuse the RPQ case
+            # generator and render its AST (both sides re-parse the text,
+            # so rendering ambiguity cannot cause a false divergence)
+            return {
+                "kind": "rpq",
+                "triples": case["triples"],
+                "expr": str(regex_from_json(case["expr"])),
+                "source": case["source"],
+                "target": case["target"],
+                "semantics": case["semantics"],
+            }
+        kind = "sparql" if roll < 0.75 else "log"
+        return {"kind": kind, "query": random_sparql_text(rng)}
+
+    def check(self, case: Dict[str, Any]) -> Opt[str]:
+        import asyncio
+
+        return asyncio.run(self._check(case))
+
+    async def _check(self, case: Dict[str, Any]) -> Opt[str]:
+        from ..errors import BadRequest, RegexParseError
+        from ..regex.parser import parse as parse_regex
+        from ..service import EmbeddedService
+        from ..sparql.features import (
+            count_triple_patterns,
+            operator_set,
+            query_features,
+        )
+        from ..logs.analyzer import analyze_query, encode_analysis
+
+        kind = case["kind"]
+        store = TripleStore()
+        if kind == "rpq":
+            for s, p, o in case["triples"]:
+                store.add(s, p, o)
+        async with EmbeddedService({"g": store}) as service:
+            # ask twice: the first answer comes from the engine, the
+            # second from the result cache; both must equal direct calls
+            responses = []
+            for _ in range(2):
+                if kind == "rpq":
+                    params = {
+                        "store": "g",
+                        "expr": case["expr"],
+                        "semantics": case["semantics"],
+                    }
+                    if case["semantics"] != "walk":
+                        params["source"] = case["source"]
+                        params["target"] = case["target"]
+                    responses.append(await service.request("rpq", params))
+                else:
+                    responses.append(
+                        await service.request(kind, {"query": case["query"]})
+                    )
+        expected_error = None
+        if kind == "rpq":
+            try:
+                expr = parse_regex(case["expr"], multi_char=True)
+            except RegexParseError:
+                expr = None
+                expected_error = BadRequest.code
+            if expr is None:
+                expected = None
+            elif case["semantics"] == "walk":
+                expected = {
+                    "semantics": "walk",
+                    "pairs": sorted(
+                        list(pair) for pair in evaluate_rpq(store, expr)
+                    ),
+                    "count": len(evaluate_rpq(store, expr)),
+                }
+            else:
+                decide = (
+                    exists_simple_path
+                    if case["semantics"] == "simple"
+                    else exists_trail
+                )
+                expected = {
+                    "semantics": case["semantics"],
+                    "exists": decide(
+                        store, expr, case["source"], case["target"]
+                    ),
+                }
+        else:
+            try:
+                query = parse_query(case["query"])
+            except (SPARQLParseError, RecursionError):
+                query = None
+            if kind == "sparql":
+                if query is None:
+                    expected = {"valid": False}
+                else:
+                    expected = {
+                        "valid": True,
+                        "canonical": serialize_query(query),
+                        "query_type": query.query_type,
+                        "triples": count_triple_patterns(query),
+                        "features": sorted(query_features(query)),
+                        "operators": sorted(operator_set(query)),
+                    }
+            else:
+                if query is None:
+                    expected = {"valid": False, "record": None}
+                else:
+                    expected = {
+                        "valid": True,
+                        "record": encode_analysis(analyze_query(query)),
+                    }
+        for which, response in zip(("engine", "cached"), responses):
+            message = self._compare(which, response, expected, expected_error)
+            if message is not None:
+                return message
+        served = [r.get("served_from") for r in responses]
+        if expected_error is None and served != ["engine", "cache"]:
+            return f"served_from sequence {served}, wanted engine then cache"
+        return None
+
+    @staticmethod
+    def _compare(
+        which: str,
+        response: Dict[str, Any],
+        expected: Opt[Dict[str, Any]],
+        expected_error: Opt[str],
+    ) -> Opt[str]:
+        if expected_error is not None:
+            if response.get("ok"):
+                return (
+                    f"{which}: service accepted what the library rejects "
+                    f"(wanted error {expected_error})"
+                )
+            code = (response.get("error") or {}).get("code")
+            if code != expected_error:
+                return f"{which}: error code {code}, wanted {expected_error}"
+            return None
+        if not response.get("ok"):
+            return f"{which}: service failed: {response.get('error')}"
+        result = response["result"]
+        for field, wanted in (expected or {}).items():
+            if result.get(field) != wanted:
+                return (
+                    f"{which}: field {field!r} diverges: "
+                    f"service={result.get(field)!r} direct={wanted!r}"
+                )
+        return None
+
+    def shrink_candidates(
+        self, case: Dict[str, Any]
+    ) -> Iterable[Dict[str, Any]]:
+        if case["kind"] == "rpq":
+            for index in range(len(case["triples"])):
+                smaller = list(case["triples"])
+                del smaller[index]
+                yield {**case, "triples": smaller}
+            for text in text_candidates(case["expr"]):
+                yield {**case, "expr": text}
+        else:
+            for text in text_candidates(case["query"]):
+                yield {**case, "query": text}
+
+
 ORACLES: Dict[str, Oracle] = {
     oracle.name: oracle
     for oracle in (
@@ -560,5 +736,6 @@ ORACLES: Dict[str, Oracle] = {
         RegexDeterminismOracle(),
         SPARQLRoundTripOracle(),
         LogPipelineOracle(),
+        ServiceOracle(),
     )
 }

@@ -1,0 +1,82 @@
+"""The shared content-addressing discipline (repro.core.hashing).
+
+These helpers were extracted from the log-analysis cache; the log
+cache's key/fingerprint functions must keep producing byte-identical
+values through the shared layer, or every on-disk cache built before
+the extraction silently invalidates.
+"""
+
+import hashlib
+import json
+
+from repro.core import payload_fingerprint as core_payload_fingerprint
+from repro.core import text_key as core_text_key
+from repro.core.hashing import payload_fingerprint, text_key
+from repro.logs.analyzer import BATTERY_VERSION, COUNTER_FIELDS
+from repro.logs.cache import RECORD_VERSION, battery_fingerprint, cache_key
+from repro.logs.corpus import normalize_text
+
+
+class TestTextKey:
+    def test_is_the_sha256_hexdigest(self):
+        text = "SELECT ?x WHERE { ?x :p ?y }"
+        assert text_key(text) == hashlib.sha256(
+            text.encode("utf-8")
+        ).hexdigest()
+
+    def test_distinct_texts_distinct_keys(self):
+        assert text_key("a") != text_key("b")
+        assert text_key("") != text_key(" ")
+
+    def test_unicode_is_utf8_encoded(self):
+        assert text_key("café") == hashlib.sha256(
+            "café".encode("utf-8")
+        ).hexdigest()
+
+
+class TestPayloadFingerprint:
+    def test_digests_canonical_json(self):
+        payload = {"b": 2, "a": 1}
+        expected = hashlib.sha256(
+            json.dumps(payload, sort_keys=True).encode("utf-8")
+        ).hexdigest()[:16]
+        assert payload_fingerprint(payload) == expected
+
+    def test_key_order_is_irrelevant(self):
+        assert payload_fingerprint({"a": 1, "b": 2}) == payload_fingerprint(
+            {"b": 2, "a": 1}
+        )
+
+    def test_length_parameter(self):
+        short = payload_fingerprint({"x": 1}, length=8)
+        long = payload_fingerprint({"x": 1}, length=32)
+        assert len(short) == 8 and len(long) == 32
+        assert long.startswith(short)
+
+    def test_content_sensitivity(self):
+        assert payload_fingerprint({"v": 1}) != payload_fingerprint({"v": 2})
+
+
+class TestLogCacheCompatibility:
+    """The extraction must be invisible to the log cache."""
+
+    def test_cache_key_is_text_key_of_normalized_text(self):
+        raw = "SELECT  ?x\nWHERE { ?x :p ?y }"
+        normalized = normalize_text(raw)
+        assert cache_key(normalized) == text_key(normalized)
+        assert cache_key(normalized) == hashlib.sha256(
+            normalized.encode("utf-8")
+        ).hexdigest()
+
+    def test_battery_fingerprint_is_the_versioned_payload_digest(self):
+        assert battery_fingerprint() == payload_fingerprint(
+            {
+                "battery": BATTERY_VERSION,
+                "counters": list(COUNTER_FIELDS),
+                "record": RECORD_VERSION,
+            }
+        )
+
+    def test_core_package_re_exports(self):
+        assert core_text_key is text_key
+        assert core_payload_fingerprint is payload_fingerprint

@@ -175,3 +175,50 @@ class TestInterningLayer:
         assert store.version == version + 1
         assert store.successors("a", "p") == frozenset({"b", "z"})
         assert store.predecessors("z", "p") == frozenset({"a"})
+
+
+class TestFingerprint:
+    """The O(1) session fingerprint that content-addresses cached
+    results over a mutable store."""
+
+    def test_stable_while_unmutated(self):
+        store = small_store()
+        assert store.fingerprint() == store.fingerprint()
+
+    def test_every_successful_add_changes_it(self):
+        store = small_store()
+        seen = {store.fingerprint()}
+        for i in range(20):
+            assert store.add(f"n{i}", "p", f"n{i + 1}")
+            fingerprint = store.fingerprint()
+            assert fingerprint not in seen
+            seen.add(fingerprint)
+
+    def test_duplicate_add_leaves_it_unchanged(self):
+        store = small_store()
+        before = store.fingerprint()
+        assert not store.add("a", "p", "b")
+        assert store.fingerprint() == before
+
+    def test_tracks_version_and_size(self):
+        store = small_store()
+        assert store.fingerprint() == (
+            f"g{store.version:x}-t{len(store):x}"
+        )
+
+    def test_monotone_never_reuses_an_old_value(self):
+        # growth-only stores cannot return to a previous fingerprint:
+        # the version counter only moves forward
+        store = TripleStore()
+        history = []
+        for i in range(50):
+            history.append(store.fingerprint())
+            store.add("hub", f"p{i % 5}", f"n{i}")
+        assert len(set(history)) == len(history)
+
+    def test_independent_stores_with_same_content_match(self):
+        # the fingerprint is a *session* identity: two stores built by
+        # the same sequence of adds agree (useful for replay tests)
+        a = small_store()
+        b = small_store()
+        assert a.fingerprint() == b.fingerprint()

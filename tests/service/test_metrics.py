@@ -1,0 +1,109 @@
+"""Latency histograms and per-endpoint counters."""
+
+import random
+import time
+
+from repro.service.metrics import (
+    BUCKET_BOUNDS,
+    LatencyHistogram,
+    ServiceMetrics,
+)
+
+
+def test_bucket_bounds_are_increasing_and_cover_the_range():
+    assert BUCKET_BOUNDS == sorted(BUCKET_BOUNDS)
+    assert BUCKET_BOUNDS[0] <= 1e-5
+    assert BUCKET_BOUNDS[-1] >= 100.0
+
+
+def test_empty_histogram_is_all_zero():
+    histogram = LatencyHistogram()
+    assert histogram.count == 0
+    assert histogram.quantile(0.5) == 0.0
+    snapshot = histogram.snapshot()
+    assert snapshot["count"] == 0
+    assert snapshot["p99_ms"] == 0.0
+
+
+def test_single_sample_quantiles_are_exact():
+    histogram = LatencyHistogram()
+    histogram.record(0.25)
+    for q in (0.01, 0.5, 0.99, 1.0):
+        assert histogram.quantile(q) == 0.25
+
+
+def test_quantiles_track_known_distribution_within_bucket_error():
+    rng = random.Random(7)
+    histogram = LatencyHistogram()
+    samples = sorted(rng.uniform(0.001, 1.0) for _ in range(5000))
+    for sample in samples:
+        histogram.record(sample)
+    for q in (0.50, 0.95, 0.99):
+        exact = samples[int(q * len(samples)) - 1]
+        estimate = histogram.quantile(q)
+        # geometric buckets with ratio 1.3 bound the relative error
+        assert exact / 1.35 <= estimate <= exact * 1.35, (q, exact, estimate)
+
+
+def test_quantiles_are_monotone_in_q():
+    rng = random.Random(3)
+    histogram = LatencyHistogram()
+    for _ in range(1000):
+        histogram.record(rng.expovariate(10.0))
+    quantiles = [histogram.quantile(q / 100) for q in range(1, 101)]
+    assert quantiles == sorted(quantiles)
+
+
+def test_extremes_clamp_interpolation():
+    histogram = LatencyHistogram()
+    for value in (0.010, 0.011, 0.012):
+        histogram.record(value)
+    assert histogram.quantile(1.0) == histogram.max == 0.012
+    assert histogram.quantile(0.001) >= histogram.min == 0.010
+
+
+def test_mean_and_totals():
+    histogram = LatencyHistogram()
+    for value in (0.1, 0.2, 0.3):
+        histogram.record(value)
+    assert abs(histogram.mean - 0.2) < 1e-12
+    assert histogram.count == 3
+
+
+def test_negative_latency_clamped_to_zero():
+    histogram = LatencyHistogram()
+    histogram.record(-1.0)
+    assert histogram.min == 0.0
+
+
+def test_service_metrics_outcome_routing():
+    metrics = ServiceMetrics()
+    now = time.monotonic()
+    metrics.record("rpq", now, "ok")
+    metrics.record("rpq", now, "shed", "overloaded")
+    metrics.record("rpq", now, "timeout", "deadline_exceeded")
+    metrics.record("rpq", now, "error", "bad_request")
+    endpoint = metrics.endpoint("rpq")
+    assert endpoint.requests == 4
+    assert endpoint.ok == 1
+    assert endpoint.shed == 1
+    assert endpoint.timeouts == 1
+    assert endpoint.errors == {
+        "overloaded": 1,
+        "deadline_exceeded": 1,
+        "bad_request": 1,
+    }
+    assert endpoint.latency.count == 4
+
+
+def test_snapshot_shape_is_json_able():
+    import json
+
+    metrics = ServiceMetrics()
+    metrics.record("sparql", time.monotonic(), "ok")
+    metrics.connections += 1
+    snapshot = metrics.snapshot()
+    assert json.loads(json.dumps(snapshot)) == snapshot
+    assert snapshot["connections"] == 1
+    assert "sparql" in snapshot["endpoints"]
+    assert "p95_ms" in snapshot["endpoints"]["sparql"]["latency"]

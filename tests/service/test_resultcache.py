@@ -1,0 +1,86 @@
+"""Content addressing and LRU behavior of the result cache."""
+
+import pytest
+
+from repro.core.hashing import text_key
+from repro.graphs.rdf import TripleStore
+from repro.service.resultcache import ResultCache, result_key
+
+
+def test_key_is_deterministic_and_component_sensitive():
+    base = result_key("rpq", "g1-t1", "('sym', 'p')", "walk")
+    assert base == result_key("rpq", "g1-t1", "('sym', 'p')", "walk")
+    assert base != result_key("log", "g1-t1", "('sym', 'p')", "walk")
+    assert base != result_key("rpq", "g2-t2", "('sym', 'p')", "walk")
+    assert base != result_key("rpq", "g1-t1", "('sym', 'q')", "walk")
+    assert base != result_key("rpq", "g1-t1", "('sym', 'p')", "trail")
+
+
+def test_key_uses_the_shared_sha256_discipline():
+    key = result_key("sparql", "", "SELECT 1", "sparql")
+    assert len(key) == 64
+    assert key == text_key('["sparql","","SELECT 1","sparql"]')
+
+
+def test_store_mutation_changes_every_key_over_it():
+    store = TripleStore([("a", "p", "b")])
+    before = result_key("rpq", store.fingerprint(), "expr", "walk")
+    store.add("b", "p", "c")
+    after = result_key("rpq", store.fingerprint(), "expr", "walk")
+    assert before != after
+
+
+def test_hit_flag_distinguishes_falsy_payloads():
+    cache = ResultCache()
+    cache.put("k", None)
+    hit, payload = cache.get("k")
+    assert hit and payload is None
+    hit, _ = cache.get("absent")
+    assert not hit
+
+
+def test_lru_evicts_least_recently_used():
+    cache = ResultCache(max_entries=2)
+    cache.put("a", 1)
+    cache.put("b", 2)
+    assert cache.get("a") == (True, 1)  # refresh a
+    cache.put("c", 3)  # evicts b
+    assert cache.get("b") == (False, None)
+    assert cache.get("a") == (True, 1)
+    assert cache.get("c") == (True, 3)
+    assert cache.evictions == 1
+
+
+def test_put_refreshes_and_overwrites():
+    cache = ResultCache(max_entries=2)
+    cache.put("a", 1)
+    cache.put("b", 2)
+    cache.put("a", 10)  # refresh + overwrite, no eviction
+    cache.put("c", 3)  # evicts b, not a
+    assert cache.get("a") == (True, 10)
+    assert cache.get("b") == (False, None)
+
+
+def test_stats_accounting():
+    cache = ResultCache(max_entries=8)
+    cache.put("a", 1)
+    cache.get("a")
+    cache.get("missing")
+    stats = cache.stats()
+    assert stats["entries"] == 1
+    assert stats["hits"] == 1
+    assert stats["misses"] == 1
+    assert stats["hit_rate"] == 0.5
+
+
+def test_zero_capacity_rejected():
+    with pytest.raises(ValueError):
+        ResultCache(max_entries=0)
+
+
+def test_clear():
+    cache = ResultCache()
+    cache.put("a", 1)
+    cache.clear()
+    assert len(cache) == 0
+    assert cache.get("a") == (False, None)

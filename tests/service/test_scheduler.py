@@ -1,0 +1,342 @@
+"""Admission control, deadlines, and single-flight at the scheduler level.
+
+The worker functions here block on :class:`threading.Event` barriers,
+so every degradation path is exercised deterministically — no sleeps
+racing against the scheduler.
+"""
+
+import asyncio
+import threading
+
+import pytest
+
+from repro.errors import DeadlineExceeded, ServiceOverloaded
+from repro.service.scheduler import Scheduler
+
+
+def run(coro):
+    return asyncio.run(coro)
+
+
+def blocking_fn(release: threading.Event, value="slow"):
+    def fn():
+        assert release.wait(timeout=10.0), "test barrier never released"
+        return value
+
+    return fn
+
+
+async def settled(aws):
+    return await asyncio.gather(*aws, return_exceptions=True)
+
+
+def test_plain_execution_returns_result():
+    async def scenario():
+        scheduler = Scheduler(max_workers=2, max_queue=4)
+        try:
+            result, coalesced = await scheduler.run("k", lambda: 41 + 1)
+            assert (result, coalesced) == (42, False)
+            assert scheduler.executed == 1
+        finally:
+            scheduler.close()
+
+    run(scenario())
+
+
+def test_worker_exception_propagates():
+    async def scenario():
+        scheduler = Scheduler(max_workers=1, max_queue=4)
+        try:
+
+            def boom():
+                raise ValueError("engine bug")
+
+            with pytest.raises(ValueError, match="engine bug"):
+                await scheduler.run("k", boom)
+            # the pool survives a worker exception
+            result, _ = await scheduler.run("k2", lambda: "ok")
+            assert result == "ok"
+        finally:
+            scheduler.close()
+
+    run(scenario())
+
+
+def test_queue_full_sheds_with_typed_error():
+    async def scenario():
+        release = threading.Event()
+        scheduler = Scheduler(max_workers=1, max_queue=1)
+        try:
+            running = asyncio.ensure_future(
+                scheduler.run("a", blocking_fn(release))
+            )
+            await asyncio.sleep(0.05)  # let it take the only slot
+            queued = asyncio.ensure_future(
+                scheduler.run("b", lambda: "queued")
+            )
+            await asyncio.sleep(0.05)  # let it take the only queue slot
+            assert scheduler.waiting == 1
+            with pytest.raises(ServiceOverloaded):
+                await scheduler.run("c", lambda: "shed")
+            release.set()
+            assert await running == ("slow", False)
+            assert await queued == ("queued", False)
+            # shed request never executed
+            assert scheduler.executed == 2
+        finally:
+            scheduler.close()
+
+    run(scenario())
+
+
+def test_deadline_expired_while_queued_never_executes():
+    async def scenario():
+        release = threading.Event()
+        scheduler = Scheduler(max_workers=1, max_queue=4)
+        try:
+            loop = asyncio.get_running_loop()
+            running = asyncio.ensure_future(
+                scheduler.run("a", blocking_fn(release))
+            )
+            await asyncio.sleep(0.05)
+            doomed = asyncio.ensure_future(
+                scheduler.run(
+                    "b", lambda: "never", deadline=loop.time() + 0.05
+                )
+            )
+            await asyncio.sleep(0.2)
+            release.set()
+            await running
+            with pytest.raises(DeadlineExceeded):
+                await doomed
+            assert scheduler.executed == 1  # 'b' never reached the pool
+        finally:
+            scheduler.close()
+
+    run(scenario())
+
+
+def test_deadline_mid_execution_returns_but_does_not_poison_the_pool():
+    async def scenario():
+        release = threading.Event()
+        scheduler = Scheduler(max_workers=1, max_queue=4)
+        try:
+            loop = asyncio.get_running_loop()
+            with pytest.raises(DeadlineExceeded):
+                await scheduler.run(
+                    "slow",
+                    blocking_fn(release),
+                    deadline=loop.time() + 0.05,
+                )
+            assert scheduler.overruns == 1
+            release.set()
+            # the worker finishes in the background and the slot frees:
+            # the next request runs to completion
+            result, _ = await scheduler.run("next", lambda: "healthy")
+            assert result == "healthy"
+        finally:
+            scheduler.close()
+
+    run(scenario())
+
+
+def test_identical_inflight_requests_collapse_to_one_execution():
+    async def scenario():
+        release = threading.Event()
+        scheduler = Scheduler(max_workers=2, max_queue=8)
+        try:
+            leader = asyncio.ensure_future(
+                scheduler.run("hot", blocking_fn(release, "answer"))
+            )
+            await asyncio.sleep(0.05)
+            followers = [
+                asyncio.ensure_future(scheduler.run("hot", lambda: "other"))
+                for _ in range(5)
+            ]
+            await asyncio.sleep(0.05)
+            release.set()
+            assert await leader == ("answer", False)
+            for result in await settled(followers):
+                assert result == ("answer", True)
+            assert scheduler.executed == 1
+        finally:
+            scheduler.close()
+
+    run(scenario())
+
+
+def test_followers_join_even_after_leader_timed_out():
+    async def scenario():
+        release = threading.Event()
+        scheduler = Scheduler(max_workers=1, max_queue=4)
+        try:
+            loop = asyncio.get_running_loop()
+            with pytest.raises(DeadlineExceeded):
+                await scheduler.run(
+                    "hot",
+                    blocking_fn(release, "late"),
+                    deadline=loop.time() + 0.05,
+                )
+            # the execution is still in flight; a follower attaches to it
+            follower = asyncio.ensure_future(
+                scheduler.run("hot", lambda: "other")
+            )
+            await asyncio.sleep(0.05)
+            release.set()
+            assert await follower == ("late", True)
+            assert scheduler.executed == 1
+        finally:
+            scheduler.close()
+
+    run(scenario())
+
+
+def test_follower_deadline_is_enforced_independently():
+    async def scenario():
+        release = threading.Event()
+        scheduler = Scheduler(max_workers=1, max_queue=4)
+        try:
+            loop = asyncio.get_running_loop()
+            leader = asyncio.ensure_future(
+                scheduler.run("hot", blocking_fn(release))
+            )
+            await asyncio.sleep(0.05)
+            with pytest.raises(DeadlineExceeded):
+                await scheduler.run(
+                    "hot", lambda: "x", deadline=loop.time() + 0.05
+                )
+            release.set()
+            assert await leader == ("slow", False)
+        finally:
+            scheduler.close()
+
+    run(scenario())
+
+
+def test_on_result_hook_fires_even_after_leader_timed_out():
+    async def scenario():
+        release = threading.Event()
+        scheduler = Scheduler(max_workers=1, max_queue=4)
+        try:
+            loop = asyncio.get_running_loop()
+            landed = []
+            with pytest.raises(DeadlineExceeded):
+                await scheduler.run(
+                    "hot",
+                    blocking_fn(release, "late"),
+                    deadline=loop.time() + 0.05,
+                    on_result=landed.append,
+                )
+            assert landed == []  # execution still in flight
+            release.set()
+            while not landed:
+                await asyncio.sleep(0.01)
+            assert landed == ["late"]
+        finally:
+            scheduler.close()
+
+    run(scenario())
+
+
+def test_on_result_hook_failure_fails_the_request():
+    async def scenario():
+        scheduler = Scheduler(max_workers=1, max_queue=4)
+        try:
+
+            def bad_hook(_result):
+                raise RuntimeError("hook bug")
+
+            with pytest.raises(RuntimeError, match="hook bug"):
+                await scheduler.run("k", lambda: 1, on_result=bad_hook)
+        finally:
+            scheduler.close()
+
+    run(scenario())
+
+
+def test_different_keys_do_not_collapse():
+    async def scenario():
+        scheduler = Scheduler(max_workers=2, max_queue=8)
+        try:
+            results = await settled(
+                scheduler.run(f"k{i}", (lambda i=i: i)) for i in range(4)
+            )
+            assert [r[0] for r in results] == [0, 1, 2, 3]
+            assert scheduler.executed == 4
+        finally:
+            scheduler.close()
+
+    run(scenario())
+
+
+def test_none_key_disables_single_flight():
+    async def scenario():
+        scheduler = Scheduler(max_workers=2, max_queue=8)
+        try:
+            await settled(
+                [
+                    scheduler.run(None, lambda: "a"),
+                    scheduler.run(None, lambda: "b"),
+                ]
+            )
+            assert scheduler.executed == 2
+            assert scheduler.inflight == 0
+        finally:
+            scheduler.close()
+
+    run(scenario())
+
+
+def test_shed_leader_sheds_its_followers():
+    async def scenario():
+        release = threading.Event()
+        scheduler = Scheduler(max_workers=1, max_queue=1)
+        try:
+            running = asyncio.ensure_future(
+                scheduler.run("a", blocking_fn(release))
+            )
+            await asyncio.sleep(0.05)
+            queued = asyncio.ensure_future(scheduler.run("b", lambda: "q"))
+            await asyncio.sleep(0.05)
+            # 'c' is shed at admission; a follower of 'c' that raced in
+            # behind it inherits the shed (it never held resources)
+            shed_leader = asyncio.ensure_future(
+                scheduler.run("c", lambda: "c")
+            )
+            shed_follower = asyncio.ensure_future(
+                scheduler.run("c", lambda: "c")
+            )
+            results = await settled([shed_leader, shed_follower])
+            assert all(
+                isinstance(r, ServiceOverloaded) for r in results
+            ), results
+            release.set()
+            await settled([running, queued])
+        finally:
+            scheduler.close()
+
+    run(scenario())
+
+
+def test_stats_shape():
+    async def scenario():
+        scheduler = Scheduler(max_workers=3, max_queue=7)
+        try:
+            await scheduler.run("k", lambda: 1)
+            stats = scheduler.stats()
+            assert stats["max_workers"] == 3
+            assert stats["max_queue"] == 7
+            assert stats["executed"] == 1
+            assert stats["waiting"] == 0
+            assert stats["inflight"] == 0
+        finally:
+            scheduler.close()
+
+    run(scenario())
+
+
+def test_constructor_validation():
+    with pytest.raises(ValueError):
+        Scheduler(max_workers=0)
+    with pytest.raises(ValueError):
+        Scheduler(max_queue=-1)
