@@ -67,6 +67,23 @@ _DFA_BLOWUP_LIMIT = 512
 #: Bound on the per-plan (label, state-set) -> state-set step memo.
 _STEP_MEMO_LIMIT = 8192
 
+#: Whether plans compile specialized step closures (see
+#: :func:`configure_specialization`); on by default, switchable so the
+#: benchmark can measure generic vs specialized dispatch in one process.
+_specialization_enabled = True
+
+
+def configure_specialization(enabled: bool) -> None:
+    """Toggle the per-plan specialized step closures.
+
+    With specialization off every evaluation uses the generic automaton
+    dispatch (label lookups against the transition tables per frontier
+    item).  The already-built closures stay cached on their plans and
+    are simply bypassed, so flipping the switch is free in both
+    directions."""
+    global _specialization_enabled
+    _specialization_enabled = bool(enabled)
+
 
 def ast_key(expr: Regex) -> Tuple:
     """A stable structural key for an expression.
@@ -113,6 +130,308 @@ def _mask_of(states: Iterable[int]) -> int:
 _Step = Tuple[str, List[int], Dict[int, List[int]], int, bool]
 
 
+def _specialize_dfa_rows(
+    table: List[Dict[str, int]], finals_mask: int, steps: List[_Step]
+) -> Tuple:
+    """Per-DFA-state step rows: for each state, the usable
+    ``(adjacency, next state, accepting)`` tuples.  The generic product
+    BFS re-answers "which steps apply in this state and where do they
+    go" with a label lookup per (frontier item, step); here that is
+    answered once per plan/store pair."""
+    rows = []
+    for row in table:
+        entries = []
+        for label, _delta, adjacency, _pid, _inv in steps:
+            nxt = row.get(label)
+            if nxt is not None:
+                entries.append(
+                    (adjacency, nxt, bool(finals_mask & (1 << nxt)))
+                )
+        rows.append(tuple(entries))
+    return tuple(rows)
+
+
+def _chain_of(plan_order: Tuple, finals: Tuple[int, ...]):
+    """If the acyclic plan is one linear chain of single-step states
+    ending in its only final state, the adjacency maps to fold through,
+    in order; ``None`` otherwise."""
+    adjacencies = []
+    expect = 0
+    for state, entries in plan_order:
+        if state != expect or len(entries) != 1:
+            return None
+        adjacency, nxt, _accepting = entries[0]
+        adjacencies.append(adjacency)
+        expect = nxt
+    if not adjacencies or finals != (expect,):
+        return None
+    return adjacencies
+
+
+def _make_chain_bfs(adjacencies: List[Dict[int, List[int]]]):
+    """The specialized product-BFS closure for a linear-chain plan
+    (``a.b.c``): fold the frontier through one adjacency map per hop —
+    no state table, no visited bookkeeping (each hop dedupes into a
+    fresh set), answers come straight out of the last fold."""
+    first_get = adjacencies[0].get
+    rest_gets = tuple(adjacency.get for adjacency in adjacencies[1:])
+
+    def bfs_hits(sid: int) -> Set[int]:
+        nodes = first_get(sid)
+        if not nodes:
+            return set()
+        for adjacency_get in rest_gets:
+            frontier: Set[int] = set()
+            frontier_update = frontier.update
+            for neighbours in map(adjacency_get, nodes):
+                if neighbours:
+                    frontier_update(neighbours)
+            if not frontier:
+                return frontier
+            nodes = frontier
+        return set(nodes) if type(nodes) is list else nodes
+
+    return bfs_hits
+
+
+def _make_dfa_dag_bfs(rows: Tuple, finals_mask: int):
+    """The specialized product-BFS closure for an *acyclic* DFA plan.
+
+    With no cycles in the state graph, the per-level BFS collapses into
+    one pass over the states in topological order, carrying the set of
+    graph nodes reachable in each state: every transition becomes a
+    single C-speed ``set.update(neighbours)`` per source-state node
+    instead of a Python-level visited check per neighbour.  The
+    node-sets computed this way are exactly the visited-(node, state)
+    relation of the generic BFS, so the hit set is identical (state 0
+    is unreachable by edges in a DAG, so the seed never leaks into the
+    answer)."""
+    num_states = len(rows)
+    indegree = [0] * num_states
+    for entries in rows:
+        for _adjacency, nxt, _accepting in entries:
+            indegree[nxt] += 1
+    queue = deque(
+        state for state in range(num_states) if not indegree[state]
+    )
+    topo: List[int] = []
+    while queue:
+        state = queue.popleft()
+        topo.append(state)
+        for _adjacency, nxt, _accepting in rows[state]:
+            indegree[nxt] -= 1
+            if not indegree[nxt]:
+                queue.append(nxt)
+    plan_order = tuple(
+        (state, rows[state]) for state in topo if rows[state]
+    )
+    finals = tuple(
+        state
+        for state in topo
+        if state and (finals_mask >> state) & 1
+    )
+
+    chain = _chain_of(plan_order, finals)
+    if chain is not None:
+        return _make_chain_bfs(chain)
+    if len(finals) == 1:
+        final_state = finals[0]
+
+        def bfs_hits_single_final(sid: int) -> Set[int]:
+            sets: List[Opt[Set[int]]] = [None] * num_states
+            sets[0] = {sid}
+            for state, entries in plan_order:
+                nodes = sets[state]
+                if not nodes:
+                    continue
+                for adjacency, nxt, _accepting in entries:
+                    out = sets[nxt]
+                    if out is None:
+                        out = sets[nxt] = set()
+                    out_update = out.update
+                    for neighbours in map(adjacency.get, nodes):
+                        if neighbours:
+                            out_update(neighbours)
+            nodes = sets[final_state]
+            return nodes if nodes is not None else set()
+
+        return bfs_hits_single_final
+
+    def bfs_hits(sid: int) -> Set[int]:
+        sets: List[Opt[Set[int]]] = [None] * num_states
+        sets[0] = {sid}
+        for state, entries in plan_order:
+            nodes = sets[state]
+            if not nodes:
+                continue
+            for adjacency, nxt, _accepting in entries:
+                out = sets[nxt]
+                if out is None:
+                    out = sets[nxt] = set()
+                out_update = out.update
+                for neighbours in map(adjacency.get, nodes):
+                    if neighbours:
+                        out_update(neighbours)
+        hits: Set[int] = set()
+        for state in finals:
+            nodes = sets[state]
+            if nodes:
+                hits |= nodes
+        return hits
+
+    return bfs_hits
+
+
+def _make_dfa_bfs(rows: Tuple):
+    """The specialized product-BFS closure for a DFA plan.
+
+    The frontier is grouped *per automaton state* (state -> node list)
+    rather than held as (node, state) tuples: step dispatch, the target
+    visited-set, and the accepting flag hoist out of the per-node loop,
+    and visitedness is one set membership per (node, state) instead of
+    bitmask dict arithmetic.  Visit order differs from the generic BFS
+    but the visited-(node, state) relation — and therefore the hit set —
+    is identical."""
+    num_states = len(rows)
+
+    def bfs_hits(sid: int) -> Set[int]:
+        visited: List[Opt[Set[int]]] = [None] * num_states
+        visited[0] = {sid}
+        current: Dict[int, List[int]] = {0: [sid]}
+        hits: Set[int] = set()
+        hits_add = hits.add
+        while current:
+            advanced: Dict[int, List[int]] = {}
+            for state, nodes in current.items():
+                for adjacency, nxt, accepting in rows[state]:
+                    seen = visited[nxt]
+                    if seen is None:
+                        seen = visited[nxt] = set()
+                    seen_add = seen.add
+                    adjacency_get = adjacency.get
+                    bucket = advanced.get(nxt)
+                    for nid in nodes:
+                        neighbours = adjacency_get(nid)
+                        if not neighbours:
+                            continue
+                        for other in neighbours:
+                            if other in seen:
+                                continue
+                            seen_add(other)
+                            if bucket is None:
+                                bucket = advanced[nxt] = []
+                            bucket.append(other)
+                            if accepting:
+                                hits_add(other)
+            current = advanced
+        return hits
+
+    return bfs_hits
+
+
+def _make_nfa_bfs(
+    steps: List[_Step],
+    start_mask: int,
+    finals_mask: int,
+    memo: Dict[Tuple[str, int], int],
+):
+    """The specialized product-BFS closure for an NFA-only plan: the
+    frontier is grouped per gained state-set, so the (label, state set)
+    step memo — shared with the plan, persisting across queries — is
+    probed once per (group, label) instead of once per frontier item."""
+    spec = tuple(
+        (label, delta, adjacency)
+        for label, delta, adjacency, _pid, _inv in steps
+    )
+    limit = _STEP_MEMO_LIMIT
+
+    def bfs_hits(sid: int) -> Set[int]:
+        reached: Dict[int, int] = {sid: start_mask}
+        reached_get = reached.get
+        current: Dict[int, List[int]] = {start_mask: [sid]}
+        hits: Set[int] = set()
+        hits_add = hits.add
+        memo_get = memo.get
+        while current:
+            advanced: Dict[int, List[int]] = {}
+            advanced_get = advanced.get
+            for mask, nodes in current.items():
+                for label, delta, adjacency in spec:
+                    key = (label, mask)
+                    targets = memo_get(key)
+                    if targets is None:
+                        targets = 0
+                        rest = mask
+                        while rest:
+                            low = rest & -rest
+                            targets |= delta[low.bit_length() - 1]
+                            rest ^= low
+                        if len(memo) >= limit:
+                            memo.clear()
+                        memo[key] = targets
+                    if not targets:
+                        continue
+                    adjacency_get = adjacency.get
+                    for nid in nodes:
+                        neighbours = adjacency_get(nid)
+                        if not neighbours:
+                            continue
+                        for other in neighbours:
+                            old = reached_get(other, 0)
+                            gained = targets & ~old
+                            if gained:
+                                reached[other] = old | gained
+                                bucket = advanced_get(gained)
+                                if bucket is None:
+                                    bucket = advanced[gained] = []
+                                bucket.append(other)
+                                if gained & finals_mask:
+                                    hits_add(other)
+            current = advanced
+        return hits
+
+    return bfs_hits
+
+
+class _SpecializedPlan:
+    """The specialized artifacts for one (plan, resolved steps) pair:
+    the product-BFS closure and the per-state propagation rows."""
+
+    __slots__ = ("bfs_hits", "prop_rows")
+
+    def __init__(self, plan: "CompiledRPQ", steps: List[_Step]):
+        if plan.dfa_table is not None:
+            rows = _specialize_dfa_rows(
+                plan.dfa_table, plan.dfa_finals_mask, steps
+            )
+            if plan.cyclic:
+                self.bfs_hits = _make_dfa_bfs(rows)
+            else:
+                self.bfs_hits = _make_dfa_dag_bfs(
+                    rows, plan.dfa_finals_mask
+                )
+            self.prop_rows = tuple(
+                tuple(
+                    (adjacency, (row[label],))
+                    for label, _delta, adjacency, _pid, _inv in steps
+                    if label in row
+                )
+                for row in plan.dfa_table
+            )
+        else:
+            self.bfs_hits = _make_nfa_bfs(
+                steps, plan.start_mask, plan.finals_mask, plan._step_memo
+            )
+            self.prop_rows = tuple(
+                tuple(
+                    (adjacency, tuple(_iter_bits(delta[q])))
+                    for _label, delta, adjacency, _pid, _inv in steps
+                    if delta[q]
+                )
+                for q in range(plan.num_states)
+            )
+
+
 class CompiledRPQ:
     """A compiled evaluation plan for one regular path expression."""
 
@@ -130,6 +449,7 @@ class CompiledRPQ:
         "cyclic",
         "_step_memo",
         "_atoms_cache",
+        "_special_cache",
     )
 
     def __init__(self, expr: Regex):
@@ -163,6 +483,7 @@ class CompiledRPQ:
         self.cyclic = self._has_productive_cycle()
         self._step_memo: Dict[Tuple[str, int], int] = {}
         self._atoms_cache: Opt[Tuple] = None
+        self._special_cache: Opt[Tuple[List[_Step], _SpecializedPlan]] = None
 
     # -- compilation -------------------------------------------------------------
 
@@ -323,9 +644,23 @@ class CompiledRPQ:
             return self._evaluate_sources(store, sources, steps, target_filter)
         return self._evaluate_all_pairs(store, steps, target_filter)
 
+    def _specialized(self, steps: List[_Step]) -> _SpecializedPlan:
+        """The specialized closures for ``steps``, built once per
+        (store, mutation version): the ``steps`` list object itself is
+        the :meth:`_resolve_atoms` memo value, so identity is the
+        freshness check (holding it here also pins it against reuse)."""
+        cached = self._special_cache
+        if cached is not None and cached[0] is steps:
+            return cached[1]
+        special = _SpecializedPlan(self, steps)
+        self._special_cache = (steps, special)
+        return special
+
     def _bfs_hits(self, sid: int, steps: List[_Step]) -> Set[int]:
         """Node ids that reach a final state by a non-empty walk from
         ``sid`` (the trivial empty-walk answer is the caller's job)."""
+        if _specialization_enabled:
+            return self._specialized(steps).bfs_hits(sid)
         if self.dfa_table is not None:
             return self._bfs_hits_dfa(sid, steps)
         return self._bfs_hits_nfa(sid, steps)
@@ -399,6 +734,11 @@ class CompiledRPQ:
         """One bitmask BFS per requested source node."""
         answers: Set[Tuple[str, str]] = set()
         names = store.node_names()
+        bfs_hits = (
+            self._specialized(steps).bfs_hits
+            if _specialization_enabled
+            else None
+        )
         for source in sources:
             if self.accepts_empty and (
                 target_filter is None or source in target_filter
@@ -407,7 +747,12 @@ class CompiledRPQ:
             sid = store.node_id(source)
             if sid is None:
                 continue  # node outside the graph: no walks at all
-            for nid in self._bfs_hits(sid, steps):
+            hits = (
+                bfs_hits(sid)
+                if bfs_hits is not None
+                else self._bfs_hits(sid, steps)
+            )
+            for nid in hits:
                 name = names[nid]
                 if target_filter is None or name in target_filter:
                     answers.add((source, name))
@@ -455,9 +800,19 @@ class CompiledRPQ:
                 names, productive, steps, target_filter, answers
             )
         else:
+            bfs_hits = (
+                self._specialized(steps).bfs_hits
+                if _specialization_enabled
+                else None
+            )
             for sid in productive:
                 source = names[sid]
-                for nid in self._bfs_hits(sid, steps):
+                hits = (
+                    bfs_hits(sid)
+                    if bfs_hits is not None
+                    else self._bfs_hits(sid, steps)
+                )
+                for nid in hits:
                     name = names[nid]
                     if target_filter is None or name in target_filter:
                         answers.add((source, name))
@@ -505,35 +860,67 @@ class CompiledRPQ:
                 masks[key] = masks.get(key, 0) | bit
                 pending[key] = pending.get(key, 0) | bit
                 queue.append(key)
-        while queue:
-            key = queue.popleft()
-            delta_sources = pending.pop(key, 0)
-            if not delta_sources:
-                continue
-            nid, q = divmod(key, num_states)
-            for label, _delta, adjacency, _pid, _inv in steps:
-                targets_mask = transitions(q, label)
-                if not targets_mask:
+        if _specialization_enabled:
+            # same propagation with the per-state (adjacency, decoded
+            # target states) rows precomputed — no label dispatch and no
+            # bitmask decoding per dequeued vertex
+            rows = self._specialized(steps).prop_rows
+            masks_get = masks.get
+            pending_pop = pending.pop
+            queue_append = queue.append
+            while queue:
+                key = queue.popleft()
+                delta_sources = pending_pop(key, 0)
+                if not delta_sources:
                     continue
-                neighbours = adjacency.get(nid)
-                if not neighbours:
+                nid, q = divmod(key, num_states)
+                for adjacency, targets in rows[q]:
+                    neighbours = adjacency.get(nid)
+                    if not neighbours:
+                        continue
+                    for other in neighbours:
+                        base = other * num_states
+                        for target in targets:
+                            other_key = base + target
+                            old = masks_get(other_key, 0)
+                            gained = delta_sources & ~old
+                            if gained:
+                                masks[other_key] = old | gained
+                                if other_key in pending:
+                                    pending[other_key] |= gained
+                                else:
+                                    pending[other_key] = gained
+                                    queue_append(other_key)
+        else:
+            while queue:
+                key = queue.popleft()
+                delta_sources = pending.pop(key, 0)
+                if not delta_sources:
                     continue
-                for other in neighbours:
-                    base = other * num_states
-                    rest = targets_mask
-                    while rest:
-                        low = rest & -rest
-                        other_key = base + low.bit_length() - 1
-                        rest ^= low
-                        old = masks.get(other_key, 0)
-                        gained = delta_sources & ~old
-                        if gained:
-                            masks[other_key] = old | gained
-                            if other_key in pending:
-                                pending[other_key] |= gained
-                            else:
-                                pending[other_key] = gained
-                                queue.append(other_key)
+                nid, q = divmod(key, num_states)
+                for label, _delta, adjacency, _pid, _inv in steps:
+                    targets_mask = transitions(q, label)
+                    if not targets_mask:
+                        continue
+                    neighbours = adjacency.get(nid)
+                    if not neighbours:
+                        continue
+                    for other in neighbours:
+                        base = other * num_states
+                        rest = targets_mask
+                        while rest:
+                            low = rest & -rest
+                            other_key = base + low.bit_length() - 1
+                            rest ^= low
+                            old = masks.get(other_key, 0)
+                            gained = delta_sources & ~old
+                            if gained:
+                                masks[other_key] = old | gained
+                                if other_key in pending:
+                                    pending[other_key] |= gained
+                                else:
+                                    pending[other_key] = gained
+                                    queue.append(other_key)
         # a seeded start vertex with a final state only occurs when the
         # language is nullable, and those (u, u) pairs were added above,
         # so reading the raw masks never invents an answer

@@ -6,8 +6,9 @@ Public surface:
   :func:`generate_source_log`, the per-source profiles
   (:data:`DBPEDIA`, :data:`WIKIDATA_ROBOTIC`, …)
 * Corpora: :class:`QueryLogCorpus`, :func:`normalize_text`
-* Analysis: :func:`analyze_corpus`, :func:`analyze_query`,
-  :class:`LogReport`, :func:`combine_reports`
+* Analysis: :func:`analyze_corpus`, :func:`analyze_query` (reference),
+  :func:`analyze_query_fused` (the single-traversal production
+  battery), :class:`LogReport`, :func:`combine_reports`
 * Pipeline: :func:`run_study` (fused parse+analyze workers),
   :func:`stream_corpus` (dedup-first parallel ingestion),
   :class:`PipelineStats`, :class:`AnalysisCache`,
@@ -27,6 +28,7 @@ from .analyzer import (
     combine_reports,
     encode_analysis,
 )
+from .battery import analyze_query_fused, clear_battery_memos
 from .cache import AnalysisCache, battery_fingerprint, cache_key
 from .corpus import (
     ParsedEntry,
@@ -76,7 +78,9 @@ __all__ = [
     "analyze_corpus",
     "analyze_many",
     "analyze_query",
+    "analyze_query_fused",
     "apply_analysis",
+    "clear_battery_memos",
     "battery_fingerprint",
     "cache_key",
     "combine_reports",

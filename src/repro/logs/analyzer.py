@@ -53,6 +53,7 @@ from ..sparql.welldesigned import (
     is_well_behaved,
     is_well_designed,
 )
+from .battery import analyze_query_fused
 from .corpus import QueryLogCorpus
 
 #: Version of the analysis battery.  Bump whenever :func:`analyze_query`
@@ -157,7 +158,15 @@ def _histogram_bucket(count: int) -> str:
 
 def analyze_query(query: Query) -> Dict[str, object]:
     """All per-query analysis results (memoized per unique query by the
-    corpus loop)."""
+    corpus loop).
+
+    This is the *reference* battery: each metric is an independent
+    library call, at the cost of re-walking the AST per metric.  The
+    production paths (:func:`analyze_corpus`, the study pipeline, the
+    service) run :func:`repro.logs.battery.analyze_query_fused`, which
+    must stay observably identical — the ``fused-battery`` differential
+    oracle in :mod:`repro.testing` fuzzes the equivalence against this
+    implementation."""
     out: Dict[str, object] = {}
     out["triples"] = count_triple_patterns(query)
     out["features"] = query_features(query)
@@ -286,7 +295,7 @@ def analyze_corpus(corpus: QueryLogCorpus) -> LogReport:
         corpus.source, corpus.total, corpus.valid, corpus.unique
     )
     for query, multiplicity in corpus.iter_valid():
-        apply_analysis(report, analyze_query(query), multiplicity)
+        apply_analysis(report, analyze_query_fused(query), multiplicity)
     return report
 
 
@@ -300,7 +309,7 @@ def _analyze_pairs(
     source, pairs = payload
     report = LogReport(source, 0, 0, 0)
     for query, multiplicity in pairs:
-        apply_analysis(report, analyze_query(query), multiplicity)
+        apply_analysis(report, analyze_query_fused(query), multiplicity)
     return report
 
 

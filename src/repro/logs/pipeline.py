@@ -13,7 +13,8 @@ were: **dedup first, shard, fuse, cache**.
   unique texts, in chunks on a :class:`ProcessPoolExecutor` when
   ``workers`` > 1.  Workers receive raw text, never pickled ASTs.
 * :func:`run_study` — the fused path: each worker parses a shard of
-  unique texts *and* runs :func:`analyze_query` in the same process,
+  unique texts *and* runs the single-traversal battery
+  (:func:`repro.logs.battery.analyze_query_fused`) in the same process,
   shipping back only a compact partial :class:`LogReport` plus
   ``(key, record)`` pairs (``record`` = the JSON-able
   :func:`encode_analysis` form, or ``None`` for unparseable text).
@@ -38,7 +39,10 @@ the first occurrence of a key it has accepted).
 from __future__ import annotations
 
 import json
+import os
+import pickle
 import time
+import warnings
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass
 from pathlib import Path
@@ -58,11 +62,11 @@ from ..sparql.ast import Query
 from ..sparql.parser import parse_query
 from .analyzer import (
     LogReport,
-    analyze_query,
     apply_analysis,
     combine_reports,
     encode_analysis,
 )
+from .battery import analyze_query_fused
 from .cache import AnalysisCache, cache_key
 from .corpus import ParsedEntry, QueryLogCorpus, normalize_text
 
@@ -87,6 +91,13 @@ class PipelineStats:
     cache_misses: int = 0
     ingest_seconds: float = 0.0
     parse_analyze_seconds: float = 0.0
+    #: time inside :func:`~repro.sparql.parser.parse_query` across all
+    #: workers (a subset of ``parse_analyze_seconds``; under a process
+    #: pool the worker-side sums can exceed the stage wall-clock)
+    parse_seconds: float = 0.0
+    #: time inside the fused battery + :func:`encode_analysis`, same
+    #: accounting as ``parse_seconds``
+    analyze_seconds: float = 0.0
     merge_seconds: float = 0.0
     total_seconds: float = 0.0
 
@@ -108,6 +119,8 @@ class PipelineStats:
             "cache_hit_rate": round(self.cache_hit_rate, 4),
             "ingest_seconds": round(self.ingest_seconds, 4),
             "parse_analyze_seconds": round(self.parse_analyze_seconds, 4),
+            "parse_seconds": round(self.parse_seconds, 4),
+            "analyze_seconds": round(self.analyze_seconds, 4),
             "merge_seconds": round(self.merge_seconds, 4),
             "total_seconds": round(self.total_seconds, 4),
         }
@@ -120,6 +133,8 @@ class PipelineStats:
             f"{self.total_seconds:.2f}s — ingest "
             f"{self.ingest_seconds:.2f}s, parse+analyze "
             f"{self.parse_analyze_seconds:.2f}s "
+            f"(parse {self.parse_seconds:.2f}s, analyze "
+            f"{self.analyze_seconds:.2f}s) "
             f"({self.workers or 1} worker(s), {self.chunks} chunk(s)), "
             f"merge {self.merge_seconds:.2f}s"
         )
@@ -283,33 +298,99 @@ def stream_corpus(
 # ---------------------------------------------------------------------------
 
 
+def _usable_cpus() -> int:
+    try:
+        return len(os.sched_getaffinity(0))
+    except AttributeError:  # pragma: no cover - non-Linux
+        return os.cpu_count() or 1
+
+
+#: one-time guard for the workers>1-on-one-CPU warning
+_fallback_warned = False
+
+
+def _warn_sequential_fallback(
+    source: str, pending: List[Tuple[str, str, int]], chunk_size: int
+) -> None:
+    """Warn (once per process) that a parallel study was downgraded.
+
+    On a single usable CPU a process pool cannot win: the chunks still
+    serialize through pickle and the workers time-slice one core, so the
+    overhead is pure loss (the committed benchmark artifact measured a
+    0.85x parallel "speedup" in exactly this situation).  The warning
+    quantifies the per-chunk serialization cost so the downgrade is
+    explainable from logs alone.
+    """
+    global _fallback_warned
+    if _fallback_warned:
+        return
+    _fallback_warned = True
+    chunk = pending[:chunk_size]
+    started = time.perf_counter()
+    payload_bytes = len(pickle.dumps((source, chunk)))
+    pickle_seconds = time.perf_counter() - started
+    warnings.warn(
+        f"run_study({source!r}): workers>1 requested but only one "
+        f"usable CPU is available; chunk serialization alone costs "
+        f"{pickle_seconds * 1e3:.2f} ms per {len(chunk)}-text chunk "
+        f"({payload_bytes} bytes) with no parallelism to pay for it — "
+        f"falling back to the fused sequential path",
+        RuntimeWarning,
+        stacklevel=3,
+    )
+
+
 def _study_worker(
     payload: Tuple[str, List[Tuple[str, str, int]]]
-) -> Tuple[LogReport, int, int, List[Tuple[str, Opt[Dict[str, Any]]]]]:
+) -> Tuple[
+    LogReport,
+    int,
+    int,
+    List[Tuple[str, Opt[Dict[str, Any]]]],
+    float,
+    float,
+]:
     """Process-pool worker: parse *and* analyze one shard of
     (key, raw text, multiplicity) triples in the same process.
 
     Returns a compact partial: a :class:`LogReport` holding only
-    counters, the invalid occurrence/unique counts, and the
-    ``(key, record)`` pairs for the cache — no AST travels back.
+    counters, the invalid occurrence/unique counts, the
+    ``(key, record)`` pairs for the cache — no AST travels back — and
+    the seconds spent parsing vs analyzing, so
+    :class:`PipelineStats` can attribute the stage cost.
     """
     source, triples = payload
     report = LogReport(source, 0, 0, 0)
     records: List[Tuple[str, Opt[Dict[str, Any]]]] = []
     invalid = 0
     invalid_unique = 0
+    parse_seconds = 0.0
+    analyze_seconds = 0.0
+    perf = time.perf_counter
     for key, text, multiplicity in triples:
+        started = perf()
         try:
             query = parse_query(text)
         except (SPARQLParseError, RecursionError):
+            parse_seconds += perf() - started
             records.append((key, None))
             invalid += multiplicity
             invalid_unique += 1
             continue
-        record = encode_analysis(analyze_query(query))
+        parsed_at = perf()
+        parse_seconds += parsed_at - started
+        record = encode_analysis(analyze_query_fused(query))
+        analyze_seconds += perf() - parsed_at
         apply_analysis(report, record, multiplicity)
         records.append((key, record))
-    return report, invalid, invalid_unique, records
+    return (
+        report,
+        invalid,
+        invalid_unique,
+        records,
+        parse_seconds,
+        analyze_seconds,
+    )
 
 
 def run_study(
@@ -381,7 +462,12 @@ def run_study(
     partials: List[LogReport] = [cached_partial]
     new_records: List[Tuple[str, Opt[Dict[str, Any]]]] = []
     if pending:
-        parallel = pool is not None or (workers and workers > 1)
+        parallel = bool(
+            pool is not None or (workers and workers > 1)
+        )
+        if parallel and pool is None and _usable_cpus() < 2:
+            _warn_sequential_fallback(source, pending, chunk_size)
+            parallel = False
         if parallel and len(pending) > 1:
             chunks = _chunked(pending, chunk_size)
             stats.chunks = len(chunks)
@@ -403,11 +489,20 @@ def run_study(
         else:
             stats.chunks = 1
             results = [_study_worker((source, pending))]
-        for partial, chunk_invalid, chunk_invalid_unique, records in results:
+        for (
+            partial,
+            chunk_invalid,
+            chunk_invalid_unique,
+            records,
+            parse_seconds,
+            analyze_seconds,
+        ) in results:
             partials.append(partial)
             invalid += chunk_invalid
             invalid_unique += chunk_invalid_unique
             new_records.extend(records)
+            stats.parse_seconds += parse_seconds
+            stats.analyze_seconds += analyze_seconds
     stats.parse_analyze_seconds = time.perf_counter() - stage_started
 
     stage_started = time.perf_counter()

@@ -22,7 +22,7 @@ Operations
   (canonical text via :func:`~repro.sparql.serialize.serialize_query`,
   features, operator set, triple count);
 * ``log`` — the full per-query log-battery record
-  (:func:`~repro.logs.analyzer.analyze_query`, shipped in its
+  (:func:`~repro.logs.battery.analyze_query_fused`, shipped in its
   JSON-able :func:`~repro.logs.analyzer.encode_analysis` form — the
   same record the persistent log cache stores);
 * ``mutate`` — add triples to a registered store (admitted through the
@@ -67,7 +67,8 @@ from ..errors import (
 from ..graphs.engine import ast_key
 from ..graphs.paths import evaluate_rpq, exists_simple_path, exists_trail
 from ..graphs.rdf import TripleStore
-from ..logs.analyzer import analyze_query, encode_analysis
+from ..logs.analyzer import encode_analysis
+from ..logs.battery import analyze_query_fused
 from ..logs.cache import battery_fingerprint
 from ..logs.corpus import normalize_text
 from ..regex.parser import parse as parse_regex
@@ -412,7 +413,7 @@ class ServiceCore:
                 return {"valid": False, "record": None, "reason": str(exc)}
             return {
                 "valid": True,
-                "record": encode_analysis(analyze_query(query)),
+                "record": encode_analysis(analyze_query_fused(query)),
             }
 
         return key, fn

@@ -80,6 +80,22 @@ _TOKEN_RE = _re.compile(
     _re.VERBOSE,
 )
 
+# Tight per-class scanners for the table-driven lexer.  Each is a
+# single character class (no alternation), so the sre engine runs them
+# as one linear scan; the first-match/fallback semantics of the big
+# alternation above are reproduced by the dispatch logic in
+# :func:`tokenize`.
+_IRIREF_RE = _re.compile(r'<[^<>"{}|^`\\\s]*>')
+_STRING_DQ_RE = _re.compile(r'"(?:[^"\\]|\\.)*"')
+_STRING_SQ_RE = _re.compile(r"'(?:[^'\\]|\\.)*'")
+_NUMBER_RE = _re.compile(r"[+-]?(?:\d+\.\d*|\.\d+|\d+)(?:[eE][+-]?\d+)?")
+_PNAME_SPAN_RE = _re.compile(r"[A-Za-z_0-9.\-]*")
+#: prefix span plus an optional ':' + local span, in one scan; group 1
+#: is present iff the name is a PNAME
+_NAME_RE = _re.compile(r"[A-Za-z_0-9.\-]*(:[A-Za-z_0-9.\-]*)?")
+_VARNAME_SPAN_RE = _re.compile(r"[A-Za-z_0-9]*")
+_BNODE_BODY_RE = _re.compile(r"[A-Za-z_0-9]+")
+
 _A_KEYWORD = "a"  # rdf:type shorthand
 RDF_TYPE = IRI("rdf:type")
 
@@ -146,21 +162,32 @@ def _unescape_string(raw: str, pos: int) -> str:
 
 
 class _Token:
-    __slots__ = ("kind", "text", "pos")
+    __slots__ = ("kind", "text", "pos", "_upper")
 
     def __init__(self, kind: str, text: str, pos: int):
         self.kind = kind
         self.text = text
         self.pos = pos
+        self._upper: Opt[str] = None
 
     def upper(self) -> str:
-        return self.text.upper()
+        up = self._upper
+        if up is None:
+            up = self._upper = self.text.upper()
+        return up
 
     def __repr__(self) -> str:
         return f"{self.kind}({self.text!r})"
 
 
-def _tokenize(text: str) -> List[_Token]:
+def tokenize_reference(text: str) -> List[_Token]:
+    """The original regex lexer: one mega-alternation per token.
+
+    Kept as the reference oracle for :func:`tokenize` — the ``lexer``
+    differential target in :mod:`repro.testing` asserts both produce the
+    same token stream (kinds, texts, positions) and the same error
+    positions on malformed input.
+    """
     tokens: List[_Token] = []
     pos = 0
     n = len(text)
@@ -177,7 +204,266 @@ def _tokenize(text: str) -> List[_Token]:
     return tokens
 
 
+# First-character dispatch classes for :func:`tokenize`.
+_SCAN_WS = 1
+_SCAN_NAME = 2
+_SCAN_SIMPLE_OP = 3
+_SCAN_VAR = 4
+_SCAN_STRING = 5
+_SCAN_IRI = 6
+_SCAN_DIGIT = 7
+_SCAN_DOT = 8
+_SCAN_SIGN = 9
+_SCAN_CARET = 10
+_SCAN_BANG = 11
+_SCAN_GT = 12
+_SCAN_PIPE = 13
+_SCAN_AMP = 14
+_SCAN_COLON = 15
+_SCAN_COMMENT = 16
+
+_ASCII_WS = frozenset(" \t\n\r\x0b\x0c")
+_NAME_START = frozenset(
+    "ABCDEFGHIJKLMNOPQRSTUVWXYZabcdefghijklmnopqrstuvwxyz_"
+)
+_DIGITS = frozenset("0123456789")
+
+_DISPATCH: dict = {}
+for _ch in _ASCII_WS:
+    _DISPATCH[_ch] = _SCAN_WS
+for _ch in _NAME_START:
+    _DISPATCH[_ch] = _SCAN_NAME
+for _ch in _DIGITS:
+    _DISPATCH[_ch] = _SCAN_DIGIT
+for _ch in "{}()[];,*/=@":
+    _DISPATCH[_ch] = _SCAN_SIMPLE_OP
+_DISPATCH.update(
+    {
+        "?": _SCAN_VAR,
+        "$": _SCAN_VAR,
+        '"': _SCAN_STRING,
+        "'": _SCAN_STRING,
+        "<": _SCAN_IRI,
+        ".": _SCAN_DOT,
+        "+": _SCAN_SIGN,
+        "-": _SCAN_SIGN,
+        "^": _SCAN_CARET,
+        "!": _SCAN_BANG,
+        ">": _SCAN_GT,
+        "|": _SCAN_PIPE,
+        "&": _SCAN_AMP,
+        ":": _SCAN_COLON,
+        "#": _SCAN_COMMENT,
+    }
+)
+del _ch
+
+
+def tokenize(text: str) -> List[_Token]:
+    """Table-driven scanner: first-char dispatch plus tight per-class
+    scanners, with ``str.find`` fast paths for strings and comments.
+
+    Produces exactly the token stream (and error positions) of
+    :func:`tokenize_reference`; replacing the interpreted
+    nine-way alternation with direct dispatch roughly halves tokenize
+    time on real query logs.
+    """
+    tokens: List[_Token] = []
+    append = tokens.append
+    dispatch = _DISPATCH
+    n = len(text)
+    pos = 0
+    while pos < n:
+        ch = text[pos]
+        code = dispatch.get(ch)
+        if code == _SCAN_WS:
+            pos += 1
+            while pos < n and text[pos] in _ASCII_WS:
+                pos += 1
+            continue
+        if code == _SCAN_NAME:
+            # BNODE wins over PNAME (regex alternation order) and its
+            # body class has no '.'/'-', so '_:a.b' lexes as '_:a'.
+            if ch == "_" and pos + 1 < n and text[pos + 1] == ":":
+                body = _BNODE_BODY_RE.match(text, pos + 2)
+                if body is not None:
+                    end = body.end()
+                    append(_Token("BNODE", text[pos:end], pos))
+                    pos = end
+                    continue
+            # the prefix span class excludes ':', so the PNAME
+            # alternative matches iff the char right after the greedy
+            # span is ':' — no backtracking needed, and one scan
+            # resolves both the span and the colon test
+            match = _NAME_RE.match(text, pos + 1)
+            end = match.end()
+            if match.group(1) is not None:
+                append(_Token("PNAME", text[pos:end], pos))
+                pos = end
+                continue
+            # KEYWORD has the PNAME prefix class minus '.', so the
+            # keyword ends at the first dot of the span (if any)
+            dot = text.find(".", pos + 1, end)
+            if dot != -1:
+                end = dot
+            append(_Token("KEYWORD", text[pos:end], pos))
+            pos = end
+            continue
+        if code == _SCAN_SIMPLE_OP:
+            append(_Token("OP", ch, pos))
+            pos += 1
+            continue
+        if code == _SCAN_VAR:
+            if pos + 1 < n and text[pos + 1] in _NAME_START:
+                end = _VARNAME_SPAN_RE.match(text, pos + 2).end()
+                append(_Token("VAR", text[pos:end], pos))
+                pos = end
+                continue
+            if ch == "?":
+                append(_Token("OP", "?", pos))
+                pos += 1
+                continue
+            raise SPARQLParseError(
+                f"unexpected character {ch!r}", position=pos
+            )
+        if code == _SCAN_STRING:
+            close = text.find(ch, pos + 1)
+            if close != -1 and text.find("\\", pos + 1, close) == -1:
+                close += 1
+                append(_Token("STRING", text[pos:close], pos))
+                pos = close
+                continue
+            pattern = _STRING_DQ_RE if ch == '"' else _STRING_SQ_RE
+            match = pattern.match(text, pos)
+            if match is None:
+                raise SPARQLParseError(
+                    f"unexpected character {ch!r}", position=pos
+                )
+            append(_Token("STRING", match.group(), pos))
+            pos = match.end()
+            continue
+        if code == _SCAN_IRI:
+            match = _IRIREF_RE.match(text, pos)
+            if match is not None:
+                append(_Token("IRIREF", match.group(), pos))
+                pos = match.end()
+                continue
+            if pos + 1 < n and text[pos + 1] == "=":
+                append(_Token("OP", "<=", pos))
+                pos += 2
+                continue
+            append(_Token("OP", "<", pos))
+            pos += 1
+            continue
+        if code == _SCAN_DIGIT:
+            match = _NUMBER_RE.match(text, pos)
+            append(_Token("NUMBER", match.group(), pos))
+            pos = match.end()
+            continue
+        if code == _SCAN_DOT:
+            if pos + 1 < n and text[pos + 1] in _DIGITS:
+                match = _NUMBER_RE.match(text, pos)
+                append(_Token("NUMBER", match.group(), pos))
+                pos = match.end()
+                continue
+            append(_Token("OP", ".", pos))
+            pos += 1
+            continue
+        if code == _SCAN_SIGN:
+            nxt = text[pos + 1] if pos + 1 < n else ""
+            if nxt in _DIGITS or (
+                nxt == "."
+                and pos + 2 < n
+                and text[pos + 2] in _DIGITS
+            ):
+                match = _NUMBER_RE.match(text, pos)
+                append(_Token("NUMBER", match.group(), pos))
+                pos = match.end()
+                continue
+            append(_Token("OP", ch, pos))
+            pos += 1
+            continue
+        if code == _SCAN_COLON:
+            end = _PNAME_SPAN_RE.match(text, pos + 1).end()
+            if end == pos + 1:
+                # the ':'-led PNAME alternative needs a nonempty local
+                # part, and ':' is not an OP
+                raise SPARQLParseError(
+                    f"unexpected character {ch!r}", position=pos
+                )
+            append(_Token("PNAME", text[pos:end], pos))
+            pos = end
+            continue
+        if code == _SCAN_CARET:
+            if pos + 1 < n and text[pos + 1] == "^":
+                append(_Token("OP", "^^", pos))
+                pos += 2
+                continue
+            append(_Token("OP", "^", pos))
+            pos += 1
+            continue
+        if code == _SCAN_BANG:
+            if pos + 1 < n and text[pos + 1] == "=":
+                append(_Token("OP", "!=", pos))
+                pos += 2
+                continue
+            append(_Token("OP", "!", pos))
+            pos += 1
+            continue
+        if code == _SCAN_GT:
+            if pos + 1 < n and text[pos + 1] == "=":
+                append(_Token("OP", ">=", pos))
+                pos += 2
+                continue
+            append(_Token("OP", ">", pos))
+            pos += 1
+            continue
+        if code == _SCAN_PIPE:
+            if pos + 1 < n and text[pos + 1] == "|":
+                append(_Token("OP", "||", pos))
+                pos += 2
+                continue
+            append(_Token("OP", "|", pos))
+            pos += 1
+            continue
+        if code == _SCAN_AMP:
+            if pos + 1 < n and text[pos + 1] == "&":
+                append(_Token("OP", "&&", pos))
+                pos += 2
+                continue
+            raise SPARQLParseError(
+                f"unexpected character {ch!r}", position=pos
+            )
+        if code == _SCAN_COMMENT:
+            newline = text.find("\n", pos + 1)
+            pos = n if newline == -1 else newline
+            continue
+        # not in the dispatch table: non-ASCII whitespace is skipped
+        # (the reference's \s), anything else is an error
+        if ch.isspace():
+            pos += 1
+            continue
+        raise SPARQLParseError(
+            f"unexpected character {ch!r}", position=pos
+        )
+    return tokens
+
+
+#: historical internal name, kept for callers of the private API
+_tokenize = tokenize
+
+
 class _Parser:
+    __slots__ = (
+        "tokens",
+        "source",
+        "index",
+        "prefixes",
+        "base",
+        "_bnode_counter",
+        "_n",
+    )
+
     def __init__(self, tokens: List[_Token], source: str):
         self.tokens = tokens
         self.source = source
@@ -185,43 +471,56 @@ class _Parser:
         self.prefixes = {}
         self.base: Opt[str] = None
         self._bnode_counter = 0
+        self._n = len(tokens)
 
-    # -- token plumbing --------------------------------------------------------
+    # -- token plumbing (the helpers below inline peek(): they run
+    # hundreds of thousands of times per corpus and the extra call
+    # frame was the single biggest parse cost after lexing) -----------
 
     def peek(self, ahead: int = 0) -> Opt[_Token]:
         pos = self.index + ahead
-        return self.tokens[pos] if pos < len(self.tokens) else None
+        return self.tokens[pos] if pos < self._n else None
 
     def at_keyword(self, *words: str) -> bool:
-        token = self.peek()
-        return (
-            token is not None
-            and token.kind == "KEYWORD"
-            and token.upper() in words
-        )
+        pos = self.index
+        if pos >= self._n:
+            return False
+        token = self.tokens[pos]
+        if token.kind != "KEYWORD":
+            return False
+        up = token._upper
+        if up is None:
+            up = token._upper = token.text.upper()
+        return up in words
 
     def at_op(self, *ops: str) -> bool:
-        token = self.peek()
-        return token is not None and token.kind == "OP" and token.text in ops
+        pos = self.index
+        if pos >= self._n:
+            return False
+        token = self.tokens[pos]
+        return token.kind == "OP" and token.text in ops
 
     def advance(self) -> _Token:
-        token = self.peek()
-        if token is None:
+        pos = self.index
+        if pos >= self._n:
             raise SPARQLParseError(
                 "unexpected end of query", position=len(self.source)
             )
-        self.index += 1
-        return token
+        self.index = pos + 1
+        return self.tokens[pos]
 
     def expect_op(self, op: str) -> _Token:
-        token = self.peek()
+        pos = self.index
+        token = self.tokens[pos] if pos < self._n else None
         if token is None or token.kind != "OP" or token.text != op:
             at = token.pos if token else len(self.source)
             raise SPARQLParseError(f"expected {op!r}", position=at)
-        return self.advance()
+        self.index = pos + 1
+        return token
 
     def expect_keyword(self, word: str) -> _Token:
-        token = self.peek()
+        pos = self.index
+        token = self.tokens[pos] if pos < self._n else None
         if (
             token is None
             or token.kind != "KEYWORD"
@@ -229,7 +528,8 @@ class _Parser:
         ):
             at = token.pos if token else len(self.source)
             raise SPARQLParseError(f"expected {word}", position=at)
-        return self.advance()
+        self.index = pos + 1
+        return token
 
     # -- entry point ------------------------------------------------------------
 

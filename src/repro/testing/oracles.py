@@ -34,7 +34,14 @@ from ..graphs.paths import (
     exists_trail_reference,
 )
 from ..graphs.rdf import TripleStore
-from ..logs.analyzer import COUNTER_FIELDS, LogReport, analyze_corpus
+from ..logs.analyzer import (
+    COUNTER_FIELDS,
+    LogReport,
+    analyze_corpus,
+    analyze_query,
+    encode_analysis,
+)
+from ..logs.battery import analyze_query_fused
 from ..logs.corpus import QueryLogCorpus
 from ..logs.pipeline import run_study
 from ..logs.workload import ALL_PROFILES, generate_source_log
@@ -727,6 +734,117 @@ class ServiceOracle(Oracle):
                 yield {**case, "query": text}
 
 
+# ---------------------------------------------------------------------------
+# SPARQL: table-driven scanner vs the reference regex lexer
+# ---------------------------------------------------------------------------
+
+
+#: junk injected into otherwise-wellformed queries so the oracle also
+#: exercises the *error* paths: both lexers must reject at the same
+#: position with the same message
+_LEXER_JUNK = "\\`§\x00\x7f@~"
+
+
+class LexerOracle(Oracle):
+    name = "lexer"
+    description = (
+        "table-driven scanner vs the reference regex lexer: same "
+        "token stream, same error positions"
+    )
+
+    def generate(self, rng: random.Random) -> str:
+        text = random_sparql_text(rng)
+        if rng.random() < 0.3:
+            # corrupt the text so error-position parity is fuzzed too
+            at = rng.randrange(len(text) + 1)
+            junk = rng.choice(_LEXER_JUNK)
+            text = text[:at] + junk + text[at:]
+        return text
+
+    def check(self, case: str) -> Opt[str]:
+        from ..sparql.parser import tokenize, tokenize_reference
+
+        try:
+            expected = tokenize_reference(case)
+            expected_error = None
+        except SPARQLParseError as exc:
+            expected, expected_error = None, (str(exc), exc.position)
+        try:
+            actual = tokenize(case)
+            actual_error = None
+        except SPARQLParseError as exc:
+            actual, actual_error = None, (str(exc), exc.position)
+        if expected_error != actual_error:
+            return (
+                f"error divergence: reference={expected_error!r} "
+                f"scanner={actual_error!r}"
+            )
+        if expected_error is not None:
+            return None
+        if len(expected) != len(actual):
+            return (
+                f"token count: reference={len(expected)} "
+                f"scanner={len(actual)}"
+            )
+        for ref_token, new_token in zip(expected, actual):
+            if (ref_token.kind, ref_token.text, ref_token.pos) != (
+                new_token.kind,
+                new_token.text,
+                new_token.pos,
+            ):
+                return (
+                    f"token divergence at {ref_token.pos}: "
+                    f"reference={ref_token!r} scanner={new_token!r}"
+                )
+        return None
+
+    def shrink_candidates(self, case: str) -> Iterable[str]:
+        return text_candidates(case)
+
+
+# ---------------------------------------------------------------------------
+# Logs: fused single-traversal battery vs the reference battery
+# ---------------------------------------------------------------------------
+
+
+class FusedBatteryOracle(Oracle):
+    name = "fused-battery"
+    description = (
+        "analyze_query_fused vs the reference analyze_query: "
+        "byte-identical encoded analysis records"
+    )
+
+    def generate(self, rng: random.Random) -> str:
+        return random_sparql_text(rng)
+
+    def check(self, case: str) -> Opt[str]:
+        try:
+            query = parse_query(case)
+        except SPARQLParseError:
+            return None  # unparseable input is outside the oracle
+        except RecursionError:
+            return None
+        except Exception as exc:
+            return f"parser crashed: {type(exc).__name__}: {exc}"
+        try:
+            reference = encode_analysis(analyze_query(query))
+        except Exception as exc:
+            return f"reference battery crashed: {type(exc).__name__}: {exc}"
+        try:
+            fused = encode_analysis(analyze_query_fused(query))
+        except Exception as exc:
+            return f"fused battery crashed: {type(exc).__name__}: {exc}"
+        if reference != fused:
+            return (
+                f"analysis records diverge: reference={reference!r} "
+                f"fused={fused!r}"
+            )
+        return None
+
+    def shrink_candidates(self, case: str) -> Iterable[str]:
+        return text_candidates(case)
+
+
 ORACLES: Dict[str, Oracle] = {
     oracle.name: oracle
     for oracle in (
@@ -737,5 +855,7 @@ ORACLES: Dict[str, Oracle] = {
         SPARQLRoundTripOracle(),
         LogPipelineOracle(),
         ServiceOracle(),
+        LexerOracle(),
+        FusedBatteryOracle(),
     )
 }

@@ -11,6 +11,7 @@ from repro.graphs.engine import (
     clear_plan_cache,
     compile_rpq,
     configure_plan_cache,
+    configure_specialization,
     plan_cache_info,
 )
 from repro.graphs.generator import web_graph
@@ -175,3 +176,55 @@ class TestPlanCache:
         finally:
             configure_plan_cache(256)
             clear_plan_cache()
+
+
+class TestSpecializedClosures:
+    """The per-plan specialized step closures must be answer-invisible:
+    toggling :func:`configure_specialization` never changes a result."""
+
+    def test_on_off_equivalence(self):
+        rng = random.Random(21)
+        try:
+            for _trial in range(4):
+                store = labeled_powerlaw_store(rng, 35)
+                nodes = sorted(store.nodes())
+                sources = rng.sample(nodes, 6)
+                for text in WALK_EXPRS:
+                    expr = parse(text)
+                    configure_specialization(False)
+                    plain_all = evaluate_rpq(store, expr)
+                    plain_src = evaluate_rpq(store, expr, sources=sources)
+                    configure_specialization(True)
+                    assert evaluate_rpq(store, expr) == plain_all, text
+                    assert (
+                        evaluate_rpq(store, expr, sources=sources)
+                        == plain_src
+                    ), text
+        finally:
+            configure_specialization(True)
+
+    def test_closure_selection(self):
+        # chains fold through adjacency maps; other acyclic plans take
+        # the one-pass DAG closure; cyclic DFA plans group the frontier
+        store = labeled_powerlaw_store(random.Random(22), 20)
+        for text, variant in [
+            ("abc", "_make_chain_bfs"),
+            ("a", "_make_chain_bfs"),
+            ("a(b+^c)", "_make_dfa_dag_bfs"),
+            ("(ab)+", "_make_dfa_bfs"),
+        ]:
+            plan = compile_rpq(parse(text))
+            steps = plan._resolve_atoms(store)
+            closure = plan._specialized(steps).bfs_hits
+            assert variant in closure.__qualname__, (text, variant)
+
+    def test_specialization_tracks_store_mutation(self):
+        store = labeled_powerlaw_store(random.Random(23), 25)
+        expr = parse("ab?")
+        before = evaluate_rpq(store, expr)
+        store.add("v0", "a", "v1")
+        store.add("v1", "b", "v2")
+        after = evaluate_rpq(store, expr)
+        assert after == evaluate_rpq_reference(store, expr)
+        assert after >= {("v0", "v1"), ("v0", "v2")}
+        assert before != after or ("v0", "v1") in before

@@ -4,9 +4,12 @@ workers, with or without the persistent cache) returns reports identical,
 counter for counter, to the sequential battery."""
 
 import json
+import warnings
+from concurrent.futures import ProcessPoolExecutor
 
 import pytest
 
+import repro.logs.pipeline as pipeline
 from repro.logs.analyzer import (
     COUNTER_FIELDS,
     LogReport,
@@ -96,10 +99,31 @@ class TestRunStudy:
         )
 
     def test_parallel_identity(self, workload):
+        # an explicit pool bypasses the single-CPU sequential fallback,
+        # so the process-pool path is exercised on any machine
         source, texts = workload
-        report = run_study(source, texts, workers=2, chunk_size=7)
+        with ProcessPoolExecutor(max_workers=2) as pool:
+            report = run_study(
+                source, texts, workers=2, chunk_size=7, pool=pool
+            )
         assert_reports_identical(report, self.reference(source, texts))
         assert report.stats.chunks > 1
+
+    def test_single_cpu_fallback_warns_once_and_stays_identical(
+        self, workload, monkeypatch
+    ):
+        source, texts = workload
+        monkeypatch.setattr(pipeline, "_usable_cpus", lambda: 1)
+        monkeypatch.setattr(pipeline, "_fallback_warned", False)
+        with pytest.warns(RuntimeWarning, match="one\\s+usable CPU"):
+            report = run_study(source, texts, workers=2, chunk_size=7)
+        assert_reports_identical(report, self.reference(source, texts))
+        # the pool was skipped: everything ran as one sequential chunk
+        assert report.stats.chunks == 1
+        # the warning is one-time per process
+        with warnings.catch_warnings():
+            warnings.simplefilter("error")
+            run_study(source, texts, workers=2, chunk_size=7)
 
     def test_cache_cold_then_warm_identity(self, workload, tmp_path):
         source, texts = workload
