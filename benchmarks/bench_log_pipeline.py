@@ -108,7 +108,14 @@ def run_benchmark():
         return report
 
     study_phase("fused", workers=1)
-    study_phase("parallel", workers=WORKERS)
+    parallel_report = study_phase("parallel", workers=WORKERS)
+    if _usable_cpus() >= 2:
+        # the fan-out regression this repo once shipped: chunk count
+        # derived from a fixed chunk size left most of the pool idle —
+        # every worker must get work whenever the pool actually runs
+        assert parallel_report.stats.chunks >= min(
+            WORKERS, ENTRIES
+        ), parallel_report.stats.as_dict()
     with tempfile.TemporaryDirectory() as cache_dir:
         cold = study_phase("cache_cold", workers=1, cache=cache_dir)
         warm = study_phase("cache_warm", workers=1, cache=cache_dir)

@@ -39,3 +39,48 @@ def payload_fingerprint(payload: Any, length: int = 16) -> str:
         json.dumps(payload, sort_keys=True).encode("utf-8")
     ).hexdigest()
     return digest[:length]
+
+
+# -- incremental, order-independent content accumulation -----------------------
+#
+# The triple store's content fingerprint must satisfy three constraints
+# at once: O(1) per insertion (``add`` is the hottest write path in the
+# system), independence from insertion order (two processes that load
+# the same data in different orders must agree), and portability across
+# process boundaries (the fingerprint is written into the mmap image
+# header and compared against live stores).  A sum of per-item SHA-256
+# digests modulo 2**256 gives all three: commutative, incremental, and
+# as collision-resistant as cache addressing needs.
+
+#: width of the accumulator ring (sum of 256-bit digests mod 2**256)
+_ACC_BITS = 256
+_ACC_MASK = (1 << _ACC_BITS) - 1
+
+
+def item_digest(payload: Any) -> int:
+    """The 256-bit digest of one JSON-able item, as an integer.
+
+    Serialization follows the :func:`payload_fingerprint` discipline
+    (canonical JSON, sorted keys) so the two derivations cannot drift.
+    """
+    blob = json.dumps(
+        payload, sort_keys=True, ensure_ascii=False, separators=(",", ":")
+    ).encode("utf-8")
+    return int.from_bytes(hashlib.sha256(blob).digest(), "big")
+
+
+def accumulate(accumulator: int, digest: int) -> int:
+    """Fold one :func:`item_digest` into an accumulator (commutative:
+    the result does not depend on the order items were folded in)."""
+    return (accumulator + digest) & _ACC_MASK
+
+
+def accumulator_hex(accumulator: int, count: int, length: int = 16) -> str:
+    """Render an accumulator plus an item count as a short hex digest —
+    the same truncated-SHA-256 shape :func:`payload_fingerprint` emits,
+    so consumers can treat both as opaque version strings."""
+    digest = hashlib.sha256(
+        accumulator.to_bytes(_ACC_BITS // 8, "big")
+        + count.to_bytes(8, "big")
+    ).hexdigest()
+    return digest[:length]

@@ -1,0 +1,74 @@
+"""Process-pool sizing shared by every parallel stage.
+
+Three different layers fan work out over a
+:class:`~concurrent.futures.ProcessPoolExecutor` — the log-study
+pipeline (:mod:`repro.logs.pipeline`), the batch analyzer
+(:mod:`repro.logs.analyzer`), and the parallel RPQ evaluator
+(:mod:`repro.graphs.parallel`).  They must all make the same two
+decisions the same way:
+
+* **How wide is the pool really?**  ``workers`` may be unset while an
+  externally managed pool is lent in, and CPU affinity can be narrower
+  than ``os.cpu_count()``.
+* **How many chunks should the work split into?**  A fixed chunk size
+  quietly serializes moderate workloads (fewer than ``chunk_size *
+  workers`` items produce fewer chunks than workers, idling part of the
+  pool while paying its full cost) — the bug this module's
+  :func:`fanout_chunk_size` exists to keep fixed everywhere at once.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import List, Optional as Opt
+
+#: pool-balancing factor: aim for this many chunks per worker so one
+#: heavy shard (expensive queries cluster) cannot straggle a whole stage
+FANOUT_PER_WORKER = 4
+
+
+def usable_cpus() -> int:
+    """CPUs this process may actually run on (affinity-aware)."""
+    try:
+        return len(os.sched_getaffinity(0))
+    except AttributeError:  # pragma: no cover - non-Linux
+        return os.cpu_count() or 1
+
+
+def pool_width(workers: Opt[int], pool=None) -> int:
+    """The effective number of workers a parallel stage will run on:
+    an explicit ``workers`` wins, else the width of a lent pool, else
+    the usable CPU count."""
+    if workers and workers > 1:
+        return workers
+    if pool is not None:
+        width = getattr(pool, "_max_workers", None)
+        if isinstance(width, int) and width > 0:
+            return width
+    return usable_cpus()
+
+
+def fanout_chunk_size(total: int, workers: int, chunk_size: int) -> int:
+    """The effective per-task chunk size for a pool of ``workers``.
+
+    The chunk count is derived from the pool width first —
+    ``max(workers * FANOUT_PER_WORKER, ceil(total / chunk_size))``,
+    capped at ``total`` — so the configured ``chunk_size`` only bounds
+    task payload size, never fan-out: every worker gets ~4 tasks for
+    load balancing however small the workload is.
+    """
+    if total <= 0:
+        return chunk_size
+    workers = max(1, workers)
+    chunks = min(
+        total, max(workers * FANOUT_PER_WORKER, -(-total // chunk_size))
+    )
+    return -(-total // chunks)
+
+
+def fanout_chunks(items: List, workers: int, chunk_size: int) -> List[List]:
+    """Split ``items`` into pool tasks via :func:`fanout_chunk_size`."""
+    if not items:
+        return []
+    size = fanout_chunk_size(len(items), workers, chunk_size)
+    return [items[start : start + size] for start in range(0, len(items), size)]

@@ -81,6 +81,12 @@ class UnsupportedFeatureError(ReproError):
     implement (analysis code never raises this; only evaluation does)."""
 
 
+class StoreImageError(ReproError):
+    """Raised when an on-disk triple-store image cannot be opened: bad
+    magic, unsupported format version, foreign byte order, or a header
+    that does not describe the file's actual contents."""
+
+
 class ServiceError(ReproError):
     """Base class of the query-serving layer's typed failures.
 
@@ -123,3 +129,15 @@ class ProtocolError(ServiceError):
     frame, or a frame that is not a JSON object)."""
 
     code = "protocol_error"
+
+
+class StoreFrozenError(ServiceError):
+    """A mutation was attempted on a frozen (memory-mapped) store.
+
+    Mapped images are immutable by construction — their pages are
+    shared read-only across processes.  Subclassing
+    :class:`ServiceError` gives the serving layer a stable wire code
+    for free: a ``mutate`` against a frozen store comes back as a typed
+    ``store_frozen`` error instead of an internal fault."""
+
+    code = "store_frozen"

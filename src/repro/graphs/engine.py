@@ -189,7 +189,10 @@ def _make_chain_bfs(adjacencies: List[Dict[int, List[int]]]):
             if not frontier:
                 return frontier
             nodes = frontier
-        return set(nodes) if type(nodes) is list else nodes
+        # single-hop chains fall through with `nodes` still the raw
+        # adjacency row (a list on live stores, a memoryview slice on
+        # mapped images) — normalize anything that isn't already a set
+        return nodes if type(nodes) is set else set(nodes)
 
     return bfs_hits
 

@@ -26,6 +26,8 @@ from __future__ import annotations
 from collections import Counter, defaultdict
 from typing import Dict, FrozenSet, Iterable, Iterator, List, Optional as Opt, Set, Tuple
 
+from ..core.hashing import accumulate, accumulator_hex, item_digest
+
 Triple = Tuple[str, str, str]
 
 
@@ -60,6 +62,9 @@ class TripleStore:
         self._fwd: List[Dict[int, List[int]]] = []
         self._bwd: List[Dict[int, List[int]]] = []
         self._version = 0
+        # order-independent content accumulator (sum of per-triple
+        # digests): fingerprint() derives from it in O(1)
+        self._content_acc = 0
         # memoized frozensets handed out by successors()/predecessors()
         self._succ_cache: Dict[Tuple[str, str], FrozenSet[str]] = {}
         self._pred_cache: Dict[Tuple[str, str], FrozenSet[str]] = {}
@@ -98,12 +103,24 @@ class TripleStore:
         self._fwd[pid].setdefault(sid, []).append(oid)
         self._bwd[pid].setdefault(oid, []).append(sid)
         self._version += 1
+        self._content_acc = accumulate(
+            self._content_acc, item_digest([s, p, o])
+        )
         self._succ_cache.pop((s, p), None)
         self._pred_cache.pop((o, p), None)
         return True
 
     def __len__(self) -> int:
         return self._size
+
+    def __reduce__(self):
+        # the defaultdict-of-lambda indexes are not picklable; ship the
+        # triple list and rebuild on the other side.  The content
+        # fingerprint is order-independent, so the copy reports the
+        # same fingerprint as the original (the mutation counter resets
+        # — it is per-process by design).  Mapped stores override this
+        # to ship only their image path.
+        return (TripleStore, (sorted(self.triples()),))
 
     def __contains__(self, triple: Triple) -> bool:
         s, p, o = triple
@@ -195,17 +212,31 @@ class TripleStore:
         return self._version
 
     def fingerprint(self) -> str:
-        """A cheap monotonic state tag for content-addressed caches.
+        """The persistent content fingerprint of the store's data.
 
-        Mixes the mutation counter with the triple count, so any
-        successful :meth:`add` changes the fingerprint and no later
-        state of the same store ever repeats an earlier tag.  This is a
-        *session* fingerprint (O(1), no hashing of the data): it
-        distinguishes states of one live store, which is exactly what a
-        result cache keyed on it needs — not a portable content digest
-        of the triples.
+        Derived in O(1) from an incrementally maintained accumulator
+        (sum of per-triple SHA-256 digests, see
+        :mod:`repro.core.hashing`), so it is *order-independent* and
+        *portable*: two stores holding the same triples report the same
+        fingerprint regardless of insertion order, process, or machine,
+        and a :class:`~repro.store.mmapstore.MappedTripleStore` opened
+        from an image reports the fingerprint of the store that was
+        frozen.  Any successful :meth:`add` changes it (up to SHA-256
+        collisions), so result caches keyed on it are invalidated by
+        mutation exactly as they were under the old session counter —
+        but now the keys also survive restarts and agree across
+        processes.
         """
-        return f"g{self._version:x}-t{self._size:x}"
+        return f"c{accumulator_hex(self._content_acc, self._size)}-t{self._size:x}"
+
+    def save(self, path) -> str:
+        """Freeze the store into an on-disk mmap image (see
+        :mod:`repro.store.mmapstore` for the format); returns the
+        written fingerprint.  Open it with
+        :meth:`repro.store.mmapstore.MappedTripleStore.load`."""
+        from ..store.mmapstore import write_image
+
+        return write_image(self, path)
 
     def node_count(self) -> int:
         return len(self._node_names)
@@ -224,6 +255,13 @@ class TripleStore:
     def predicate_id(self, name: str) -> Opt[int]:
         """Dense integer id of a predicate, or None if absent."""
         return self._pred_ids.get(name)
+
+    def predicate_names(self) -> List[str]:
+        """All predicate names indexed by their dense ids."""
+        names: List[str] = [""] * len(self._pred_ids)
+        for name, pid in self._pred_ids.items():
+            names[pid] = name
+        return names
 
     def forward_adjacency(self, pid: int) -> Dict[int, List[int]]:
         """``{subject id: [object ids]}`` for one predicate (do not mutate)."""

@@ -26,6 +26,7 @@ from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional as Opt, Tuple
 
+from ..core.parallelism import fanout_chunk_size, pool_width
 from ..sparql.ast import PathPattern, Query
 from ..sparql.features import (
     count_triple_patterns,
@@ -344,6 +345,10 @@ def analyze_many(
     """
     if pool is None and (not workers or workers <= 1):
         return {corpus.source: analyze_corpus(corpus) for corpus in corpora}
+    total_entries = sum(len(corpus.entries) for corpus in corpora)
+    chunk_size = fanout_chunk_size(
+        total_entries, pool_width(workers, pool), chunk_size
+    )
     tasks: List[Tuple[int, Tuple[str, List[Tuple[Query, int]]]]] = []
     for index, corpus in enumerate(corpora):
         entries = corpus.entries

@@ -25,6 +25,12 @@ Layout and invariants
 * A corrupt line (torn write, truncation, garbage) is *skipped and
   counted*, never fatal: the worst outcome of a damaged cache file is a
   re-computed analysis.
+* A shard whose last line was torn (no trailing newline — a writer died
+  mid-append) is *healed* on the next flush: the append starts with a
+  newline so new records never concatenate onto the torn fragment, and
+  the re-computed analysis of the torn key is re-persisted rather than
+  silently lost.  ``durable=True`` additionally fsyncs every flushed
+  shard, for pipelines that must not lose cache warmth to a crash.
 """
 
 from __future__ import annotations
@@ -75,13 +81,20 @@ class AnalysisCache:
         self,
         root: Union[str, Path],
         fingerprint: Opt[str] = None,
+        durable: bool = False,
     ):
         self.root = Path(root)
         self.fingerprint = fingerprint or battery_fingerprint()
         self.directory = self.root / self.fingerprint
+        #: when True, every flush fsyncs each shard (and, after creating
+        #: a shard, its directory) before returning — a crash after
+        #: ``flush`` can no longer lose or tear the appended records
+        self.durable = durable
         self.hits = 0
         self.misses = 0
         self.corrupt_lines = 0
+        #: shard appends that had to heal a torn tail (see ``flush``)
+        self.healed_tails = 0
         self._records: Dict[str, Any] = {}
         self._dirty: Dict[str, Any] = {}
         self._loaded = False
@@ -141,12 +154,45 @@ class AnalysisCache:
         self._records[key] = record
         self._dirty[key] = record
 
+    @staticmethod
+    def _tail_is_torn(path: Path) -> bool:
+        """True when the shard's last byte exists and is not a newline —
+        the signature of an append cut short (crash, full disk, kill)."""
+        try:
+            with open(path, "rb") as handle:
+                handle.seek(0, os.SEEK_END)
+                if handle.tell() == 0:
+                    return False
+                handle.seek(-1, os.SEEK_END)
+                return handle.read(1) != b"\n"
+        except OSError:
+            return False
+
     def flush(self) -> int:
         """Append the staged records to their shards; returns how many
         were written.  One buffered ``write`` per shard keeps concurrent
-        writers line-atomic in practice."""
+        writers line-atomic in practice.
+
+        Two failure modes of plain ``O_APPEND`` appends are handled:
+
+        * **Torn tails.**  A previous writer that died mid-write leaves
+          a final line without a newline.  Appending straight after it
+          would concatenate the first new record onto the torn line,
+          corrupting *both* — the damaged line and a perfectly good new
+          record would be skipped on the next load.  When the shard's
+          last byte is not a newline the append starts with one, so the
+          torn fragment is isolated to exactly one corrupt line and
+          every new record survives.
+        * **Durability.**  By default the appended bytes live in the
+          page cache and a crash shortly after ``flush`` can drop them —
+          acceptable for a cache (the records are re-computed), but not
+          for study pipelines that account on cache warmth.  With
+          ``durable=True`` each shard is fsynced (and a newly created
+          shard's directory entry too) before ``flush`` returns.
+        """
         if not self._dirty:
             return 0
+        created_shard = False
         self.directory.mkdir(parents=True, exist_ok=True)
         by_shard: Dict[Path, list] = {}
         for key, record in self._dirty.items():
@@ -163,6 +209,11 @@ class AnalysisCache:
                 + "\n"
                 for key, record in items
             )
+            if self._tail_is_torn(path):
+                payload = "\n" + payload
+                self.healed_tails += 1
+            if not path.exists():
+                created_shard = True
             descriptor = os.open(
                 str(path),
                 os.O_WRONLY | os.O_CREAT | os.O_APPEND,
@@ -170,9 +221,17 @@ class AnalysisCache:
             )
             try:
                 os.write(descriptor, payload.encode("utf-8"))
+                if self.durable:
+                    os.fsync(descriptor)
             finally:
                 os.close(descriptor)
             written += len(items)
+        if self.durable and created_shard:
+            descriptor = os.open(str(self.directory), os.O_RDONLY)
+            try:
+                os.fsync(descriptor)
+            finally:
+                os.close(descriptor)
         self._dirty.clear()
         return written
 
@@ -197,4 +256,5 @@ class AnalysisCache:
             "hits": self.hits,
             "misses": self.misses,
             "corrupt_lines": self.corrupt_lines,
+            "healed_tails": self.healed_tails,
         }

@@ -39,7 +39,6 @@ the first occurrence of a key it has accepted).
 from __future__ import annotations
 
 import json
-import os
 import pickle
 import time
 import warnings
@@ -60,6 +59,7 @@ from typing import (
 from ..errors import SPARQLParseError
 from ..sparql.ast import Query
 from ..sparql.parser import parse_query
+from ..core.parallelism import fanout_chunk_size, pool_width
 from .analyzer import (
     LogReport,
     apply_analysis,
@@ -219,6 +219,36 @@ def _chunked(items: List, chunk_size: int) -> List[List]:
     ]
 
 
+def _fanout_chunks(items: List, workers: int, chunk_size: int) -> List[List]:
+    """Split ``items`` for a process pool so the pool actually fans out.
+
+    The old fixed-size split quietly serialized moderate workloads: with
+    the default 512-text chunks, any run with fewer than ``512 *
+    workers`` unique texts produced fewer chunks than workers — e.g.
+    1000 unique texts on 4 workers became 2 chunks, idling half the
+    pool while still paying full pool construction and pickling cost.
+    The chunk size is re-derived from the pool width via
+    :func:`~repro.logs.analyzer.fanout_chunk_size`, so ``chunk_size``
+    only caps task payload size, never fan-out.
+    """
+    if not items:
+        return []
+    return _chunked(items, fanout_chunk_size(len(items), workers, chunk_size))
+
+
+def _pool_width(
+    workers: Opt[int], pool: Opt[ProcessPoolExecutor]
+) -> int:
+    """The effective number of workers a parallel stage will run on
+    (defers to the module-level ``_usable_cpus`` so tests can narrow
+    the perceived machine)."""
+    if workers and workers > 1:
+        return workers
+    if pool is not None:
+        return pool_width(None, pool)
+    return _usable_cpus()
+
+
 def _open_cache(cache: CacheSpec) -> Opt[AnalysisCache]:
     if cache is None or isinstance(cache, AnalysisCache):
         return cache
@@ -271,7 +301,8 @@ def stream_corpus(
         )
         try:
             chunks = (pool or own_pool).map(
-                _parse_worker, _chunked(pairs, chunk_size)
+                _parse_worker,
+                _fanout_chunks(pairs, _pool_width(workers, pool), chunk_size),
             )
             parsed = [pair for chunk in chunks for pair in chunk]
         finally:
@@ -299,10 +330,11 @@ def stream_corpus(
 
 
 def _usable_cpus() -> int:
-    try:
-        return len(os.sched_getaffinity(0))
-    except AttributeError:  # pragma: no cover - non-Linux
-        return os.cpu_count() or 1
+    # module-level indirection over the shared helper: tests monkeypatch
+    # this symbol to simulate narrower machines
+    from ..core.parallelism import usable_cpus
+
+    return usable_cpus()
 
 
 #: one-time guard for the workers>1-on-one-CPU warning
@@ -469,7 +501,9 @@ def run_study(
             _warn_sequential_fallback(source, pending, chunk_size)
             parallel = False
         if parallel and len(pending) > 1:
-            chunks = _chunked(pending, chunk_size)
+            chunks = _fanout_chunks(
+                pending, _pool_width(workers, pool), chunk_size
+            )
             stats.chunks = len(chunks)
             own_pool = (
                 ProcessPoolExecutor(max_workers=workers)

@@ -54,6 +54,17 @@ def build_parser() -> argparse.ArgumentParser:
         default=1000,
         help="size of the demo 'foaf' store (0 disables it)",
     )
+    parser.add_argument(
+        "--store",
+        action="append",
+        default=[],
+        metavar="NAME=IMAGE",
+        help=(
+            "register a frozen store image (repeatable): NAME=path to an "
+            "image written by TripleStore.save(); opened memory-mapped, "
+            "read-only, instantly"
+        ),
+    )
     return parser
 
 
@@ -61,6 +72,11 @@ async def _run(args: argparse.Namespace) -> None:
     stores = {}
     if args.demo_people:
         stores["foaf"] = demo_store(args.demo_people)
+    for spec in args.store:
+        name, separator, image = spec.partition("=")
+        if not separator or not name or not image:
+            raise SystemExit(f"--store expects NAME=IMAGE, got {spec!r}")
+        stores[name] = image  # resolved to a mapped store by ServiceCore
     config = ServiceConfig(
         max_workers=args.workers,
         max_queue=args.queue,

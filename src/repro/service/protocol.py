@@ -38,6 +38,7 @@ from ..errors import (
     ProtocolError,
     ServiceError,
     ServiceOverloaded,
+    StoreFrozenError,
 )
 
 #: Hard bound on one frame's JSON payload (requests *and* responses).
@@ -48,7 +49,14 @@ _LENGTH = struct.Struct(">I")
 #: ``code`` -> exception type, for reconstructing typed errors client-side.
 ERROR_TYPES: Dict[str, type] = {
     cls.code: cls
-    for cls in (ServiceError, ServiceOverloaded, DeadlineExceeded, BadRequest, ProtocolError)
+    for cls in (
+        ServiceError,
+        ServiceOverloaded,
+        DeadlineExceeded,
+        BadRequest,
+        ProtocolError,
+        StoreFrozenError,
+    )
 }
 
 

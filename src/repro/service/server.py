@@ -36,14 +36,26 @@ Caching and consistency
 -----------------------
 
 Compute results are cached under ``(endpoint, store fingerprint,
-canonical text, semantics)``.  The store fingerprint is monotone under
-mutation, so a mutation invalidates by *changing the key* of every
-later identical request; entries computed against a superseded
-fingerprint can never be addressed again and age out of the LRU.
-Store reads run under a readers-writer gate (readers concurrent,
-mutations exclusive), so an engine execution never observes a
-half-applied mutation.  Responses always carry the request id and —
-for compute operations — ``served_from: cache | engine``.
+canonical text, semantics)``.  The store fingerprint is a persistent
+*content* digest (order-independent, identical across processes — see
+:meth:`~repro.graphs.rdf.TripleStore.fingerprint`): a mutation
+invalidates by *changing the key* of every later identical request, so
+entries computed against superseded data can never be addressed again
+and age out of the LRU — and because the fingerprint is derived from
+content rather than a session counter, a service restarted over the
+same data (in particular, over a memory-mapped store image) addresses
+exactly the keys its predecessor populated.  Store reads run under a
+readers-writer gate (readers concurrent, mutations exclusive), so an
+engine execution never observes a half-applied mutation.  Responses
+always carry the request id and — for compute operations —
+``served_from: cache | engine``.
+
+Stores may be registered as live :class:`~repro.graphs.rdf.TripleStore`
+objects or as *paths to frozen images* (see
+:mod:`repro.store.mmapstore`), which are opened memory-mapped:
+instant startup, pages shared with any other process serving the same
+image, and ``mutate`` against them failing with the typed
+``store_frozen`` error.
 """
 
 from __future__ import annotations
@@ -54,7 +66,8 @@ import json
 import threading
 import time
 from dataclasses import dataclass
-from typing import Any, Dict, Iterable, List, Optional as Opt, Tuple
+from pathlib import Path
+from typing import Any, Dict, Iterable, List, Optional as Opt, Tuple, Union
 
 from ..errors import (
     BadRequest,
@@ -93,6 +106,23 @@ from .scheduler import DEFAULT_MAX_QUEUE, DEFAULT_MAX_WORKERS, Scheduler
 
 #: operations that go through cache + scheduler
 COMPUTE_OPS = ("rpq", "sparql", "log")
+
+#: what may be registered as a store: a live store, or a path to a
+#: frozen image (opened memory-mapped at registration)
+StoreSpec = Union[TripleStore, str, Path]
+
+
+def _resolve_store(spec: StoreSpec) -> TripleStore:
+    if isinstance(spec, TripleStore):
+        return spec
+    if isinstance(spec, (str, Path)):
+        from ..store.mmapstore import MappedTripleStore
+
+        return MappedTripleStore.load(spec)
+    raise BadRequest(
+        f"a store must be a TripleStore or an image path, not "
+        f"{type(spec).__name__}"
+    )
 
 #: version folded into the sparql endpoint's cache fingerprint; bump
 #: when the endpoint's result payload changes shape
@@ -161,12 +191,14 @@ class ServiceCore:
 
     def __init__(
         self,
-        stores: Opt[Dict[str, TripleStore]] = None,
+        stores: Opt[Dict[str, StoreSpec]] = None,
         config: Opt[ServiceConfig] = None,
         executor=None,
     ):
         self.config = config or ServiceConfig()
-        self.stores: Dict[str, TripleStore] = dict(stores or {})
+        self.stores: Dict[str, TripleStore] = {
+            name: _resolve_store(spec) for name, spec in (stores or {}).items()
+        }
         self._gates: Dict[str, _StoreGate] = {
             name: _StoreGate() for name in self.stores
         }
@@ -178,8 +210,9 @@ class ServiceCore:
         self.cache = ResultCache(self.config.cache_entries)
         self.metrics = ServiceMetrics()
 
-    def add_store(self, name: str, store: TripleStore) -> None:
-        self.stores[name] = store
+    def add_store(self, name: str, store: StoreSpec) -> None:
+        """Register a live store or a frozen-image path under ``name``."""
+        self.stores[name] = _resolve_store(store)
         self._gates[name] = _StoreGate()
 
     def close(self) -> None:
@@ -466,6 +499,7 @@ class ServiceCore:
                 name: {
                     "triples": len(store),
                     "fingerprint": store.fingerprint(),
+                    "frozen": hasattr(store, "path"),
                 }
                 for name, store in sorted(self.stores.items())
             },
@@ -482,7 +516,7 @@ class EmbeddedService(RequestAPI):
 
     def __init__(
         self,
-        stores: Opt[Dict[str, TripleStore]] = None,
+        stores: Opt[Dict[str, StoreSpec]] = None,
         config: Opt[ServiceConfig] = None,
         executor=None,
     ):
@@ -529,7 +563,7 @@ class ReproServer:
 
     def __init__(
         self,
-        stores: Opt[Dict[str, TripleStore]] = None,
+        stores: Opt[Dict[str, StoreSpec]] = None,
         config: Opt[ServiceConfig] = None,
         host: str = "127.0.0.1",
         port: int = 0,
@@ -618,7 +652,7 @@ class ReproServer:
 
 
 async def serve(
-    stores: Opt[Dict[str, TripleStore]] = None,
+    stores: Opt[Dict[str, StoreSpec]] = None,
     config: Opt[ServiceConfig] = None,
     host: str = "127.0.0.1",
     port: int = 0,

@@ -845,6 +845,92 @@ class FusedBatteryOracle(Oracle):
         return text_candidates(case)
 
 
+# ---------------------------------------------------------------------------
+# Mapped store: the mmap image vs the in-memory store it was frozen from
+# ---------------------------------------------------------------------------
+
+
+class MmapStoreOracle(Oracle):
+    name = "mmap-store"
+    description = (
+        "MappedTripleStore (frozen mmap image) vs the in-memory "
+        "TripleStore across every query family"
+    )
+
+    def generate(self, rng: random.Random) -> Dict[str, Any]:
+        return random_rpq_case(rng)
+
+    def check(self, case: Dict[str, Any]) -> Opt[str]:
+        import os
+
+        from ..store.mmapstore import MappedTripleStore
+
+        store = TripleStore()
+        for s, p, o in case["triples"]:
+            store.add(s, p, o)
+        expr = regex_from_json(case["expr"])
+        source, target = case["source"], case["target"]
+        with tempfile.TemporaryDirectory() as tmp:
+            fingerprint = store.save(os.path.join(tmp, "case.img"))
+            with MappedTripleStore.load(os.path.join(tmp, "case.img")) as mapped:
+                if fingerprint != store.fingerprint():
+                    return (
+                        f"save() returned {fingerprint}, live store says "
+                        f"{store.fingerprint()}"
+                    )
+                if mapped.fingerprint() != store.fingerprint():
+                    return (
+                        f"fingerprint divergence: mapped="
+                        f"{mapped.fingerprint()} live={store.fingerprint()}"
+                    )
+                if set(mapped.triples()) != set(store.triples()):
+                    return "triple-set divergence after save/load"
+                if mapped.nodes() != store.nodes() or (
+                    mapped.predicates() != store.predicates()
+                ):
+                    return "node/predicate-set divergence after save/load"
+                fast = evaluate_rpq(store, expr)
+                frozen = evaluate_rpq(mapped, expr)
+                if fast != frozen:
+                    return (
+                        f"walk all-pairs divergence: live-only="
+                        f"{sorted(fast - frozen)} mapped-only="
+                        f"{sorted(frozen - fast)}"
+                    )
+                fast = evaluate_rpq(
+                    store, expr, sources=[source], targets=[target]
+                )
+                frozen = evaluate_rpq(
+                    mapped, expr, sources=[source], targets=[target]
+                )
+                if fast != frozen:
+                    return (
+                        f"walk filtered divergence at ({source}, {target}): "
+                        f"live={sorted(fast)} mapped={sorted(frozen)}"
+                    )
+                for semantics, decide in (
+                    ("simple", exists_simple_path),
+                    ("trail", exists_trail),
+                ):
+                    live = decide(store, expr, source, target)
+                    image = decide(mapped, expr, source, target)
+                    if live != image:
+                        return (
+                            f"{semantics}-path divergence at "
+                            f"({source}, {target}): live={live} mapped={image}"
+                        )
+        return None
+
+    def shrink_candidates(
+        self, case: Dict[str, Any]
+    ) -> Iterable[Dict[str, Any]]:
+        for triples in sequence_candidates(case["triples"]):
+            yield {**case, "triples": triples}
+        expr = regex_from_json(case["expr"])
+        for candidate in _regex_candidates(expr):
+            yield {**case, "expr": regex_to_json(candidate)}
+
+
 ORACLES: Dict[str, Oracle] = {
     oracle.name: oracle
     for oracle in (
@@ -857,5 +943,6 @@ ORACLES: Dict[str, Oracle] = {
         ServiceOracle(),
         LexerOracle(),
         FusedBatteryOracle(),
+        MmapStoreOracle(),
     )
 }

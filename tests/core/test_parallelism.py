@@ -1,0 +1,82 @@
+"""The shared fan-out math (repro.core.parallelism).
+
+The original bug: chunk count was derived from a fixed chunk size, so a
+moderate workload on many workers produced fewer chunks than workers and
+the pool quietly serialized.  The invariant now is chunks >= workers
+whenever there is enough work to go around.
+"""
+
+import math
+
+from repro.core.parallelism import (
+    FANOUT_PER_WORKER,
+    fanout_chunk_size,
+    fanout_chunks,
+    pool_width,
+    usable_cpus,
+)
+
+
+class FakePool:
+    def __init__(self, max_workers):
+        self._max_workers = max_workers
+
+
+class TestChunkMath:
+    def chunks_for(self, total, workers, chunk_size):
+        size = fanout_chunk_size(total, workers, chunk_size)
+        return math.ceil(total / size) if total else 0
+
+    def test_moderate_workload_fans_out_past_the_chunk_cap(self):
+        # the original failure: 1000 entries, 4 workers, cap 512
+        # produced 2 chunks — half the pool sat idle
+        assert self.chunks_for(1000, 4, 512) >= 4
+
+    def test_chunks_never_fewer_than_workers_when_work_suffices(self):
+        for total in (7, 64, 500, 1000, 39220):
+            for workers in (1, 2, 4, 8):
+                for cap in (16, 512, 4096):
+                    chunks = self.chunks_for(total, workers, cap)
+                    assert chunks >= min(total, workers), (
+                        total,
+                        workers,
+                        cap,
+                    )
+
+    def test_target_is_fanout_per_worker_multiples(self):
+        assert self.chunks_for(10_000, 4, 10_000) == 4 * FANOUT_PER_WORKER
+
+    def test_chunk_size_cap_still_binds_for_huge_inputs(self):
+        size = fanout_chunk_size(1_000_000, 2, 512)
+        assert size <= 512
+
+    def test_tiny_inputs_one_item_per_chunk(self):
+        assert fanout_chunk_size(3, 8, 512) == 1
+
+    def test_empty_input(self):
+        assert fanout_chunk_size(0, 4, 512) >= 1
+
+
+class TestFanoutChunks:
+    def test_partitions_preserve_order_and_cover_everything(self):
+        items = list(range(1000))
+        chunks = fanout_chunks(items, 4, 512)
+        assert len(chunks) >= 4
+        assert [x for chunk in chunks for x in chunk] == items
+
+    def test_empty(self):
+        assert fanout_chunks([], 4, 512) == []
+
+
+class TestPoolWidth:
+    def test_explicit_workers_win(self):
+        assert pool_width(3, FakePool(8)) == 3
+
+    def test_pool_max_workers_is_read(self):
+        assert pool_width(None, FakePool(8)) == 8
+
+    def test_defaults_to_usable_cpus(self):
+        assert pool_width(None, None) == usable_cpus()
+
+    def test_pool_without_the_attribute_falls_back(self):
+        assert pool_width(None, object()) == usable_cpus()

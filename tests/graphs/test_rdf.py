@@ -178,8 +178,9 @@ class TestInterningLayer:
 
 
 class TestFingerprint:
-    """The O(1) session fingerprint that content-addresses cached
-    results over a mutable store."""
+    """The O(1) *content* fingerprint that content-addresses cached
+    results over a store: order-independent and portable across
+    processes, yet changed by every successful mutation."""
 
     def test_stable_while_unmutated(self):
         store = small_store()
@@ -200,15 +201,19 @@ class TestFingerprint:
         assert not store.add("a", "p", "b")
         assert store.fingerprint() == before
 
-    def test_tracks_version_and_size(self):
+    def test_shape_is_content_digest_plus_size(self):
         store = small_store()
-        assert store.fingerprint() == (
-            f"g{store.version:x}-t{len(store):x}"
-        )
+        fingerprint = store.fingerprint()
+        digest, _, size = fingerprint.partition("-")
+        assert digest.startswith("c") and size == f"t{len(store):x}"
+        # derived from content, not from the session mutation counter:
+        # a rebuilt store with a different version history agrees
+        rebuilt = TripleStore(sorted(store.triples()))
+        assert rebuilt.fingerprint() == fingerprint
 
-    def test_monotone_never_reuses_an_old_value(self):
+    def test_growth_never_reuses_an_old_value(self):
         # growth-only stores cannot return to a previous fingerprint:
-        # the version counter only moves forward
+        # the triple set only gains elements, and the digest tracks it
         store = TripleStore()
         history = []
         for i in range(50):
@@ -217,8 +222,25 @@ class TestFingerprint:
         assert len(set(history)) == len(history)
 
     def test_independent_stores_with_same_content_match(self):
-        # the fingerprint is a *session* identity: two stores built by
-        # the same sequence of adds agree (useful for replay tests)
         a = small_store()
         b = small_store()
         assert a.fingerprint() == b.fingerprint()
+
+    def test_insertion_order_does_not_matter(self):
+        triples = [(f"s{i}", f"p{i % 3}", f"o{i % 7}") for i in range(25)]
+        forward = TripleStore(triples)
+        backward = TripleStore(reversed(triples))
+        assert forward.fingerprint() == backward.fingerprint()
+
+    def test_different_content_diverges(self):
+        a = TripleStore([("a", "p", "b")])
+        b = TripleStore([("a", "p", "c")])
+        assert a.fingerprint() != b.fingerprint()
+
+    def test_pickle_round_trip_preserves_it(self):
+        import pickle
+
+        store = small_store()
+        copy = pickle.loads(pickle.dumps(store))
+        assert set(copy.triples()) == set(store.triples())
+        assert copy.fingerprint() == store.fingerprint()

@@ -128,6 +128,83 @@ class TestCorruptionRecovery:
         assert len(cache) == 0
 
 
+class TestTornTailHealing:
+    def torn_shard(self, tmp_path):
+        """A cache whose shard ends mid-record, as a crash leaves it."""
+        cache = AnalysisCache(tmp_path)
+        good = "a" * 64
+        torn = "ab" + "c" * 62  # lands in its own shard (shard-ab)
+        cache.put(good, sample_record())
+        cache.put(torn, sample_record())
+        cache.flush()
+        shard = tmp_path / cache.fingerprint / "shard-ab.jsonl"
+        data = shard.read_bytes()
+        shard.write_bytes(data[: len(data) - 30])  # tear the tail
+        return good, torn, shard
+
+    def test_truncated_tail_is_reanalyzed_not_lost(self, tmp_path):
+        good, torn, _shard = self.torn_shard(tmp_path)
+        reopened = AnalysisCache(tmp_path)
+        hit, record = reopened.get(good)
+        assert hit and record == sample_record()
+        hit, _ = reopened.get(torn)
+        assert not hit  # torn record degrades to a miss → re-analyzed
+        assert reopened.corrupt_lines == 1
+
+    def test_append_after_tear_heals_the_boundary(self, tmp_path):
+        good, torn, shard = self.torn_shard(tmp_path)
+        assert AnalysisCache._tail_is_torn(shard)
+        healer = AnalysisCache(tmp_path)
+        healer.get(torn)  # miss: caller re-analyzes…
+        healer.put(torn, sample_record())  # …and re-caches
+        assert healer.flush() == 1
+        assert healer.healed_tails == 1
+        assert not AnalysisCache._tail_is_torn(shard)
+        # the corruption stayed isolated to one line: both records load
+        final = AnalysisCache(tmp_path)
+        assert final.get(good) == (True, sample_record())
+        assert final.get(torn) == (True, sample_record())
+        assert final.corrupt_lines == 1
+        assert "healed_tails" in AnalysisCache(tmp_path).stats()
+
+    def test_clean_tail_is_not_healed(self, tmp_path):
+        cache = AnalysisCache(tmp_path)
+        cache.put("a" * 64, sample_record())
+        cache.flush()
+        cache.put("ab" + "c" * 62, sample_record())
+        cache.flush()
+        assert cache.healed_tails == 0
+
+    def test_missing_shard_is_not_torn(self, tmp_path):
+        assert not AnalysisCache._tail_is_torn(tmp_path / "absent.jsonl")
+
+
+class TestDurable:
+    def test_durable_flush_round_trips(self, tmp_path):
+        cache = AnalysisCache(tmp_path, durable=True)
+        cache.put("a" * 64, sample_record())
+        assert cache.flush() == 1
+        reopened = AnalysisCache(tmp_path)
+        assert reopened.get("a" * 64) == (True, sample_record())
+
+    def test_durable_is_opt_in(self, tmp_path):
+        assert AnalysisCache(tmp_path).durable is False
+        assert AnalysisCache(tmp_path, durable=True).durable is True
+
+    def test_durable_heals_torn_tails_too(self, tmp_path):
+        cache = AnalysisCache(tmp_path, durable=True)
+        key = "a" * 64
+        cache.put(key, sample_record())
+        cache.flush()
+        shard = tmp_path / cache.fingerprint / "shard-aa.jsonl"
+        shard.write_bytes(shard.read_bytes()[:-5])
+        healer = AnalysisCache(tmp_path, durable=True)
+        healer.put(key, sample_record())
+        healer.flush()
+        assert healer.healed_tails == 1
+        assert AnalysisCache(tmp_path).get(key) == (True, sample_record())
+
+
 def _concurrent_writer(args):
     """Module-level so the process pool can pickle it by reference."""
     root, start, count = args

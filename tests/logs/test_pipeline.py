@@ -243,6 +243,71 @@ class TestCorpusCounters:
         assert rebuilt.unique == 2
 
 
+class FakePool:
+    """A lent 'pool' that records the tasks it is handed and runs them
+    inline — wide enough on paper (``_max_workers``) to expose the
+    fan-out bug on a 1-CPU test host."""
+
+    def __init__(self, max_workers=4):
+        self._max_workers = max_workers
+        self.task_counts = []
+
+    def map(self, fn, chunks):
+        chunks = list(chunks)
+        self.task_counts.append(len(chunks))
+        return [fn(chunk) for chunk in chunks]
+
+
+class TestFanoutRegression:
+    """The parallel fan-out bug: a fixed chunk size turned moderate
+    workloads into fewer chunks than workers, quietly idling most of the
+    pool.  Chunk count must now scale with pool width."""
+
+    def make_texts(self, total):
+        return generate_source_log(DBPEDIA, total=total, seed=5)
+
+    def test_run_study_fans_out_at_least_pool_width(self):
+        # 160 entries with the default chunk_size=512 used to produce a
+        # single chunk; a 4-wide pool ran the whole study serially
+        texts = self.make_texts(160)
+        pool = FakePool(max_workers=4)
+        report = run_study("DBpedia", texts, pool=pool)
+        assert report.stats.chunks >= 4
+        assert_reports_identical(
+            report,
+            analyze_corpus(QueryLogCorpus.from_texts("DBpedia", texts)),
+        )
+
+    def test_stream_corpus_fans_out_at_least_pool_width(self):
+        texts = self.make_texts(160)
+        pool = FakePool(max_workers=4)
+        corpus = stream_corpus("DBpedia", texts, pool=pool)
+        assert pool.task_counts and pool.task_counts[0] >= 4
+        reference = QueryLogCorpus.from_texts("DBpedia", texts)
+        assert corpus.table2_row() == reference.table2_row()
+
+    def test_analyze_many_fans_out_at_least_pool_width(self):
+        texts = self.make_texts(120)
+        corpus = QueryLogCorpus.from_texts("DBpedia", texts)
+        pool = FakePool(max_workers=4)
+        out = analyze_many([corpus], pool=pool)
+        assert pool.task_counts and pool.task_counts[0] >= 4
+        assert_reports_identical(out["DBpedia"], analyze_corpus(corpus))
+
+    def test_explicit_workers_override_pool_width(self):
+        texts = self.make_texts(160)
+        pool = FakePool(max_workers=1)
+        report = run_study("DBpedia", texts, workers=8, pool=pool)
+        assert report.stats.chunks >= 8
+
+    def test_small_inputs_still_one_item_chunks(self):
+        texts = self.make_texts(3)
+        pool = FakePool(max_workers=4)
+        report = run_study("DBpedia", texts, pool=pool)
+        # not enough work for every worker: one entry per chunk, no more
+        assert report.stats.chunks <= 3
+
+
 class TestAnalyzeManyFixes:
     def test_empty_corpus_spawns_no_chunk(self):
         empty = QueryLogCorpus("empty")

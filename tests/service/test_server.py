@@ -8,7 +8,7 @@ import threading
 
 import pytest
 
-from repro.errors import ServiceOverloaded
+from repro.errors import ServiceOverloaded, StoreFrozenError
 from repro.graphs.paths import evaluate_rpq
 from repro.graphs.rdf import TripleStore
 from repro.regex.parser import parse as parse_regex
@@ -76,6 +76,36 @@ def test_tcp_round_trip_matches_direct_engine_call():
                 assert result["pairs"] == sorted(
                     list(p) for p in expected
                 )
+
+    run(scenario())
+
+
+def test_frozen_image_serves_and_rejects_mutation_typed(tmp_path):
+    async def scenario():
+        store = small_store()
+        image = tmp_path / "g.img"
+        store.save(image)
+        # registered by path: the server opens the image memory-mapped
+        async with ReproServer({"g": str(image)}) as server:
+            async with await connect(*server.address) as client:
+                result = await client.rpq("g", "p p* q")
+                expected = evaluate_rpq(
+                    store, parse_regex("p p* q", multi_char=True)
+                )
+                assert result["pairs"] == sorted(
+                    list(p) for p in expected
+                )
+                stats = await client.stats()
+                assert stats["stores"]["g"]["frozen"] is True
+                assert (
+                    stats["stores"]["g"]["fingerprint"]
+                    == store.fingerprint()
+                )
+                # the typed error must survive the wire round trip as
+                # the same exception type an in-process caller gets
+                with pytest.raises(StoreFrozenError) as excinfo:
+                    await client.mutate("g", [("x", "p", "y")])
+                assert excinfo.value.code == "store_frozen"
 
     run(scenario())
 
