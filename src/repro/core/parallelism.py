@@ -48,6 +48,19 @@ def pool_width(workers: Opt[int], pool=None) -> int:
     return usable_cpus()
 
 
+def default_shard_count(requested: Opt[int] = None) -> int:
+    """How many store shards a deployment should run: an explicit
+    request wins, else one shard per usable CPU.  Sharding is
+    process-level parallelism, so oversubscribing CPUs only adds
+    scatter overhead — but a single-CPU host still gets one shard
+    (the layout is about partitioning, not just speed)."""
+    if requested is not None:
+        if requested < 1:
+            raise ValueError("a sharded deployment needs at least one shard")
+        return requested
+    return usable_cpus()
+
+
 def fanout_chunk_size(total: int, workers: int, chunk_size: int) -> int:
     """The effective per-task chunk size for a pool of ``workers``.
 

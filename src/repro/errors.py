@@ -131,6 +131,27 @@ class ProtocolError(ServiceError):
     code = "protocol_error"
 
 
+class StoreUnavailableError(ServiceError):
+    """A registered store could not be opened: the image or shard
+    manifest path is missing, unreadable, or corrupt.
+
+    Raised instead of the bare ``FileNotFoundError`` /
+    :class:`StoreImageError` the resolution would otherwise leak, so the
+    wire protocol can transport a stable code and a remote client
+    reconstructs the same typed exception an embedded caller sees."""
+
+    code = "store_unavailable"
+
+
+class ShardError(ServiceError):
+    """A sharded deployment failed structurally: no live worker for a
+    shard after failover and respawn, or a shard answered with a
+    malformed partial.  Per-query engine errors are *not* shard errors —
+    they propagate under their own types."""
+
+    code = "shard_error"
+
+
 class StoreFrozenError(ServiceError):
     """A mutation was attempted on a frozen (memory-mapped) store.
 

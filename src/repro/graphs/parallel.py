@@ -35,7 +35,9 @@ DEFAULT_CHUNK_SIZE = 16
 
 
 def _rpq_batch(
-    payload: Tuple[TripleStore, List[Regex], Opt[List[str]]]
+    payload: Tuple[
+        TripleStore, List[Regex], Opt[List[str]], Opt[List[str]]
+    ]
 ) -> List[Set[Tuple[str, str]]]:
     """Process-pool worker: evaluate one chunk of expressions.
 
@@ -44,9 +46,9 @@ def _rpq_batch(
     repeated tasks in one worker share one mapping *and* one engine
     specialization cache.
     """
-    store, exprs, sources = payload
+    store, exprs, sources, targets = payload
     return [
-        compile_rpq(expr).evaluate(store, sources=sources)
+        compile_rpq(expr).evaluate(store, sources=sources, targets=targets)
         for expr in exprs
     ]
 
@@ -56,6 +58,7 @@ def evaluate_rpq_many(
     exprs: Sequence[Regex],
     workers: Opt[int] = None,
     sources: Opt[Iterable[str]] = None,
+    targets: Opt[Iterable[str]] = None,
     chunk_size: Opt[int] = None,
     pool: Opt[ProcessPoolExecutor] = None,
 ) -> List[Set[Tuple[str, str]]]:
@@ -63,22 +66,29 @@ def evaluate_rpq_many(
 
     Each answer is the full ``{(source, target)}`` pair set of
     :meth:`CompiledRPQ.evaluate` (restricted to ``sources`` when
-    given).  With ``workers`` > 1 — or a lent ``pool``, which is
-    borrowed and left running — the expressions are fanned out over a
-    process pool; otherwise they are evaluated inline.  The single-CPU
-    downgrade mirrors :func:`repro.logs.pipeline.run_study`: a pool
-    cannot win on one usable core, so the call quietly runs inline.
+    given; ``targets`` filters the answers, not the exploration —
+    the same contract as :func:`repro.graphs.paths.evaluate_rpq` and
+    the service's ``rpq`` endpoint).  With ``workers`` > 1 — or a lent
+    ``pool``, which is borrowed and left running — the expressions are
+    fanned out over a process pool; otherwise they are evaluated
+    inline.  The single-CPU downgrade mirrors
+    :func:`repro.logs.pipeline.run_study`: a pool cannot win on one
+    usable core, so the call quietly runs inline.
     """
     exprs = list(exprs)
     if not exprs:
         return []
     source_list = list(sources) if sources is not None else None
+    target_list = list(targets) if targets is not None else None
     parallel = pool is not None or (workers and workers > 1)
     if parallel and pool is None and usable_cpus() < 2:
         parallel = False
     if not parallel or len(exprs) == 1:
         plans: List[CompiledRPQ] = [compile_rpq(expr) for expr in exprs]
-        return [plan.evaluate(store, sources=source_list) for plan in plans]
+        return [
+            plan.evaluate(store, sources=source_list, targets=target_list)
+            for plan in plans
+        ]
     chunk_size = chunk_size or DEFAULT_CHUNK_SIZE
     chunks = fanout_chunks(exprs, pool_width(workers, pool), chunk_size)
     own_pool = (
@@ -88,7 +98,10 @@ def evaluate_rpq_many(
         batches = list(
             (pool or own_pool).map(
                 _rpq_batch,
-                [(store, chunk, source_list) for chunk in chunks],
+                [
+                    (store, chunk, source_list, target_list)
+                    for chunk in chunks
+                ],
             )
         )
     finally:

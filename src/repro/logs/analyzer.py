@@ -385,6 +385,79 @@ def analyze_many(
     return out
 
 
+def _encode_key(key) -> object:
+    """A JSON-able tagged form of one counter key.
+
+    Counter keys are strings, ints, bools, or tuples of those
+    (operator sets, path classes); JSON cannot key objects by tuple and
+    would conflate ``True``/``1`` and ``"3"``/``3``, so every key is
+    tagged with its type and restored exactly by :func:`_decode_key`.
+    """
+    if isinstance(key, bool):
+        return ["b", key]
+    if isinstance(key, int):
+        return ["i", key]
+    if isinstance(key, str):
+        return ["s", key]
+    if isinstance(key, tuple):
+        return ["t", [_encode_key(part) for part in key]]
+    if key is None:
+        return ["n"]
+    raise TypeError(f"unencodable counter key: {key!r}")
+
+
+def _decode_key(encoded) -> object:
+    tag = encoded[0]
+    if tag == "b":
+        return bool(encoded[1])
+    if tag == "i":
+        return int(encoded[1])
+    if tag == "s":
+        return encoded[1]
+    if tag == "t":
+        return tuple(_decode_key(part) for part in encoded[1])
+    if tag == "n":
+        return None
+    raise ValueError(f"unknown counter-key tag: {tag!r}")
+
+
+def encode_report(report: LogReport) -> Dict[str, object]:
+    """The JSON-able form of a :class:`LogReport` — the battery
+    endpoint's wire payload, and how sharded workers ship counter
+    partials to the coordinator.  :func:`decode_report` restores a
+    report whose counters compare equal (``stats`` is not carried)."""
+    return {
+        "source": report.source,
+        "total": report.total,
+        "valid": report.valid,
+        "unique": report.unique,
+        "counters": {
+            attribute: [
+                [_encode_key(key), valid, unique]
+                for key, valid, unique in getattr(report, attribute).items()
+            ]
+            for attribute in COUNTER_FIELDS
+        },
+    }
+
+
+def decode_report(payload: Dict[str, object]) -> LogReport:
+    """The :class:`LogReport` a :func:`encode_report` payload encodes."""
+    report = LogReport(
+        payload["source"],
+        payload["total"],
+        payload["valid"],
+        payload["unique"],
+    )
+    for attribute in COUNTER_FIELDS:
+        counter: VUCounter = getattr(report, attribute)
+        for encoded, valid, unique in payload["counters"][attribute]:
+            key = _decode_key(encoded)
+            counter.valid[key] = valid
+            counter.unique[key] = unique
+    return report
+
+
 def combine_reports(
     reports: List[LogReport], name: str = "combined"
 ) -> LogReport:

@@ -8,21 +8,37 @@ per-request deadlines, single-flight deduplication of identical
 in-flight requests, a content-addressed result cache, and per-endpoint
 metrics with latency percentiles.
 
+Stores can be served from memory, from one frozen mmap image, or —
+new in wire v2 — from a *sharded deployment*: a directory of per-shard
+images written by :func:`shard_store`, attached zero-copy by a pool of
+worker processes and evaluated scatter-gather by :class:`ShardGroup`.
+The request/response messages now have typed dataclass forms
+(:class:`RpqRequest` … :class:`StatsResponse`) alongside the
+deprecated dict encoding.
+
 Public surface:
 
+* Opening: :func:`open_service` — one factory for every deployment
+  shape (stores dict → embedded, ``"host:port"`` or tuple → TCP)
 * Serving: :class:`ReproServer`, :func:`serve`, :class:`ServiceCore`,
   :class:`ServiceConfig`, :class:`EmbeddedService` (in-process, same
   caller API)
 * Calling: :class:`ServiceClient`, :func:`connect`, :class:`RequestAPI`
+* Sharding: :func:`shard_store`, :class:`ShardGroup`,
+  :class:`ShardManifest`
 * Scheduling: :class:`Scheduler`
 * Caching: :class:`ResultCache`, :func:`result_key`
 * Metrics: :class:`ServiceMetrics`, :class:`LatencyHistogram`
-* Protocol: :mod:`repro.service.protocol`
+* Protocol: :mod:`repro.service.protocol` — ``WIRE_VERSION``, the
+  typed :class:`Request` / :class:`Response` families
 * Typed errors (re-exported from :mod:`repro.errors`):
   :class:`ServiceError`, :class:`ServiceOverloaded`,
-  :class:`DeadlineExceeded`, :class:`BadRequest`, :class:`ProtocolError`
+  :class:`DeadlineExceeded`, :class:`BadRequest`,
+  :class:`ProtocolError`, :class:`StoreFrozenError`,
+  :class:`StoreUnavailableError`, :class:`ShardError`
 
-Run a demo server with ``python -m repro.service --port 7411``.
+Run a demo server with ``python -m repro.service --port 7411``
+(add ``--shards 4`` to serve the demo store sharded).
 """
 
 from ..errors import (
@@ -31,9 +47,33 @@ from ..errors import (
     ProtocolError,
     ServiceError,
     ServiceOverloaded,
+    ShardError,
+    StoreFrozenError,
+    StoreUnavailableError,
 )
 from .client import RequestAPI, ServiceClient, connect
 from .metrics import EndpointMetrics, LatencyHistogram, ServiceMetrics
+from .protocol import (
+    WIRE_VERSION,
+    BatteryRequest,
+    BatteryResponse,
+    ErrorResponse,
+    LogBatteryRequest,
+    LogBatteryResponse,
+    MutateRequest,
+    MutateResponse,
+    PingRequest,
+    PingResponse,
+    Request,
+    Response,
+    RpqRequest,
+    RpqResponse,
+    SparqlRequest,
+    SparqlResponse,
+    StatsRequest,
+    StatsResponse,
+    parse_response,
+)
 from .resultcache import ResultCache, result_key
 from .scheduler import Scheduler
 from .server import (
@@ -42,20 +82,35 @@ from .server import (
     ReproServer,
     ServiceConfig,
     ServiceCore,
+    open_service,
     serve,
 )
+from .shard import ShardGroup, ShardManifest, shard_store
 
 __all__ = [
     "BadRequest",
+    "BatteryRequest",
+    "BatteryResponse",
     "COMPUTE_OPS",
     "DeadlineExceeded",
     "EmbeddedService",
     "EndpointMetrics",
+    "ErrorResponse",
     "LatencyHistogram",
+    "LogBatteryRequest",
+    "LogBatteryResponse",
+    "MutateRequest",
+    "MutateResponse",
+    "PingRequest",
+    "PingResponse",
     "ProtocolError",
     "ReproServer",
+    "Request",
     "RequestAPI",
+    "Response",
     "ResultCache",
+    "RpqRequest",
+    "RpqResponse",
     "Scheduler",
     "ServiceClient",
     "ServiceConfig",
@@ -63,7 +118,20 @@ __all__ = [
     "ServiceError",
     "ServiceMetrics",
     "ServiceOverloaded",
+    "ShardError",
+    "ShardGroup",
+    "ShardManifest",
+    "SparqlRequest",
+    "SparqlResponse",
+    "StatsRequest",
+    "StatsResponse",
+    "StoreFrozenError",
+    "StoreUnavailableError",
+    "WIRE_VERSION",
     "connect",
+    "open_service",
+    "parse_response",
     "result_key",
     "serve",
+    "shard_store",
 ]

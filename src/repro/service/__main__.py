@@ -16,10 +16,13 @@ from __future__ import annotations
 import argparse
 import asyncio
 import random
+import tempfile
+from pathlib import Path
 
 from ..graphs.generator import foaf_rdf
 from ..graphs.rdf import TripleStore
 from .server import ReproServer, ServiceConfig
+from .shard import shard_store
 
 
 def demo_store(num_people: int) -> TripleStore:
@@ -58,12 +61,38 @@ def build_parser() -> argparse.ArgumentParser:
         "--store",
         action="append",
         default=[],
-        metavar="NAME=IMAGE",
+        metavar="NAME=PATH",
         help=(
-            "register a frozen store image (repeatable): NAME=path to an "
-            "image written by TripleStore.save(); opened memory-mapped, "
-            "read-only, instantly"
+            "register a frozen store (repeatable): NAME=path to an image "
+            "written by TripleStore.save() (opened memory-mapped, "
+            "read-only, instantly) or to a shard directory written by "
+            "shard_store() (served scatter-gather by worker processes)"
         ),
+    )
+    parser.add_argument(
+        "--shards",
+        type=int,
+        default=0,
+        metavar="N",
+        help=(
+            "shard the demo store into N per-predicate-hash images "
+            "(under a temp directory) and serve it scatter-gather "
+            "across N worker processes (0 = serve in-process)"
+        ),
+    )
+    parser.add_argument(
+        "--replicas",
+        type=int,
+        default=1,
+        metavar="R",
+        help="worker attachments per shard (failover targets)",
+    )
+    parser.add_argument(
+        "--health-interval",
+        type=float,
+        default=None,
+        metavar="SECONDS",
+        help="ping shard workers this often, respawning dead ones",
     )
     return parser
 
@@ -71,16 +100,27 @@ def build_parser() -> argparse.ArgumentParser:
 async def _run(args: argparse.Namespace) -> None:
     stores = {}
     if args.demo_people:
-        stores["foaf"] = demo_store(args.demo_people)
+        demo = demo_store(args.demo_people)
+        if args.shards:
+            shard_dir = Path(tempfile.mkdtemp(prefix="repro-shards-"))
+            shard_store(demo, shard_dir, shards=args.shards)
+            print(
+                f"demo store sharded {args.shards} ways under {shard_dir}"
+            )
+            stores["foaf"] = shard_dir
+        else:
+            stores["foaf"] = demo
     for spec in args.store:
-        name, separator, image = spec.partition("=")
-        if not separator or not name or not image:
-            raise SystemExit(f"--store expects NAME=IMAGE, got {spec!r}")
-        stores[name] = image  # resolved to a mapped store by ServiceCore
+        name, separator, path = spec.partition("=")
+        if not separator or not name or not path:
+            raise SystemExit(f"--store expects NAME=PATH, got {spec!r}")
+        stores[name] = path  # image or shard dir; ServiceCore resolves
     config = ServiceConfig(
         max_workers=args.workers,
         max_queue=args.queue,
         cache_entries=args.cache_entries,
+        shard_replicas=args.replicas,
+        health_check_interval=args.health_interval,
     )
     async with ReproServer(
         stores, config, host=args.host, port=args.port

@@ -1,13 +1,21 @@
 """The asyncio client and the caller API shared with the embedded service.
 
 :class:`RequestAPI` is the surface every caller programs against —
-:meth:`~RequestAPI.call` plus typed convenience wrappers per operation
-— implemented over a single abstract :meth:`~RequestAPI.request`.
-:class:`ServiceClient` implements it over a TCP connection;
+typed requests through :meth:`~RequestAPI.send`, convenience wrappers
+per operation, and the legacy ``request``/``call`` dict entry points —
+implemented over a single abstract :meth:`~RequestAPI.request_message`
+(one raw message dict in, one response envelope out).
+:class:`ServiceClient` implements that primitive over a TCP connection;
 :class:`~repro.service.server.EmbeddedService` implements it over an
 in-process core.  Code written against the API runs unchanged on
-either, which is what the differential oracle and the degradation
+either, which is what the differential oracles and the degradation
 tests rely on.
+
+The convenience wrappers construct typed v2 requests (see
+:mod:`repro.service.protocol`), so ordinary callers are on the current
+wire encoding without thinking about it; ``request(op, params)`` still
+sends the deprecated version-less encoding for code that migrates
+later.
 
 The client multiplexes: requests are written as they are made, a
 single reader task dispatches responses to per-id futures, so any
@@ -25,15 +33,39 @@ from typing import Any, Dict, List, Optional as Opt, Sequence, Tuple
 from ..errors import ServiceError
 from .protocol import (
     MAX_FRAME_BYTES,
+    BatteryRequest,
+    LogBatteryRequest,
+    MutateRequest,
+    PingRequest,
+    Request,
+    RpqRequest,
+    SparqlRequest,
+    StatsRequest,
     encode_frame,
     error_from_response,
+    parse_response,
     read_frame,
 )
 
 
 class RequestAPI:
     """The operation surface of the service, over one abstract
-    :meth:`request`."""
+    :meth:`request_message`."""
+
+    async def request_message(
+        self, message: Dict[str, Any]
+    ) -> Dict[str, Any]:
+        """Send one raw message dict; return the full response
+        envelope.  Implementations assign a correlation id when the
+        message carries none."""
+        raise NotImplementedError
+
+    async def send(self, request: Request):
+        """Send one typed request; return the typed response
+        (:class:`~repro.service.protocol.Response` subclass on success,
+        :class:`~repro.service.protocol.ErrorResponse` on failure)."""
+        envelope = await self.request_message(request.to_wire())
+        return parse_response(request.op, envelope)
 
     async def request(
         self,
@@ -42,8 +74,15 @@ class RequestAPI:
         *,
         deadline_ms: Opt[float] = None,
     ) -> Dict[str, Any]:
-        """Send one request; return the full response envelope."""
-        raise NotImplementedError
+        """Send one request in the deprecated version-less encoding;
+        return the full response envelope.  Kept for one release so
+        pre-typed callers migrate on their own schedule — new code
+        should construct typed requests and :meth:`send` them (the
+        convenience wrappers below already do)."""
+        message: Dict[str, Any] = {"op": op, "params": params or {}}
+        if deadline_ms is not None:
+            message["deadline_ms"] = deadline_ms
+        return await self.request_message(message)
 
     async def call(
         self,
@@ -59,13 +98,21 @@ class RequestAPI:
             raise error_from_response(response)
         return response["result"]
 
+    async def _result_of(self, request: Request) -> Any:
+        """Typed-encoding send returning the raw result payload (what
+        the wrappers have always returned), raising typed errors."""
+        envelope = await self.request_message(request.to_wire())
+        if not envelope.get("ok"):
+            raise error_from_response(envelope)
+        return envelope["result"]
+
     # -- typed wrappers ---------------------------------------------------------
 
     async def ping(self) -> Dict[str, Any]:
-        return await self.call("ping")
+        return await self._result_of(PingRequest())
 
     async def stats(self) -> Dict[str, Any]:
-        return await self.call("stats")
+        return await self._result_of(StatsRequest())
 
     async def rpq(
         self,
@@ -79,33 +126,48 @@ class RequestAPI:
         targets: Opt[Sequence[str]] = None,
         deadline_ms: Opt[float] = None,
     ) -> Dict[str, Any]:
-        params: Dict[str, Any] = {
-            "store": store,
-            "expr": expr,
-            "semantics": semantics,
-        }
-        if source is not None:
-            params["source"] = source
-        if target is not None:
-            params["target"] = target
-        if sources is not None:
-            params["sources"] = list(sources)
-        if targets is not None:
-            params["targets"] = list(targets)
-        return await self.call("rpq", params, deadline_ms=deadline_ms)
+        return await self._result_of(
+            RpqRequest(
+                store=store,
+                expr=expr,
+                semantics=semantics,
+                source=source,
+                target=target,
+                sources=list(sources) if sources is not None else None,
+                targets=list(targets) if targets is not None else None,
+                deadline_ms=deadline_ms,
+            )
+        )
 
     async def sparql(
         self, query: str, *, deadline_ms: Opt[float] = None
     ) -> Dict[str, Any]:
-        return await self.call(
-            "sparql", {"query": query}, deadline_ms=deadline_ms
+        return await self._result_of(
+            SparqlRequest(query=query, deadline_ms=deadline_ms)
         )
 
     async def log_battery(
         self, query: str, *, deadline_ms: Opt[float] = None
     ) -> Dict[str, Any]:
-        return await self.call(
-            "log", {"query": query}, deadline_ms=deadline_ms
+        return await self._result_of(
+            LogBatteryRequest(query=query, deadline_ms=deadline_ms)
+        )
+
+    async def battery(
+        self,
+        queries: Sequence[str],
+        *,
+        source: str = "service",
+        store: Opt[str] = None,
+        deadline_ms: Opt[float] = None,
+    ) -> Dict[str, Any]:
+        return await self._result_of(
+            BatteryRequest(
+                queries=list(queries),
+                source=source,
+                store=store,
+                deadline_ms=deadline_ms,
+            )
         )
 
     async def mutate(
@@ -115,10 +177,12 @@ class RequestAPI:
         *,
         deadline_ms: Opt[float] = None,
     ) -> Dict[str, Any]:
-        return await self.call(
-            "mutate",
-            {"store": store, "triples": [list(t) for t in triples]},
-            deadline_ms=deadline_ms,
+        return await self._result_of(
+            MutateRequest(
+                store=store,
+                triples=[list(t) for t in triples],
+                deadline_ms=deadline_ms,
+            )
         )
 
 
@@ -149,23 +213,15 @@ class ServiceClient(RequestAPI):
         reader, writer = await asyncio.open_connection(host, port)
         return cls(reader, writer, max_frame_bytes)
 
-    async def request(
-        self,
-        op: str,
-        params: Opt[Dict[str, Any]] = None,
-        *,
-        deadline_ms: Opt[float] = None,
+    async def request_message(
+        self, message: Dict[str, Any]
     ) -> Dict[str, Any]:
         if self._closed:
             raise ConnectionError("client is closed")
-        request_id = f"c{next(self._ids)}"
-        message: Dict[str, Any] = {
-            "id": request_id,
-            "op": op,
-            "params": params or {},
-        }
-        if deadline_ms is not None:
-            message["deadline_ms"] = deadline_ms
+        request_id = message.get("id")
+        if request_id is None:
+            request_id = f"c{next(self._ids)}"
+            message = {**message, "id": request_id}
         future: asyncio.Future = asyncio.get_running_loop().create_future()
         self._pending[request_id] = future
         try:

@@ -155,6 +155,9 @@ class ServiceMetrics:
         self.connections = 0
         self.disconnects = 0  #: responses dropped on a gone connection
         self.protocol_errors = 0
+        #: requests in the deprecated pre-typed (v1) wire encoding — a
+        #: migration signal; the encoding is dropped next release
+        self.legacy_requests = 0
 
     def endpoint(self, op: str) -> EndpointMetrics:
         metrics = self._endpoints.get(op)
@@ -193,6 +196,7 @@ class ServiceMetrics:
             "connections": self.connections,
             "disconnects": self.disconnects,
             "protocol_errors": self.protocol_errors,
+            "legacy_requests": self.legacy_requests,
             "endpoints": {
                 op: metrics.snapshot()
                 for op, metrics in sorted(self._endpoints.items())

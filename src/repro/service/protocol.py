@@ -1,4 +1,4 @@
-"""The wire protocol: length-prefixed JSON frames.
+"""The wire protocol: length-prefixed JSON frames and typed messages.
 
 One frame is a 4-byte big-endian payload length followed by that many
 bytes of UTF-8 JSON encoding a single object.  Length-prefixing (rather
@@ -8,17 +8,33 @@ hard, checkable bound (:data:`MAX_FRAME_BYTES`) before any payload byte
 is read — a malformed or hostile peer cannot make the server buffer an
 unbounded line.
 
-Requests and responses are plain dicts:
+Wire version 2 (current) speaks *typed messages*: each operation has a
+frozen request dataclass (:class:`RpqRequest`, :class:`SparqlRequest`,
+:class:`LogBatteryRequest`, :class:`BatteryRequest`,
+:class:`MutateRequest`, :class:`StatsRequest`, :class:`PingRequest`)
+and a matching response type, all carrying ``to_wire()`` /
+``from_wire()``.  On the wire a v2 request is::
 
-* request — ``{"id": str, "op": str, "params": {...}}`` plus an
-  optional ``"deadline_ms"`` (a per-request budget in milliseconds,
-  measured from admission on the server);
-* success — ``{"id": str, "ok": true, "result": {...}}`` plus, for the
-  compute operations, ``"served_from": "cache" | "engine"`` so every
-  answer is traceable to how it was produced;
-* failure — ``{"id": str, "ok": false, "error": {"code": str,
-  "message": str}}`` where ``code`` is the stable identifier of one of
-  the typed :class:`~repro.errors.ServiceError` subclasses.
+    {"v": 2, "id": str, "op": str, "params": {...}, "deadline_ms"?: num}
+
+and a v2 response is the version-stamped envelope of
+:class:`OkResponse` / :class:`ErrorResponse`::
+
+    {"v": 2, "id": str, "ok": true,  "result": {...}, "served_from"?: str}
+    {"v": 2, "id": str, "ok": false, "error": {"code": str, "message": str}}
+
+``served_from`` (``cache`` | ``engine``) is set for compute operations
+so every answer is traceable to how it was produced; ``code`` is the
+stable identifier of one of the typed
+:class:`~repro.errors.ServiceError` subclasses.
+
+**Deprecated — version 1**: requests without a ``"v"`` field are the
+pre-typed encoding (same fields, no version stamp).  The server still
+accepts them for one release and answers in kind (no ``"v"`` on the
+response), so old clients keep working; it counts them in
+``metrics.legacy_requests`` as a migration signal.  New code should
+construct typed requests (or use the :class:`~.client.RequestAPI`
+wrappers, which do).
 
 Responses may arrive in any order; the ``id`` is the correlation key
 (the server handles requests of one connection concurrently, and the
@@ -30,7 +46,8 @@ from __future__ import annotations
 import asyncio
 import json
 import struct
-from typing import Any, Dict, Optional as Opt
+from dataclasses import dataclass, field, fields
+from typing import Any, ClassVar, Dict, List, Optional as Opt, Tuple, Type
 
 from ..errors import (
     BadRequest,
@@ -38,11 +55,18 @@ from ..errors import (
     ProtocolError,
     ServiceError,
     ServiceOverloaded,
+    ShardError,
     StoreFrozenError,
+    StoreUnavailableError,
 )
 
 #: Hard bound on one frame's JSON payload (requests *and* responses).
 MAX_FRAME_BYTES = 16 * 1024 * 1024
+
+#: Current wire encoding version.  Version 1 (no ``"v"`` field) is the
+#: pre-typed dict encoding, accepted for one release — see the module
+#: docstring's deprecation note.
+WIRE_VERSION = 2
 
 _LENGTH = struct.Struct(">I")
 
@@ -55,7 +79,9 @@ ERROR_TYPES: Dict[str, type] = {
         DeadlineExceeded,
         BadRequest,
         ProtocolError,
+        ShardError,
         StoreFrozenError,
+        StoreUnavailableError,
     )
 }
 
@@ -107,6 +133,327 @@ async def read_frame(
     if not isinstance(message, dict):
         raise ProtocolError("frame payload is not a JSON object")
     return message
+
+
+# -- typed messages (wire version 2) ----------------------------------------
+
+
+@dataclass(frozen=True, kw_only=True)
+class Request:
+    """Base of the typed request types.
+
+    Subclasses declare the operation name as the ``op`` class attribute
+    and the operation's parameters as dataclass fields; ``id`` and
+    ``deadline_ms`` live on the envelope, everything else goes into
+    ``params``.  ``None``-valued optional fields are omitted from the
+    wire form, so a round-trip through :meth:`to_wire` /
+    :meth:`from_wire` is exact.
+    """
+
+    op: ClassVar[str] = ""
+    id: Opt[str] = None
+    deadline_ms: Opt[float] = None
+
+    def params(self) -> Dict[str, Any]:
+        """The operation parameters as the dispatch-layer dict."""
+        out: Dict[str, Any] = {}
+        for spec in fields(self):
+            if spec.name in ("id", "deadline_ms"):
+                continue
+            value = getattr(self, spec.name)
+            if value is not None:
+                out[spec.name] = value
+        return out
+
+    def to_wire(self) -> Dict[str, Any]:
+        message: Dict[str, Any] = {
+            "v": WIRE_VERSION,
+            "id": self.id,
+            "op": self.op,
+            "params": self.params(),
+        }
+        if self.deadline_ms is not None:
+            message["deadline_ms"] = self.deadline_ms
+        return message
+
+    @classmethod
+    def from_wire(cls, message: Dict[str, Any]) -> "Request":
+        """The typed request a v2 wire message encodes.  Unknown
+        parameters are rejected — the typed encoding is strict where
+        the legacy one silently ignored extras."""
+        params = message.get("params") or {}
+        if not isinstance(params, dict):
+            raise BadRequest("'params' must be an object")
+        known = {
+            spec.name for spec in fields(cls)
+        } - {"id", "deadline_ms"}
+        unknown = sorted(set(params) - known)
+        if unknown:
+            raise BadRequest(
+                f"unknown parameter(s) for {cls.op!r}: {', '.join(unknown)}"
+            )
+        request_id = message.get("id")
+        if request_id is not None and not isinstance(request_id, str):
+            request_id = str(request_id)
+        try:
+            return cls(
+                id=request_id,
+                deadline_ms=message.get("deadline_ms"),
+                **params,
+            )
+        except TypeError as exc:
+            raise BadRequest(f"bad parameters for {cls.op!r}: {exc}")
+
+    @staticmethod
+    def parse(message: Dict[str, Any]) -> "Request":
+        """Dispatch a v2 wire message to its request type."""
+        op = message.get("op")
+        if not isinstance(op, str) or not op:
+            raise BadRequest("request has no 'op' string")
+        request_type = REQUEST_TYPES.get(op)
+        if request_type is None:
+            raise BadRequest(f"unknown operation {op!r}")
+        return request_type.from_wire(message)
+
+
+@dataclass(frozen=True, kw_only=True)
+class PingRequest(Request):
+    op: ClassVar[str] = "ping"
+
+
+@dataclass(frozen=True, kw_only=True)
+class StatsRequest(Request):
+    op: ClassVar[str] = "stats"
+
+
+@dataclass(frozen=True, kw_only=True)
+class RpqRequest(Request):
+    op: ClassVar[str] = "rpq"
+    store: str = ""
+    expr: str = ""
+    semantics: str = "walk"
+    source: Opt[str] = None
+    target: Opt[str] = None
+    sources: Opt[List[str]] = None
+    targets: Opt[List[str]] = None
+
+
+@dataclass(frozen=True, kw_only=True)
+class SparqlRequest(Request):
+    op: ClassVar[str] = "sparql"
+    query: str = ""
+
+
+@dataclass(frozen=True, kw_only=True)
+class LogBatteryRequest(Request):
+    """One query through the full log battery (operation name ``log``)."""
+
+    op: ClassVar[str] = "log"
+    query: str = ""
+
+
+@dataclass(frozen=True, kw_only=True)
+class BatteryRequest(Request):
+    """A whole list of query texts through the battery, merged into one
+    corpus-level report (scattered over shard workers when the service
+    is sharded)."""
+
+    op: ClassVar[str] = "battery"
+    queries: List[str] = field(default_factory=list)
+    source: str = "service"
+    #: a *sharded* store whose worker processes should run the analysis;
+    #: None (or an unsharded store) computes on the coordinator
+    store: Opt[str] = None
+
+
+@dataclass(frozen=True, kw_only=True)
+class MutateRequest(Request):
+    op: ClassVar[str] = "mutate"
+    store: str = ""
+    triples: List[List[str]] = field(default_factory=list)
+
+
+#: operation name -> typed request class (v2 parse dispatch)
+REQUEST_TYPES: Dict[str, Type[Request]] = {
+    cls.op: cls
+    for cls in (
+        PingRequest,
+        StatsRequest,
+        RpqRequest,
+        SparqlRequest,
+        LogBatteryRequest,
+        BatteryRequest,
+        MutateRequest,
+    )
+}
+
+
+@dataclass(frozen=True, kw_only=True)
+class Response:
+    """Base of the typed success responses: dataclass fields are the
+    result payload, ``id``/``served_from`` are envelope metadata."""
+
+    id: Opt[str] = None
+    served_from: Opt[str] = None
+
+    @property
+    def ok(self) -> bool:
+        return True
+
+    def result(self) -> Dict[str, Any]:
+        out: Dict[str, Any] = {}
+        for spec in fields(self):
+            if spec.name in ("id", "served_from"):
+                continue
+            value = getattr(self, spec.name)
+            if value is not None:
+                out[spec.name] = value
+        return out
+
+    def to_wire(self) -> Dict[str, Any]:
+        message: Dict[str, Any] = {
+            "v": WIRE_VERSION,
+            "id": self.id,
+            "ok": True,
+            "result": self.result(),
+        }
+        if self.served_from is not None:
+            message["served_from"] = self.served_from
+        return message
+
+    @classmethod
+    def from_wire(cls, message: Dict[str, Any]):
+        """The typed response a wire envelope encodes; failure envelopes
+        come back as :class:`ErrorResponse` whichever type parses them.
+        Unknown result fields are ignored (responses are lenient where
+        requests are strict: an older client must survive a newer
+        server's additions)."""
+        if not message.get("ok"):
+            return ErrorResponse.from_wire(message)
+        payload = message.get("result")
+        payload = payload if isinstance(payload, dict) else {}
+        known = {spec.name for spec in fields(cls)} - {"id", "served_from"}
+        return cls(
+            id=message.get("id"),
+            served_from=message.get("served_from"),
+            **{name: payload[name] for name in known if name in payload},
+        )
+
+
+@dataclass(frozen=True, kw_only=True)
+class PingResponse(Response):
+    pong: bool = True
+
+
+@dataclass(frozen=True, kw_only=True)
+class StatsResponse(Response):
+    metrics: Opt[Dict[str, Any]] = None
+    cache: Opt[Dict[str, Any]] = None
+    scheduler: Opt[Dict[str, Any]] = None
+    stores: Opt[Dict[str, Any]] = None
+    shards: Opt[Dict[str, Any]] = None
+
+
+@dataclass(frozen=True, kw_only=True)
+class RpqResponse(Response):
+    semantics: str = "walk"
+    pairs: Opt[List[List[str]]] = None
+    count: Opt[int] = None
+    exists: Opt[bool] = None
+
+
+@dataclass(frozen=True, kw_only=True)
+class SparqlResponse(Response):
+    valid: bool = False
+    canonical: Opt[str] = None
+    query_type: Opt[str] = None
+    triples: Opt[int] = None
+    features: Opt[List[str]] = None
+    operators: Opt[List[str]] = None
+    reason: Opt[str] = None
+
+
+@dataclass(frozen=True, kw_only=True)
+class LogBatteryResponse(Response):
+    valid: bool = False
+    record: Opt[Dict[str, Any]] = None
+    reason: Opt[str] = None
+
+    def result(self) -> Dict[str, Any]:
+        # ``record`` is meaningful even when None (an invalid query has
+        # no record) — keep the legacy payload shape exactly
+        out = super().result()
+        out.setdefault("record", None)
+        return out
+
+
+@dataclass(frozen=True, kw_only=True)
+class BatteryResponse(Response):
+    report: Opt[Dict[str, Any]] = None
+
+
+@dataclass(frozen=True, kw_only=True)
+class MutateResponse(Response):
+    added: int = 0
+    size: int = 0
+    fingerprint: str = ""
+
+
+@dataclass(frozen=True, kw_only=True)
+class ErrorResponse:
+    """A typed failure envelope; :meth:`to_exception` reconstructs the
+    original :class:`~repro.errors.ServiceError` subclass."""
+
+    id: Opt[str] = None
+    code: str = ServiceError.code
+    message: str = "service error"
+
+    @property
+    def ok(self) -> bool:
+        return False
+
+    def to_wire(self) -> Dict[str, Any]:
+        return {
+            "v": WIRE_VERSION,
+            "id": self.id,
+            "ok": False,
+            "error": {"code": self.code, "message": self.message},
+        }
+
+    @classmethod
+    def from_wire(cls, message: Dict[str, Any]) -> "ErrorResponse":
+        error = message.get("error") or {}
+        return cls(
+            id=message.get("id"),
+            code=error.get("code", ServiceError.code),
+            message=error.get("message", "service error"),
+        )
+
+    def to_exception(self) -> ServiceError:
+        return ERROR_TYPES.get(self.code, ServiceError)(self.message)
+
+
+#: operation name -> typed response class
+RESPONSE_TYPES: Dict[str, Type[Response]] = {
+    "ping": PingResponse,
+    "stats": StatsResponse,
+    "rpq": RpqResponse,
+    "sparql": SparqlResponse,
+    "log": LogBatteryResponse,
+    "battery": BatteryResponse,
+    "mutate": MutateResponse,
+}
+
+
+def parse_response(op: str, message: Dict[str, Any]):
+    """The typed response for an ``op`` request's reply envelope
+    (success or :class:`ErrorResponse`)."""
+    if not message.get("ok"):
+        return ErrorResponse.from_wire(message)
+    response_type = RESPONSE_TYPES.get(op)
+    if response_type is None:
+        raise ProtocolError(f"no response type for operation {op!r}")
+    return response_type.from_wire(message)
 
 
 # -- message constructors ---------------------------------------------------

@@ -55,8 +55,8 @@ class ResultCache:
     """Bounded LRU over content-addressed result payloads."""
 
     def __init__(self, max_entries: int = DEFAULT_MAX_ENTRIES):
-        if max_entries < 1:
-            raise ValueError("max_entries must be positive")
+        if max_entries < 0:
+            raise ValueError("max_entries must be >= 0 (0 disables caching)")
         self.max_entries = max_entries
         self._entries: "OrderedDict[str, Any]" = OrderedDict()
         self.hits = 0
@@ -78,6 +78,8 @@ class ResultCache:
         return False, None
 
     def put(self, key: str, payload: Any) -> None:
+        if not self.max_entries:
+            return  # caching disabled: every lookup stays a miss
         if key in self._entries:
             self._entries.move_to_end(key)
             self._entries[key] = payload

@@ -25,12 +25,37 @@ Operations
   (:func:`~repro.logs.battery.analyze_query_fused`, shipped in its
   JSON-able :func:`~repro.logs.analyzer.encode_analysis` form — the
   same record the persistent log cache stores);
+* ``battery`` — a whole list of raw query texts through the log
+  battery, deduplicated first and merged into one corpus-level
+  :class:`~repro.logs.analyzer.LogReport` (shipped via
+  :func:`~repro.logs.analyzer.encode_report`); on a sharded store the
+  chunks scatter over the shard worker processes and the counter
+  partials merge via :func:`~repro.logs.analyzer.combine_reports`;
 * ``mutate`` — add triples to a registered store (admitted through the
   scheduler like any other work; a per-store read-write gate excludes
   it from running concurrently with engine reads);
 * ``stats`` — metrics snapshot, cache/scheduler accounting, per-store
   fingerprints;
 * ``ping`` — liveness.
+
+Both wire encodings are accepted: version-2 typed messages (see
+:mod:`repro.service.protocol`) and — **deprecated, one more release** —
+the version-less pre-typed dicts, counted in
+``metrics.legacy_requests``.  Responses answer in the requester's
+encoding.
+
+Sharded deployments
+-------------------
+
+A store registered as a *shard directory* (or ``manifest.json`` path —
+see :func:`repro.service.shard.shard_store`) mounts as a
+:class:`~repro.service.shard.ShardGroup`: N worker processes attach the
+per-shard images zero-copy and run the engines locally, the core
+scatter-gathers multi-shard evaluation on its scheduler threads, and
+single-shard-routable requests go to their owner worker directly.  The
+admission-control / deadline / single-flight machinery is identical for
+sharded and local stores, and because the manifest records the *source*
+store's content fingerprint, so are the result-cache keys.
 
 Caching and consistency
 -----------------------
@@ -76,14 +101,18 @@ from ..errors import (
     ServiceError,
     ServiceOverloaded,
     SPARQLParseError,
+    StoreFrozenError,
+    StoreImageError,
+    StoreUnavailableError,
 )
 from ..graphs.engine import ast_key
 from ..graphs.paths import evaluate_rpq, exists_simple_path, exists_trail
 from ..graphs.rdf import TripleStore
-from ..logs.analyzer import encode_analysis
+from ..logs.analyzer import encode_analysis, encode_report
 from ..logs.battery import analyze_query_fused
 from ..logs.cache import battery_fingerprint
 from ..logs.corpus import normalize_text
+from ..logs.pipeline import run_study
 from ..regex.parser import parse as parse_regex
 from ..sparql.features import (
     count_triple_patterns,
@@ -92,10 +121,12 @@ from ..sparql.features import (
 )
 from ..sparql.parser import parse_query
 from ..sparql.serialize import serialize_query
-from .client import RequestAPI
+from .client import RequestAPI, connect
 from .metrics import ServiceMetrics
 from .protocol import (
     MAX_FRAME_BYTES,
+    WIRE_VERSION,
+    Request,
     encode_frame,
     error_response,
     ok_response,
@@ -103,25 +134,41 @@ from .protocol import (
 )
 from .resultcache import DEFAULT_MAX_ENTRIES, ResultCache, result_key
 from .scheduler import DEFAULT_MAX_QUEUE, DEFAULT_MAX_WORKERS, Scheduler
+from .shard import MANIFEST_NAME, ShardGroup
 
 #: operations that go through cache + scheduler
-COMPUTE_OPS = ("rpq", "sparql", "log")
+COMPUTE_OPS = ("rpq", "sparql", "log", "battery")
 
-#: what may be registered as a store: a live store, or a path to a
-#: frozen image (opened memory-mapped at registration)
-StoreSpec = Union[TripleStore, str, Path]
+#: what may be registered as a store: a live store, an already-mounted
+#: shard group, a path to a frozen image, or a path to a shard
+#: directory / manifest (mounted as a :class:`ShardGroup`)
+StoreSpec = Union[TripleStore, ShardGroup, str, Path]
 
 
-def _resolve_store(spec: StoreSpec) -> TripleStore:
+def _resolve_store(
+    spec: StoreSpec, replicas: int = 1
+) -> Union[TripleStore, ShardGroup]:
     if isinstance(spec, TripleStore):
         return spec
+    if isinstance(spec, ShardGroup):
+        return spec
     if isinstance(spec, (str, Path)):
+        path = Path(spec)
+        if path.is_dir() or path.name == MANIFEST_NAME:
+            return ShardGroup(path, replicas=replicas)
         from ..store.mmapstore import MappedTripleStore
 
-        return MappedTripleStore.load(spec)
+        try:
+            return MappedTripleStore.load(path)
+        except FileNotFoundError:
+            raise StoreUnavailableError(f"no store image at {path}")
+        except (StoreImageError, OSError, ValueError) as exc:
+            raise StoreUnavailableError(
+                f"cannot open store image {path}: {exc}"
+            )
     raise BadRequest(
-        f"a store must be a TripleStore or an image path, not "
-        f"{type(spec).__name__}"
+        f"a store must be a TripleStore, a ShardGroup, or a path to an "
+        f"image or shard directory, not {type(spec).__name__}"
     )
 
 #: version folded into the sparql endpoint's cache fingerprint; bump
@@ -137,10 +184,17 @@ class ServiceConfig:
 
     max_workers: int = DEFAULT_MAX_WORKERS
     max_queue: int = DEFAULT_MAX_QUEUE
+    #: result-cache LRU bound; 0 disables caching entirely
     cache_entries: int = DEFAULT_MAX_ENTRIES
     max_frame_bytes: int = MAX_FRAME_BYTES
     #: applied when a request carries no ``deadline_ms`` (None: no limit)
     default_deadline_ms: Opt[float] = None
+    #: worker-process attachments per shard of a sharded store (>1
+    #: gives each shard hot replicas for failover)
+    shard_replicas: int = 1
+    #: seconds between background shard health checks (ping + respawn
+    #: of dead workers) run by :class:`ReproServer`; None disables them
+    health_check_interval: Opt[float] = None
 
 
 class _StoreGate:
@@ -196,8 +250,9 @@ class ServiceCore:
         executor=None,
     ):
         self.config = config or ServiceConfig()
-        self.stores: Dict[str, TripleStore] = {
-            name: _resolve_store(spec) for name, spec in (stores or {}).items()
+        self.stores: Dict[str, Union[TripleStore, ShardGroup]] = {
+            name: _resolve_store(spec, self.config.shard_replicas)
+            for name, spec in (stores or {}).items()
         }
         self._gates: Dict[str, _StoreGate] = {
             name: _StoreGate() for name in self.stores
@@ -211,35 +266,76 @@ class ServiceCore:
         self.metrics = ServiceMetrics()
 
     def add_store(self, name: str, store: StoreSpec) -> None:
-        """Register a live store or a frozen-image path under ``name``."""
-        self.stores[name] = _resolve_store(store)
+        """Register a live store, a frozen-image path, or a shard
+        directory under ``name``."""
+        self.stores[name] = _resolve_store(store, self.config.shard_replicas)
         self._gates[name] = _StoreGate()
+
+    @property
+    def shard_groups(self) -> Dict[str, ShardGroup]:
+        """The sharded stores of the registry (possibly empty)."""
+        return {
+            name: store
+            for name, store in self.stores.items()
+            if isinstance(store, ShardGroup)
+        }
 
     def close(self) -> None:
         self.scheduler.close()
+        for group in self.shard_groups.values():
+            group.close()
 
     # -- request entry point ----------------------------------------------------
 
     async def handle(self, message: Dict[str, Any]) -> Dict[str, Any]:
         """One request dict in, one response dict out.  Never raises:
-        every failure becomes a typed error response."""
+        every failure becomes a typed error response.
+
+        Accepts both wire encodings and answers in kind: a message with
+        a ``"v"`` field is a typed v2 request (strictly parsed through
+        :class:`~repro.service.protocol.Request` — unknown parameters
+        are rejected) and gets a version-stamped response; a message
+        without one is the deprecated pre-typed encoding, counted in
+        ``metrics.legacy_requests``."""
         started = time.monotonic()
+        typed = "v" in message
         request_id = message.get("id")
         if request_id is not None and not isinstance(request_id, str):
             request_id = str(request_id)
+
+        def finish(response: Dict[str, Any]) -> Dict[str, Any]:
+            if typed:
+                response["v"] = WIRE_VERSION
+            return response
+
+        if not typed:
+            self.metrics.legacy_requests += 1
+        elif message.get("v") != WIRE_VERSION:
+            self.metrics.record("?", started, "error", BadRequest.code)
+            return finish(
+                error_response(
+                    request_id,
+                    BadRequest.code,
+                    f"unsupported wire version {message.get('v')!r} "
+                    f"(this server speaks {WIRE_VERSION} and the "
+                    f"deprecated version-less encoding)",
+                )
+            )
         op = message.get("op")
         if not isinstance(op, str) or not op:
             self.metrics.record("?", started, "error", BadRequest.code)
-            return error_response(
-                request_id, BadRequest.code, "request has no 'op' string"
-            )
-        params = message.get("params") or {}
-        if not isinstance(params, dict):
-            self.metrics.record(op, started, "error", BadRequest.code)
-            return error_response(
-                request_id, BadRequest.code, "'params' must be an object"
+            return finish(
+                error_response(
+                    request_id, BadRequest.code, "request has no 'op' string"
+                )
             )
         try:
+            if typed:
+                params = Request.parse(message).params()
+            else:
+                params = message.get("params") or {}
+                if not isinstance(params, dict):
+                    raise BadRequest("'params' must be an object")
             deadline = self._deadline_of(message)
             if op == "ping":
                 response = ok_response(request_id, {"pong": True})
@@ -258,22 +354,24 @@ class ServiceCore:
                 raise BadRequest(f"unknown operation {op!r}")
         except ServiceOverloaded as exc:
             self.metrics.record(op, started, "shed", exc.code)
-            return error_response(request_id, exc.code, str(exc))
+            return finish(error_response(request_id, exc.code, str(exc)))
         except DeadlineExceeded as exc:
             self.metrics.record(op, started, "timeout", exc.code)
-            return error_response(request_id, exc.code, str(exc))
+            return finish(error_response(request_id, exc.code, str(exc)))
         except ServiceError as exc:
             self.metrics.record(op, started, "error", exc.code)
-            return error_response(request_id, exc.code, str(exc))
+            return finish(error_response(request_id, exc.code, str(exc)))
         except Exception as exc:  # engine bug: report, don't drop the link
             self.metrics.record(op, started, "error", "internal")
-            return error_response(
-                request_id,
-                "internal",
-                f"{type(exc).__name__}: {exc}",
+            return finish(
+                error_response(
+                    request_id,
+                    "internal",
+                    f"{type(exc).__name__}: {exc}",
+                )
             )
         self.metrics.record(op, started, "ok")
-        return response
+        return finish(response)
 
     def _deadline_of(self, message: Dict[str, Any]) -> Opt[float]:
         deadline_ms = message.get(
@@ -297,6 +395,8 @@ class ServiceCore:
             key, fn = self._prepare_rpq(params)
         elif op == "sparql":
             key, fn = self._prepare_sparql(params)
+        elif op == "battery":
+            key, fn = self._prepare_battery(params)
         else:
             key, fn = self._prepare_log(params)
         hit, payload = self.cache.get(key)
@@ -351,6 +451,7 @@ class ServiceCore:
             raise BadRequest(
                 f"'semantics' must be one of {', '.join(_SEMANTICS)}"
             )
+        sharded = isinstance(store, ShardGroup)
         gate = self._gates[name]
         # the canonical form is the structural AST key — rendered text
         # is ambiguous under academic union-'+' notation — plus every
@@ -368,9 +469,12 @@ class ServiceCore:
             )
 
             def fn() -> Dict[str, Any]:
-                pairs = gate.read(
-                    lambda: evaluate_rpq(store, expr, sources, targets)
-                )
+                if sharded:
+                    pairs = store.evaluate_walk(expr_text, sources, targets)
+                else:
+                    pairs = gate.read(
+                        lambda: evaluate_rpq(store, expr, sources, targets)
+                    )
                 return {
                     "semantics": "walk",
                     "pairs": sorted(list(pair) for pair in pairs),
@@ -394,11 +498,17 @@ class ServiceCore:
             )
 
             def fn() -> Dict[str, Any]:
-                exists = gate.read(
-                    lambda: decide(store, expr, source, target)
-                )
+                if sharded:
+                    exists = store.exists(expr_text, source, target, semantics)
+                else:
+                    exists = gate.read(
+                        lambda: decide(store, expr, source, target)
+                    )
                 return {"semantics": semantics, "exists": bool(exists)}
 
+        # a ShardGroup's fingerprint is the *source* store's content
+        # digest, so sharded and single-process deployments over the
+        # same data share cache keys
         key = result_key("rpq", store.fingerprint(), canonical, semantics)
         return key, fn
 
@@ -451,12 +561,50 @@ class ServiceCore:
 
         return key, fn
 
+    def _prepare_battery(self, params: Dict[str, Any]):
+        queries = params.get("queries")
+        if not isinstance(queries, list) or not all(
+            isinstance(text, str) for text in queries
+        ):
+            raise BadRequest("'queries' must be a list of SPARQL strings")
+        source = params.get("source", "service")
+        if not isinstance(source, str):
+            raise BadRequest("'source' must be a string")
+        group: Opt[ShardGroup] = None
+        store_name = params.get("store")
+        if store_name is not None:
+            _, store = self._store_of(params)
+            if isinstance(store, ShardGroup):
+                group = store
+            # an unsharded store has no worker processes to scatter to:
+            # the battery is store-free analysis, so compute locally
+        key = result_key(
+            "battery",
+            battery_fingerprint(),
+            json.dumps([source, queries], ensure_ascii=False),
+            "battery",
+        )
+
+        def fn() -> Dict[str, Any]:
+            if group is not None:
+                report = group.battery(source, queries)
+            else:
+                report = run_study(source, queries)
+            return {"report": encode_report(report)}
+
+        return key, fn
+
     # -- mutation ---------------------------------------------------------------
 
     async def _mutate(
         self, params: Dict[str, Any], deadline: Opt[float]
     ) -> Dict[str, Any]:
         name, store = self._store_of(params)
+        if isinstance(store, ShardGroup):
+            raise StoreFrozenError(
+                f"store {name!r} is a sharded deployment of frozen "
+                f"images; re-shard to mutate"
+            )
         triples = params.get("triples")
         if not isinstance(triples, list):
             raise BadRequest("'triples' must be a list of [s, p, o]")
@@ -491,7 +639,7 @@ class ServiceCore:
     # -- stats ------------------------------------------------------------------
 
     def _stats_payload(self) -> Dict[str, Any]:
-        return {
+        payload = {
             "metrics": self.metrics.snapshot(),
             "cache": self.cache.stats(),
             "scheduler": self.scheduler.stats(),
@@ -499,11 +647,19 @@ class ServiceCore:
                 name: {
                     "triples": len(store),
                     "fingerprint": store.fingerprint(),
-                    "frozen": hasattr(store, "path"),
+                    "frozen": hasattr(store, "path")
+                    or isinstance(store, ShardGroup),
+                    "sharded": isinstance(store, ShardGroup),
                 }
                 for name, store in sorted(self.stores.items())
             },
         }
+        groups = self.shard_groups
+        if groups:
+            payload["shards"] = {
+                name: group.stats() for name, group in sorted(groups.items())
+            }
+        return payload
 
 
 class EmbeddedService(RequestAPI):
@@ -523,20 +679,11 @@ class EmbeddedService(RequestAPI):
         self.core = ServiceCore(stores, config, executor)
         self._ids = itertools.count(1)
 
-    async def request(
-        self,
-        op: str,
-        params: Opt[Dict[str, Any]] = None,
-        *,
-        deadline_ms: Opt[float] = None,
+    async def request_message(
+        self, message: Dict[str, Any]
     ) -> Dict[str, Any]:
-        message: Dict[str, Any] = {
-            "id": f"e{next(self._ids)}",
-            "op": op,
-            "params": params or {},
-        }
-        if deadline_ms is not None:
-            message["deadline_ms"] = deadline_ms
+        if message.get("id") is None:
+            message = {**message, "id": f"e{next(self._ids)}"}
         return await self.core.handle(message)
 
     async def close(self) -> None:
@@ -573,6 +720,7 @@ class ReproServer:
         self.host = host
         self.port = port
         self._server: Opt[asyncio.base_events.Server] = None
+        self._health_task: Opt[asyncio.Task] = None
 
     @property
     def address(self) -> Tuple[str, int]:
@@ -588,9 +736,35 @@ class ReproServer:
             self._serve_connection, self.host, self.port
         )
         self.port = self.address[1]
+        interval = self.core.config.health_check_interval
+        if interval and self.core.shard_groups:
+            self._health_task = asyncio.ensure_future(
+                self._health_loop(interval)
+            )
         return self
 
+    async def _health_loop(self, interval: float) -> None:
+        """Periodic shard lifecycle management: ping every worker
+        attachment and respawn dead ones, off-loop so a hung worker
+        never stalls serving."""
+        while True:
+            await asyncio.sleep(interval)
+            for group in self.core.shard_groups.values():
+                try:
+                    await asyncio.to_thread(group.check_health)
+                except Exception:
+                    # health checking is best-effort; the per-request
+                    # failover path still covers whatever it missed
+                    continue
+
     async def stop(self) -> None:
+        if self._health_task is not None:
+            self._health_task.cancel()
+            try:
+                await self._health_task
+            except (asyncio.CancelledError, Exception):
+                pass
+            self._health_task = None
         if self._server is not None:
             self._server.close()
             await self._server.wait_closed()
@@ -659,3 +833,46 @@ async def serve(
 ) -> ReproServer:
     """Start a server and return it (mostly for the CLI and benchmarks)."""
     return await ReproServer(stores, config, host, port).start()
+
+
+#: what :func:`open_service` accepts: a store registry (embedded), a
+#: ``"host:port"`` string, or a ``(host, port)`` pair (TCP)
+ServiceTarget = Union[Dict[str, StoreSpec], str, Tuple[str, int]]
+
+
+async def open_service(
+    target: ServiceTarget,
+    *,
+    config: Opt[ServiceConfig] = None,
+    max_frame_bytes: int = MAX_FRAME_BYTES,
+) -> RequestAPI:
+    """One construction path for every deployment shape.
+
+    * a dict of stores/images/shard directories mounts an
+      :class:`EmbeddedService` (``config`` tunes it);
+    * a ``"host:port"`` string or ``(host, port)`` tuple connects a
+      :class:`~repro.service.client.ServiceClient` over TCP
+      (``max_frame_bytes`` bounds its frames; ``config`` does not apply
+      — the server owns its own).
+
+    Both results implement :class:`~repro.service.client.RequestAPI`,
+    so calling code is deployment-agnostic.  ``EmbeddedService(...)``
+    and ``connect(...)`` remain as thin entry points over the same two
+    shapes.
+    """
+    if isinstance(target, dict):
+        return EmbeddedService(target, config)
+    if isinstance(target, str):
+        host, separator, port_text = target.rpartition(":")
+        if not separator or not host or not port_text.isdigit():
+            raise ValueError(
+                f"a TCP target must look like 'host:port', got {target!r}"
+            )
+        return await connect(host, int(port_text), max_frame_bytes)
+    if isinstance(target, tuple) and len(target) == 2:
+        host, port = target
+        return await connect(host, int(port), max_frame_bytes)
+    raise TypeError(
+        f"open_service expects a store dict, 'host:port', or (host, port), "
+        f"not {type(target).__name__}"
+    )

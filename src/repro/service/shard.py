@@ -1,0 +1,814 @@
+"""The sharded store tier: partitioned images, worker processes, and
+the scatter-gather coordinator.
+
+One GIL bounds the single-process service however many threads it runs
+— real parallelism needs processes, and PR 6's memory-mapped images
+were built so processes could share triple data zero-copy.  This module
+closes the loop:
+
+* :func:`shard_store` partitions a :class:`~repro.graphs.rdf.TripleStore`
+  **by predicate** over a consistent-hash ring (:class:`ShardRing`) into
+  N frozen per-shard images plus a ``manifest.json``
+  (:class:`ShardManifest`) recording the layout, the per-shard
+  fingerprints, and — crucially — the *source store's* content
+  fingerprint, so a sharded deployment addresses exactly the result-cache
+  keys the single-process deployment over the same data would.
+* :class:`ShardWorker` is one worker process (a single-slot
+  :class:`~concurrent.futures.ProcessPoolExecutor`) attached to one
+  shard image.  Workers attach via :func:`repro.store.mmapstore.attach`
+  (per-process memoized), so each holds its shard's pages mapped once
+  and keeps its own compiled-plan and specialization caches across
+  requests.
+* :class:`ShardGroup` is the coordinator: it routes whole queries to a
+  single shard when every predicate of the expression lives there
+  (consistent-hash routing, the fast path), and otherwise runs the RPQ
+  product BFS as a **name-level frontier exchange** — each round the
+  frontier ``(source token, node name, NFA state mask)`` entries are
+  scattered to every owning shard, advanced one edge level against the
+  shard-local adjacency (:meth:`~repro.graphs.engine.CompiledRPQ.frontier_step`),
+  and the partial frontiers merged by the coordinator, which alone
+  decides which state bits are new.  Log batteries scatter
+  ``(key, text, multiplicity)`` chunks over the workers and merge the
+  counter partials via :func:`~repro.logs.analyzer.combine_reports`.
+
+Partitioning by predicate makes single-predicate reads (and any
+expression whose alphabet maps to one shard) local to one worker, while
+multi-predicate expressions degrade gracefully to the frontier
+exchange.  Masks crossing the process boundary are always *NFA* masks:
+Glushkov state numbering is canonical per expression, so masks produced
+by independent worker processes compose; DFA state numbers are a
+process-local artifact and never leave a worker.
+
+Failure handling: every shard may have several *attachments*
+(``replicas``).  A worker that dies mid-call surfaces as
+:class:`~concurrent.futures.process.BrokenProcessPool`; the coordinator
+fails over to the next live attachment, respawns the broken one, and
+only raises the typed :class:`~repro.errors.ShardError` when a shard
+has no live attachment even after a respawn.  All coordinator methods
+are blocking and run on the service scheduler's worker threads, so the
+existing admission-control / deadline / single-flight machinery wraps
+the scatter path unchanged.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import threading
+from bisect import bisect_right
+from collections import OrderedDict
+from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures.process import BrokenProcessPool
+from dataclasses import dataclass, field
+from functools import lru_cache
+from pathlib import Path
+from typing import (
+    Any,
+    Callable,
+    Dict,
+    Iterable,
+    List,
+    Optional as Opt,
+    Sequence,
+    Set,
+    Tuple,
+)
+
+from ..errors import ShardError, StoreUnavailableError
+from ..graphs.engine import compile_rpq
+from ..graphs.rdf import TripleStore
+from ..logs.analyzer import LogReport, combine_reports
+from ..logs.corpus import normalize_text
+from ..logs.pipeline import _study_worker
+from ..regex.parser import parse as parse_regex
+
+#: manifest format version (bump on incompatible layout changes)
+MANIFEST_FORMAT = 1
+
+#: manifest file name inside a shard directory
+MANIFEST_NAME = "manifest.json"
+
+#: virtual ring points per shard — enough that predicate load spreads
+#: evenly for realistic predicate counts without making routing lookups
+#: measurably slower
+RING_POINTS = 64
+
+#: battery scatter chunk bound (payload size only; fan-out is decided
+#: by the worker count, same discipline as repro.core.parallelism)
+BATTERY_CHUNK_SIZE = 256
+
+#: union-store LRU entries kept per group for multi-shard simple/trail
+#: decisions (keyed by the expression's predicate set; shard images are
+#: frozen, so entries never go stale)
+_UNION_CACHE_ENTRIES = 8
+
+
+def _point(value: str) -> int:
+    """A 64-bit hash position on the ring (sha256-based: stable across
+    processes, runs, and machines — routing must never depend on
+    ``PYTHONHASHSEED``)."""
+    return int.from_bytes(
+        hashlib.sha256(value.encode("utf-8")).digest()[:8], "big"
+    )
+
+
+class ShardRing:
+    """Consistent-hash ring mapping predicate names to shard indexes."""
+
+    __slots__ = ("shards", "_points", "_owners")
+
+    def __init__(self, shards: int, points: int = RING_POINTS):
+        if shards < 1:
+            raise ValueError("a ring needs at least one shard")
+        self.shards = shards
+        marks: List[Tuple[int, int]] = []
+        for shard in range(shards):
+            for replica in range(points):
+                marks.append((_point(f"shard:{shard}:{replica}"), shard))
+        marks.sort()
+        self._points = [mark for mark, _ in marks]
+        self._owners = [shard for _, shard in marks]
+
+    def shard_of(self, predicate: str) -> int:
+        """The shard owning ``predicate`` (first ring mark clockwise)."""
+        position = bisect_right(self._points, _point(predicate))
+        if position == len(self._points):
+            position = 0
+        return self._owners[position]
+
+
+@dataclass
+class ShardManifest:
+    """The on-disk description of one sharded layout."""
+
+    directory: Path
+    shards: int
+    ring_points: int
+    images: List[str]
+    #: content fingerprint of the *source* store — the cache-key
+    #: identity of the sharded deployment
+    source_fingerprint: str
+    total_triples: int
+    shard_triples: List[int]
+    shard_fingerprints: List[str]
+    #: predicate name -> owning shard, for every predicate the source
+    #: store actually contained (authoritative for routing; the ring is
+    #: only consulted at write time)
+    predicates: Dict[str, int] = field(default_factory=dict)
+
+    def image_path(self, shard: int) -> Path:
+        return self.directory / self.images[shard]
+
+    def owners(self, predicates: Iterable[str]) -> List[int]:
+        """The shards holding at least one of ``predicates`` (sorted;
+        predicates the store never contained own nothing)."""
+        return sorted(
+            {
+                self.predicates[predicate]
+                for predicate in predicates
+                if predicate in self.predicates
+            }
+        )
+
+    def save(self) -> Path:
+        path = self.directory / MANIFEST_NAME
+        payload = {
+            "format": MANIFEST_FORMAT,
+            "shards": self.shards,
+            "ring_points": self.ring_points,
+            "images": self.images,
+            "source_fingerprint": self.source_fingerprint,
+            "total_triples": self.total_triples,
+            "shard_triples": self.shard_triples,
+            "shard_fingerprints": self.shard_fingerprints,
+            "predicates": self.predicates,
+        }
+        tmp = path.with_suffix(".tmp")
+        tmp.write_text(
+            json.dumps(payload, ensure_ascii=False, sort_keys=True),
+            encoding="utf-8",
+        )
+        os.replace(tmp, path)
+        return path
+
+    @classmethod
+    def load(cls, target: Any) -> "ShardManifest":
+        """Open a manifest from a shard directory or a manifest path,
+        raising the typed ``store_unavailable`` error on anything
+        missing or malformed (callers registered the path; the failure
+        must reach remote clients reconstructably)."""
+        path = Path(target)
+        if path.is_dir():
+            path = path / MANIFEST_NAME
+        try:
+            payload = json.loads(path.read_text(encoding="utf-8"))
+        except FileNotFoundError:
+            raise StoreUnavailableError(f"no shard manifest at {path}")
+        except (OSError, json.JSONDecodeError) as exc:
+            raise StoreUnavailableError(
+                f"unreadable shard manifest {path}: {exc}"
+            )
+        if not isinstance(payload, dict) or payload.get("format") != MANIFEST_FORMAT:
+            raise StoreUnavailableError(
+                f"{path} is not a format-{MANIFEST_FORMAT} shard manifest"
+            )
+        try:
+            manifest = cls(
+                directory=path.parent,
+                shards=payload["shards"],
+                ring_points=payload["ring_points"],
+                images=list(payload["images"]),
+                source_fingerprint=payload["source_fingerprint"],
+                total_triples=payload["total_triples"],
+                shard_triples=list(payload["shard_triples"]),
+                shard_fingerprints=list(payload["shard_fingerprints"]),
+                predicates=dict(payload["predicates"]),
+            )
+        except (KeyError, TypeError) as exc:
+            raise StoreUnavailableError(
+                f"shard manifest {path} is missing fields: {exc}"
+            )
+        for image in manifest.images:
+            if not (manifest.directory / image).exists():
+                raise StoreUnavailableError(
+                    f"shard image {image} named by {path} does not exist"
+                )
+        return manifest
+
+
+def shard_store(
+    store: TripleStore,
+    directory: Any,
+    shards: int,
+    ring_points: int = RING_POINTS,
+) -> ShardManifest:
+    """Partition ``store`` by predicate into ``shards`` frozen images
+    under ``directory`` and write the manifest.
+
+    Every triple lands on exactly one shard (its predicate's ring
+    owner), so shard edge sets are disjoint and their union is the
+    source store; a shard that receives no predicate still gets a
+    (valid, empty) image so the worker topology is uniform.
+    """
+    from ..store.mmapstore import write_image
+
+    ring = ShardRing(shards, ring_points)
+    directory = Path(directory)
+    directory.mkdir(parents=True, exist_ok=True)
+    parts = [TripleStore() for _ in range(shards)]
+    predicates: Dict[str, int] = {}
+    for predicate in store.predicate_names():
+        predicates[predicate] = ring.shard_of(predicate)
+    for s, p, o in store.triples():
+        parts[predicates[p]].add(s, p, o)
+    images: List[str] = []
+    fingerprints: List[str] = []
+    for index, part in enumerate(parts):
+        name = f"shard-{index:04d}.img"
+        write_image(part, directory / name)
+        images.append(name)
+        fingerprints.append(part.fingerprint())
+    manifest = ShardManifest(
+        directory=directory,
+        shards=shards,
+        ring_points=ring_points,
+        images=images,
+        source_fingerprint=store.fingerprint(),
+        total_triples=len(store),
+        shard_triples=[len(part) for part in parts],
+        shard_fingerprints=fingerprints,
+        predicates=predicates,
+    )
+    manifest.save()
+    return manifest
+
+
+# -- worker-side task functions ---------------------------------------------
+#
+# Module-level so they pickle by reference.  Every store-touching task
+# takes the image path and goes through attach() — memoized per process,
+# so after the first call the worker holds its shard mapped and every
+# compiled plan / specialization cache it builds persists across calls.
+
+
+@lru_cache(maxsize=256)
+def _compiled(expr_text: str):
+    """Parse + compile, memoized per process by raw expression text
+    (the per-shard plan cache; compile_rpq adds structural dedup)."""
+    return compile_rpq(parse_regex(expr_text, multi_char=True))
+
+
+def _shard(image: str):
+    from ..store.mmapstore import attach
+
+    return attach(image)
+
+
+def _task_ping(image: str) -> Dict[str, Any]:
+    store = _shard(image)
+    return {"pid": os.getpid(), "triples": len(store)}
+
+
+def _task_node_names(image: str) -> List[str]:
+    return list(_shard(image).node_names())
+
+
+def _task_productive_sources(image: str, expr_text: str) -> List[str]:
+    return _compiled(expr_text).productive_source_names(_shard(image))
+
+
+def _task_frontier_step(
+    image: str, expr_text: str, entries: List[Tuple[str, str, int]]
+) -> List[Tuple[str, str, int]]:
+    return _compiled(expr_text).frontier_step(_shard(image), entries)
+
+
+def _task_evaluate_full(
+    image: str,
+    expr_text: str,
+    sources: Opt[List[str]],
+    targets: Opt[List[str]],
+) -> List[Tuple[str, str]]:
+    pairs = _compiled(expr_text).evaluate(_shard(image), sources, targets)
+    return sorted(pairs)
+
+
+def _task_search(
+    image: str, expr_text: str, source: str, target: str, forbid_nodes: bool
+) -> bool:
+    return bool(
+        _compiled(expr_text).search(_shard(image), source, target, forbid_nodes)
+    )
+
+
+def _task_edges(
+    image: str, predicates: List[str]
+) -> List[Tuple[str, str, str]]:
+    store = _shard(image)
+    wanted = set(predicates)
+    return [
+        triple for triple in store.triples() if triple[1] in wanted
+    ]
+
+
+def _task_die() -> None:  # pragma: no cover - the worker never returns
+    """Test/chaos hook: kill the worker process from inside (hard exit,
+    so the coordinator sees BrokenProcessPool exactly as on a crash)."""
+    os._exit(1)
+
+
+class ShardWorker:
+    """One worker process attached to one shard image.
+
+    A single-slot :class:`ProcessPoolExecutor` *is* the process: calls
+    serialize through it, a crash surfaces as
+    :class:`BrokenProcessPool`, and :meth:`respawn` replaces the
+    process while keeping this object (and its identity in the group)
+    stable.
+    """
+
+    def __init__(self, shard: int, replica: int, image: str):
+        self.shard = shard
+        self.replica = replica
+        self.image = image
+        self.respawns = 0
+        self.broken = False
+        self._executor = ProcessPoolExecutor(max_workers=1)
+
+    def submit(self, fn: Callable, *args):
+        """Submit without waiting; raises :class:`BrokenProcessPool`
+        immediately when the process is already known-dead."""
+        return self._executor.submit(fn, *args)
+
+    def call(self, fn: Callable, *args):
+        return self.submit(fn, *args).result()
+
+    def ping(self) -> Dict[str, Any]:
+        return self.call(_task_ping, self.image)
+
+    def respawn(self) -> None:
+        self._executor.shutdown(wait=False, cancel_futures=True)
+        self._executor = ProcessPoolExecutor(max_workers=1)
+        self.respawns += 1
+        self.broken = False
+
+    def close(self) -> None:
+        self._executor.shutdown(wait=False, cancel_futures=True)
+
+
+class ShardGroup:
+    """The coordinator over one sharded layout: routing, scatter-gather
+    evaluation, replica failover, and lifecycle.
+
+    All public evaluation methods are blocking (they run on the service
+    scheduler's worker threads) and return exactly what the
+    single-process engine would for the same request — the
+    ``sharded-service`` differential oracle holds them to it.
+    """
+
+    def __init__(self, target: Any, replicas: int = 1):
+        if replicas < 1:
+            raise ValueError("every shard needs at least one attachment")
+        self.manifest = ShardManifest.load(target)
+        self.replicas = replicas
+        self.failovers = 0
+        self._lock = threading.Lock()
+        #: test/chaos instrumentation: called once per gather round
+        self.gather_hook: Opt[Callable[[], None]] = None
+        self.workers: List[List[ShardWorker]] = [
+            [
+                ShardWorker(shard, replica, str(self.manifest.image_path(shard)))
+                for replica in range(replicas)
+            ]
+            for shard in range(self.manifest.shards)
+        ]
+        self._node_names: Opt[List[str]] = None
+        self._union_cache: "OrderedDict[frozenset, TripleStore]" = OrderedDict()
+
+    # -- identity ----------------------------------------------------------------
+
+    def fingerprint(self) -> str:
+        """The *source* store's content fingerprint: result-cache keys
+        of a sharded deployment equal the single-process ones."""
+        return self.manifest.source_fingerprint
+
+    def __len__(self) -> int:
+        return self.manifest.total_triples
+
+    # -- lifecycle ---------------------------------------------------------------
+
+    def close(self) -> None:
+        for attachments in self.workers:
+            for worker in attachments:
+                worker.close()
+
+    def check_health(self) -> Dict[str, Any]:
+        """Ping every attachment, respawning any that are broken.
+        Returns a summary (used by the server's periodic health task
+        and surfaced through ``stats``)."""
+        healthy = 0
+        respawned = 0
+        for attachments in self.workers:
+            for worker in attachments:
+                try:
+                    worker.ping()
+                    healthy += 1
+                except (BrokenProcessPool, RuntimeError):
+                    with self._lock:
+                        worker.respawn()
+                    respawned += 1
+                    try:
+                        worker.ping()
+                        healthy += 1
+                    except (BrokenProcessPool, RuntimeError):
+                        worker.broken = True
+        return {
+            "attachments": self.manifest.shards * self.replicas,
+            "healthy": healthy,
+            "respawned": respawned,
+        }
+
+    def stats(self) -> Dict[str, Any]:
+        return {
+            "shards": self.manifest.shards,
+            "replicas": self.replicas,
+            "total_triples": self.manifest.total_triples,
+            "shard_triples": list(self.manifest.shard_triples),
+            "source_fingerprint": self.manifest.source_fingerprint,
+            "failovers": self.failovers,
+            "respawns": sum(
+                worker.respawns
+                for attachments in self.workers
+                for worker in attachments
+            ),
+        }
+
+    # -- calls with failover -----------------------------------------------------
+
+    def call_shard(self, shard: int, fn: Callable, *args):
+        """One call against ``shard``, trying each attachment in order
+        and respawning the primary as a last resort."""
+        attachments = self.workers[shard]
+        for worker in attachments:
+            if worker.broken:
+                continue
+            try:
+                return worker.call(fn, *args)
+            except BrokenProcessPool:
+                worker.broken = True
+                self.failovers += 1
+        primary = attachments[0]
+        with self._lock:
+            if primary.broken:
+                primary.respawn()
+        try:
+            return primary.call(fn, *args)
+        except BrokenProcessPool:
+            primary.broken = True
+            raise ShardError(
+                f"shard {shard} has no live worker (respawn failed)"
+            )
+
+    def _live_worker(self, shard: int) -> ShardWorker:
+        for worker in self.workers[shard]:
+            if not worker.broken:
+                return worker
+        return self.workers[shard][0]
+
+    def scatter(self, jobs: Sequence[Tuple[int, Callable, Tuple]]) -> List[Any]:
+        """Run ``(shard, fn, args)`` jobs concurrently — one in-flight
+        call per job, gathered in order.  A job whose worker died fails
+        over through :meth:`call_shard` (which respawns if needed); the
+        gather hook fires once per round, after all results are in."""
+        submitted: List[Tuple[int, Callable, Tuple, Opt[ShardWorker], Any]] = []
+        for shard, fn, args in jobs:
+            worker = self._live_worker(shard)
+            try:
+                future = worker.submit(fn, *args)
+            except (BrokenProcessPool, RuntimeError):
+                worker.broken = True
+                submitted.append((shard, fn, args, None, None))
+                continue
+            submitted.append((shard, fn, args, worker, future))
+        results: List[Any] = []
+        for shard, fn, args, worker, future in submitted:
+            if future is None:
+                self.failovers += 1
+                results.append(self.call_shard(shard, fn, *args))
+                continue
+            try:
+                results.append(future.result())
+            except BrokenProcessPool:
+                worker.broken = True
+                self.failovers += 1
+                results.append(self.call_shard(shard, fn, *args))
+        if self.gather_hook is not None:
+            self.gather_hook()
+        return results
+
+    # -- node-name union ---------------------------------------------------------
+
+    def node_names(self) -> List[str]:
+        """All node names of the source store (union over shards —
+        every node exists through some triple, and every triple lives on
+        exactly one shard).  Shard images are frozen, so the union is
+        computed once and cached for the group's lifetime."""
+        if self._node_names is None:
+            seen: Set[str] = set()
+            for names in self.scatter(
+                [
+                    (shard, _task_node_names, (worker.image,))
+                    for shard, worker in enumerate(
+                        attachments[0] for attachments in self.workers
+                    )
+                ]
+            ):
+                seen.update(names)
+            self._node_names = sorted(seen)
+        return self._node_names
+
+    # -- RPQ: walk semantics -----------------------------------------------------
+
+    @staticmethod
+    def _expr_predicates(plan) -> List[str]:
+        """The store predicates an expression can read (inverse atoms
+        use the same predicate's backward edges, which live wherever the
+        predicate's triples do)."""
+        return sorted(
+            {
+                atom[1:] if atom.startswith("^") else atom
+                for atom in plan.atoms
+            }
+        )
+
+    def evaluate_walk(
+        self,
+        expr_text: str,
+        sources: Opt[List[str]],
+        targets: Opt[List[str]],
+    ) -> Set[Tuple[str, str]]:
+        """All-pairs walk evaluation, identical to
+        ``compile_rpq(expr).evaluate(store, sources, targets)`` on the
+        unsharded store."""
+        plan = _compiled(expr_text)
+        target_filter = set(targets) if targets is not None else None
+        owners = self.manifest.owners(self._expr_predicates(plan))
+        answers: Set[Tuple[str, str]] = set()
+        if plan.accepts_empty:
+            diagonal = sources if sources is not None else self.node_names()
+            for name in diagonal:
+                if target_filter is None or name in target_filter:
+                    answers.add((name, name))
+        if not owners:
+            return answers
+        if len(owners) == 1:
+            # every readable predicate lives on one shard: the whole
+            # evaluation is local to it.  Its accepts_empty diagonal
+            # covers only shard-local nodes — a subset of the full
+            # diagonal added above, so the union stays exact.
+            shard = owners[0]
+            pairs = self.call_shard(
+                shard,
+                _task_evaluate_full,
+                self.workers[shard][0].image,
+                expr_text,
+                sources,
+                targets,
+            )
+            answers.update(tuple(pair) for pair in pairs)
+            return answers
+        return self._walk_frontier_exchange(
+            plan, expr_text, owners, sources, target_filter, answers
+        )
+
+    def _walk_frontier_exchange(
+        self,
+        plan,
+        expr_text: str,
+        owners: List[int],
+        sources: Opt[List[str]],
+        target_filter: Opt[Set[str]],
+        answers: Set[Tuple[str, str]],
+    ) -> Set[Tuple[str, str]]:
+        """The distributed product BFS: the coordinator owns the
+        ``(source, node) -> state mask`` table and which bits are new;
+        workers own the edges and advance the frontier one level."""
+        if sources is not None:
+            seeds = sorted(set(sources))
+        else:
+            seeds_set: Set[str] = set()
+            for names in self.scatter(
+                [
+                    (
+                        shard,
+                        _task_productive_sources,
+                        (self.workers[shard][0].image, expr_text),
+                    )
+                    for shard in owners
+                ]
+            ):
+                seeds_set.update(names)
+            seeds = sorted(seeds_set)
+        if not seeds:
+            return answers
+        start_mask = plan.start_mask
+        finals_mask = plan.finals_mask
+        reached: Dict[Tuple[str, str], int] = {
+            (name, name): start_mask for name in seeds
+        }
+        # seed entries carry the full start mask; hits are only ever
+        # recorded off edge steps (the empty-walk diagonal is the
+        # caller's, exactly as in the single-process engine)
+        frontier: List[Tuple[str, str, int]] = [
+            (name, name, start_mask) for name in seeds
+        ]
+        while frontier:
+            partials = self.scatter(
+                [
+                    (
+                        shard,
+                        _task_frontier_step,
+                        (self.workers[shard][0].image, expr_text, frontier),
+                    )
+                    for shard in owners
+                ]
+            )
+            merged: Dict[Tuple[str, str], int] = {}
+            for partial in partials:
+                for token, name, mask in partial:
+                    key = (token, name)
+                    merged[key] = merged.get(key, 0) | mask
+            frontier = []
+            for (token, name), mask in merged.items():
+                old = reached.get((token, name), 0)
+                gained = mask & ~old
+                if not gained:
+                    continue
+                reached[(token, name)] = old | gained
+                frontier.append((token, name, gained))
+                if gained & finals_mask and (
+                    target_filter is None or name in target_filter
+                ):
+                    answers.add((token, name))
+        return answers
+
+    # -- RPQ: simple-path / trail semantics --------------------------------------
+
+    def exists(
+        self, expr_text: str, source: str, target: str, semantics: str
+    ) -> bool:
+        """Simple-path / trail existence, identical to the
+        single-process :meth:`~repro.graphs.engine.CompiledRPQ.search`."""
+        plan = _compiled(expr_text)
+        forbid_nodes = semantics == "simple"
+        if source == target and plan.accepts_empty:
+            return True
+        predicates = self._expr_predicates(plan)
+        owners = self.manifest.owners(predicates)
+        if not owners:
+            return False
+        if len(owners) == 1:
+            # the DFS only ever walks expression-labeled edges, and they
+            # are all on this shard; a source/target missing from the
+            # shard has no such edge anywhere, which decides False in
+            # both deployments
+            shard = owners[0]
+            return bool(
+                self.call_shard(
+                    shard,
+                    _task_search,
+                    self.workers[shard][0].image,
+                    expr_text,
+                    source,
+                    target,
+                    forbid_nodes,
+                )
+            )
+        union = self._union_store(owners, predicates)
+        return bool(plan.search(union, source, target, forbid_nodes))
+
+    def _union_store(
+        self, owners: List[int], predicates: List[str]
+    ) -> TripleStore:
+        """The expression-relevant edges gathered into one coordinator-
+        side store (simple/trail DFS needs global used-node/used-edge
+        state, which does not decompose over shards).  Shard edge sets
+        are disjoint, so trail edge-multiplicity is preserved; the
+        result is LRU-cached per predicate set — frozen shards never
+        invalidate it."""
+        key = frozenset(predicates)
+        cached = self._union_cache.get(key)
+        if cached is not None:
+            self._union_cache.move_to_end(key)
+            return cached
+        union = TripleStore()
+        for edges in self.scatter(
+            [
+                (
+                    shard,
+                    _task_edges,
+                    (self.workers[shard][0].image, predicates),
+                )
+                for shard in owners
+            ]
+        ):
+            for s, p, o in edges:
+                union.add(s, p, o)
+        self._union_cache[key] = union
+        while len(self._union_cache) > _UNION_CACHE_ENTRIES:
+            self._union_cache.popitem(last=False)
+        return union
+
+    # -- log battery -------------------------------------------------------------
+
+    def battery(self, source: str, texts: List[str]) -> LogReport:
+        """The corpus-level battery over raw query texts, scattered
+        across the shard workers and merged counter-for-counter
+        identical to ``analyze_corpus(QueryLogCorpus.from_texts(...))``.
+
+        Dedup-first (no parsing on the coordinator): unique normalized
+        texts ship once with their multiplicity, chunks round-robin over
+        the shards, and the partial reports merge via
+        :func:`combine_reports` with the Table 2 headers restored from
+        the dedup accounting."""
+        counts: Dict[str, int] = {}
+        first_text: Dict[str, str] = {}
+        order: List[str] = []
+        for text in texts:
+            key = normalize_text(text)
+            if key in counts:
+                counts[key] += 1
+            else:
+                counts[key] = 1
+                first_text[key] = text
+                order.append(key)
+        entries = [(key, first_text[key], counts[key]) for key in order]
+        chunks: List[List[Tuple[str, str, int]]] = []
+        if entries:
+            size = max(
+                1,
+                min(
+                    BATTERY_CHUNK_SIZE,
+                    -(-len(entries) // max(1, self.manifest.shards)),
+                ),
+            )
+            chunks = [
+                entries[start : start + size]
+                for start in range(0, len(entries), size)
+            ]
+        partials = self.scatter(
+            [
+                (index % self.manifest.shards, _study_worker, ((source, chunk),))
+                for index, chunk in enumerate(chunks)
+            ]
+        )
+        invalid = sum(partial[1] for partial in partials)
+        invalid_unique = sum(partial[2] for partial in partials)
+        report = combine_reports(
+            [partial[0] for partial in partials], name=source
+        )
+        report.total = len(texts)
+        report.valid = len(texts) - invalid
+        report.unique = len(order) - invalid_unique
+        return report

@@ -243,6 +243,15 @@ def read_header(path: PathLike) -> Dict[str, Any]:
             raise StoreImageError(
                 f"{path}: not a repro store image (magic {magic!r})"
             )
+        # bound the declared length by the actual file size before
+        # allocating: a corrupt length field must be a typed error,
+        # not a giant read() attempt
+        remaining = os.fstat(handle.fileno()).st_size - _PREFIX.size
+        if header_len < 0 or header_len > remaining:
+            raise StoreImageError(
+                f"{path}: image header declares {header_len} bytes but "
+                f"only {remaining} follow the prefix"
+            )
         encoded = handle.read(header_len)
     if len(encoded) < header_len:
         raise StoreImageError(f"{path}: truncated image header")

@@ -931,6 +931,134 @@ class MmapStoreOracle(Oracle):
             yield {**case, "expr": regex_to_json(candidate)}
 
 
+# ---------------------------------------------------------------------------
+# Sharded service tier vs the single-process engine
+# ---------------------------------------------------------------------------
+
+
+class ShardedServiceOracle(Oracle):
+    name = "sharded-service"
+    description = (
+        "EmbeddedService over a sharded deployment (scatter-gather "
+        "worker processes) vs the same service over the in-memory "
+        "store, engine and cached answers"
+    )
+
+    def generate(self, rng: random.Random) -> Dict[str, Any]:
+        shards = rng.choice([2, 3, 4])
+        if rng.random() < 0.7:
+            case = random_rpq_case(rng)
+            return {
+                "kind": "rpq",
+                "triples": case["triples"],
+                "expr": str(regex_from_json(case["expr"])),
+                "source": case["source"],
+                "target": case["target"],
+                "semantics": case["semantics"],
+                "shards": shards,
+            }
+        case = random_rpq_case(rng)
+        return {
+            "kind": "battery",
+            "triples": case["triples"],
+            "queries": [
+                random_sparql_text(rng)
+                for _ in range(rng.randrange(1, 4))
+            ],
+            "shards": shards,
+        }
+
+    def check(self, case: Dict[str, Any]) -> Opt[str]:
+        import asyncio
+
+        return asyncio.run(self._check(case))
+
+    async def _check(self, case: Dict[str, Any]) -> Opt[str]:
+        import os
+
+        from ..service import EmbeddedService
+        from ..service.shard import shard_store
+
+        store = TripleStore()
+        for s, p, o in case["triples"]:
+            store.add(s, p, o)
+        with tempfile.TemporaryDirectory() as tmp:
+            shard_store(
+                store, os.path.join(tmp, "g"), shards=case["shards"]
+            )
+            async with EmbeddedService(
+                {"g": os.path.join(tmp, "g")}
+            ) as sharded, EmbeddedService({"g": store}) as single:
+                if case["kind"] == "rpq":
+                    params: Dict[str, Any] = {
+                        "store": "g",
+                        "expr": case["expr"],
+                        "semantics": case["semantics"],
+                    }
+                    if case["semantics"] != "walk":
+                        params["source"] = case["source"]
+                        params["target"] = case["target"]
+                    op = "rpq"
+                else:
+                    params = {
+                        "store": "g",
+                        "queries": case["queries"],
+                        "source": "oracle",
+                    }
+                    op = "battery"
+                # ask each deployment twice: first answer from the
+                # engine, second from the cache — all four must agree
+                # (the cache keys are fingerprint-addressed and the
+                # shard manifest preserves the source fingerprint, so
+                # both deployments derive identical keys)
+                for which in ("engine", "cached"):
+                    a = await sharded.request(op, params)
+                    b = await single.request(op, params)
+                    message = self._compare(which, a, b)
+                    if message is not None:
+                        return message
+        return None
+
+    @staticmethod
+    def _compare(
+        which: str, sharded: Dict[str, Any], single: Dict[str, Any]
+    ) -> Opt[str]:
+        if sharded.get("ok") != single.get("ok"):
+            return (
+                f"{which}: outcome divergence: sharded ok="
+                f"{sharded.get('ok')} single ok={single.get('ok')}"
+            )
+        if not sharded.get("ok"):
+            a = (sharded.get("error") or {}).get("code")
+            b = (single.get("error") or {}).get("code")
+            if a != b:
+                return f"{which}: error code sharded={a} single={b}"
+            return None
+        if sharded["result"] != single["result"]:
+            return (
+                f"{which}: result divergence: "
+                f"sharded={sharded['result']!r} single={single['result']!r}"
+            )
+        return None
+
+    def shrink_candidates(
+        self, case: Dict[str, Any]
+    ) -> Iterable[Dict[str, Any]]:
+        for triples in sequence_candidates(case["triples"]):
+            yield {**case, "triples": triples}
+        if case["shards"] > 2:
+            yield {**case, "shards": 2}
+        if case["kind"] == "rpq":
+            for text in text_candidates(case["expr"]):
+                yield {**case, "expr": text}
+        else:
+            for index in range(len(case["queries"])):
+                smaller = list(case["queries"])
+                del smaller[index]
+                if smaller:
+                    yield {**case, "queries": smaller}
+
+
 ORACLES: Dict[str, Oracle] = {
     oracle.name: oracle
     for oracle in (
@@ -944,5 +1072,6 @@ ORACLES: Dict[str, Oracle] = {
         LexerOracle(),
         FusedBatteryOracle(),
         MmapStoreOracle(),
+        ShardedServiceOracle(),
     )
 }

@@ -73,9 +73,17 @@ def test_stats_accounting():
     assert stats["hit_rate"] == 0.5
 
 
-def test_zero_capacity_rejected():
+def test_zero_capacity_disables_caching():
+    cache = ResultCache(max_entries=0)
+    cache.put("a", 1)
+    assert len(cache) == 0
+    assert cache.get("a") == (False, None)
+    assert cache.misses == 1
+
+
+def test_negative_capacity_rejected():
     with pytest.raises(ValueError):
-        ResultCache(max_entries=0)
+        ResultCache(max_entries=-1)
 
 
 def test_clear():

@@ -1,0 +1,322 @@
+"""The typed (wire v2) request/response layer: dataclass round-trips,
+strict request decoding, legacy-encoding compatibility, the
+``open_service`` factory, and typed store-registration failures."""
+
+import asyncio
+
+import pytest
+
+from repro.errors import (
+    BadRequest,
+    DeadlineExceeded,
+    ServiceError,
+    StoreUnavailableError,
+)
+from repro.graphs.rdf import TripleStore
+from repro.service import (
+    EmbeddedService,
+    ReproServer,
+    ServiceClient,
+    open_service,
+)
+from repro.service.protocol import (
+    WIRE_VERSION,
+    BatteryRequest,
+    ErrorResponse,
+    LogBatteryRequest,
+    MutateRequest,
+    PingRequest,
+    Request,
+    RpqRequest,
+    RpqResponse,
+    SparqlRequest,
+    SparqlResponse,
+    StatsRequest,
+    StatsResponse,
+    error_from_response,
+    error_response,
+    parse_response,
+)
+
+
+def run(coro):
+    return asyncio.run(coro)
+
+
+def small_store() -> TripleStore:
+    return TripleStore(
+        [
+            ("a", "p", "b"),
+            ("b", "p", "c"),
+            ("c", "q", "a"),
+            ("b", "q", "d"),
+        ]
+    )
+
+
+# -- dataclass wire round-trips -----------------------------------------------
+
+
+@pytest.mark.parametrize(
+    "request_obj",
+    [
+        PingRequest(id="r1"),
+        StatsRequest(id="r2", deadline_ms=50.0),
+        RpqRequest(
+            id="r3",
+            store="g",
+            expr="p p*",
+            semantics="trail",
+            source="a",
+            target="c",
+        ),
+        RpqRequest(
+            id="r4", store="g", expr="p", sources=["a"], targets=["b", "c"]
+        ),
+        SparqlRequest(id="r5", query="SELECT ?x WHERE { ?x ?p ?y }"),
+        LogBatteryRequest(id="r6", query="ASK { ?s ?p ?o }"),
+        BatteryRequest(id="r7", queries=["ASK { ?s ?p ?o }"], source="t"),
+        MutateRequest(id="r8", store="g", triples=[["x", "p", "y"]]),
+    ],
+)
+def test_request_wire_round_trip(request_obj):
+    wire = request_obj.to_wire()
+    assert wire["v"] == WIRE_VERSION
+    assert wire["op"] == type(request_obj).op
+    assert Request.parse(wire) == request_obj
+
+
+def test_request_params_omit_unset_fields():
+    wire = RpqRequest(id="r", store="g", expr="p").to_wire()
+    assert wire["params"] == {"store": "g", "expr": "p", "semantics": "walk"}
+    assert "deadline_ms" not in wire
+
+
+def test_unknown_request_params_are_rejected():
+    wire = {
+        "v": WIRE_VERSION,
+        "id": "r",
+        "op": "rpq",
+        "params": {"store": "g", "expr": "p", "bogus": 1},
+    }
+    with pytest.raises(BadRequest, match="bogus"):
+        Request.parse(wire)
+
+
+def test_unknown_op_is_rejected():
+    with pytest.raises(BadRequest, match="no-such-op"):
+        Request.parse(
+            {"v": WIRE_VERSION, "id": "r", "op": "no-such-op", "params": {}}
+        )
+
+
+def test_typed_response_parsing_is_lenient_and_typed():
+    envelope = {
+        "v": WIRE_VERSION,
+        "id": "r",
+        "ok": True,
+        "served_from": "engine",
+        "result": {"semantics": "walk", "pairs": [["a", "b"]], "count": 1},
+    }
+    response = parse_response("rpq", envelope)
+    assert isinstance(response, RpqResponse)
+    assert response.count == 1
+    assert response.served_from == "engine"
+    # unknown result fields must not break older clients
+    envelope["result"]["future_field"] = True
+    assert isinstance(parse_response("rpq", envelope), RpqResponse)
+
+
+def test_error_envelope_parses_to_error_response():
+    envelope = error_response("r", "store_unavailable", "image gone")
+    response = parse_response("rpq", envelope)
+    assert isinstance(response, ErrorResponse)
+    assert response.code == "store_unavailable"
+    exc = response.to_exception()
+    assert isinstance(exc, StoreUnavailableError)
+    assert "image gone" in str(exc)
+
+
+def test_error_from_response_reconstructs_store_unavailable():
+    exc = error_from_response(
+        error_response("r", "store_unavailable", "no image at /x.img")
+    )
+    assert isinstance(exc, StoreUnavailableError)
+    assert isinstance(exc, ServiceError)
+
+
+# -- server-side encoding compatibility ---------------------------------------
+
+
+def test_typed_and_legacy_requests_get_identical_results():
+    async def scenario():
+        store = small_store()
+        async with EmbeddedService({"g": store}) as service:
+            legacy = await service.request(
+                "rpq", {"store": "g", "expr": "p p*"}
+            )
+            typed = await service.send(
+                RpqRequest(store="g", expr="p p*")
+            )
+            assert legacy["ok"]
+            assert isinstance(typed, RpqResponse)
+            assert typed.pairs == legacy["result"]["pairs"]
+            assert typed.count == legacy["result"]["count"]
+            # legacy envelope has no version; typed envelope is stamped
+            assert "v" not in legacy
+            raw_typed = await service.request_message(
+                RpqRequest(id="x1", store="g", expr="p p*").to_wire()
+            )
+            assert raw_typed["v"] == WIRE_VERSION
+
+    run(scenario())
+
+
+def test_legacy_requests_are_counted_for_the_deprecation_window():
+    async def scenario():
+        store = small_store()
+        async with EmbeddedService({"g": store}) as service:
+            await service.request("ping")
+            await service.request("ping")
+            await service.send(PingRequest())
+            stats = await service.stats()
+            assert stats["metrics"]["legacy_requests"] == 2
+
+    run(scenario())
+
+
+def test_unsupported_wire_version_is_a_bad_request():
+    async def scenario():
+        async with EmbeddedService({"g": small_store()}) as service:
+            response = await service.request_message(
+                {"v": 99, "id": "r", "op": "ping", "params": {}}
+            )
+            assert not response["ok"]
+            assert response["error"]["code"] == "bad_request"
+
+    run(scenario())
+
+
+def test_typed_requests_are_strict_over_the_full_stack():
+    async def scenario():
+        async with EmbeddedService({"g": small_store()}) as service:
+            response = await service.request_message(
+                {
+                    "v": WIRE_VERSION,
+                    "id": "r",
+                    "op": "rpq",
+                    "params": {"store": "g", "expr": "p", "junk": 1},
+                }
+            )
+            assert not response["ok"]
+            assert response["error"]["code"] == "bad_request"
+            # the identical params are accepted in the legacy encoding
+            # (unknown params were never validated there — one release
+            # of compatibility)
+            legacy = await service.request(
+                "rpq", {"store": "g", "expr": "p"}
+            )
+            assert legacy["ok"]
+
+    run(scenario())
+
+
+def test_typed_stats_response_over_tcp():
+    async def scenario():
+        async with ReproServer({"g": small_store()}) as server:
+            host, port = server.address
+            client = await open_service((host, port))
+            try:
+                response = await client.send(StatsRequest())
+                assert isinstance(response, StatsResponse)
+                assert "g" in response.stores
+                sparql = await client.send(
+                    SparqlRequest(query="SELECT ?x WHERE { ?x ?p ?y }")
+                )
+                assert isinstance(sparql, SparqlResponse)
+                assert sparql.valid is True
+            finally:
+                await client.close()
+
+    run(scenario())
+
+
+def test_typed_wrappers_raise_typed_errors():
+    async def scenario():
+        async with EmbeddedService({"g": small_store()}) as service:
+            with pytest.raises(BadRequest):
+                await service.rpq("missing-store", "p")
+            with pytest.raises(BadRequest):
+                await service.sparql("x", deadline_ms=-1)
+
+    run(scenario())
+
+
+# -- open_service factory -----------------------------------------------------
+
+
+def test_open_service_embedded_from_a_stores_dict():
+    async def scenario():
+        service = await open_service({"g": small_store()})
+        assert isinstance(service, EmbeddedService)
+        try:
+            assert (await service.ping())["pong"] is True
+        finally:
+            await service.close()
+
+    run(scenario())
+
+
+def test_open_service_tcp_from_host_port_string_and_tuple():
+    async def scenario():
+        async with ReproServer({"g": small_store()}) as server:
+            host, port = server.address
+            for target in (f"{host}:{port}", (host, port)):
+                client = await open_service(target)
+                assert isinstance(client, ServiceClient)
+                try:
+                    result = await client.rpq("g", "p")
+                    assert result["count"] >= 1
+                finally:
+                    await client.close()
+
+    run(scenario())
+
+
+def test_open_service_rejects_malformed_targets():
+    async def scenario():
+        with pytest.raises(ValueError):
+            await open_service("no-port-here")
+        with pytest.raises(TypeError):
+            await open_service(42)
+
+    run(scenario())
+
+
+# -- typed store-registration failures ----------------------------------------
+
+
+def test_missing_image_path_raises_store_unavailable(tmp_path):
+    with pytest.raises(StoreUnavailableError):
+        EmbeddedService({"g": tmp_path / "nothing.img"})
+
+
+def test_corrupt_image_raises_store_unavailable(tmp_path):
+    bogus = tmp_path / "corrupt.img"
+    bogus.write_bytes(b"REPROIMG trailing garbage that is not an image")
+    with pytest.raises(StoreUnavailableError):
+        EmbeddedService({"g": bogus})
+
+
+def test_store_unavailable_round_trips_the_wire_encoding(tmp_path):
+    # the registration failure's code is in ERROR_TYPES, so a remote
+    # client reconstructs the same exception type from the envelope
+    try:
+        EmbeddedService({"g": tmp_path / "nothing.img"})
+    except StoreUnavailableError as exc:
+        envelope = error_response("r", exc.code, str(exc))
+        rebuilt = error_from_response(envelope)
+        assert isinstance(rebuilt, StoreUnavailableError)
+        assert str(rebuilt) == str(exc)
+    else:
+        pytest.fail("registration over a missing image must fail")
