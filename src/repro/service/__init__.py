@@ -8,13 +8,15 @@ per-request deadlines, single-flight deduplication of identical
 in-flight requests, a content-addressed result cache, and per-endpoint
 metrics with latency percentiles.
 
-Stores can be served from memory, from one frozen mmap image, or —
-new in wire v2 — from a *sharded deployment*: a directory of per-shard
-images written by :func:`shard_store`, attached zero-copy by a pool of
-worker processes and evaluated scatter-gather by :class:`ShardGroup`.
-The request/response messages now have typed dataclass forms
-(:class:`RpqRequest` … :class:`StatsResponse`) alongside the
-deprecated dict encoding.
+Stores can be served from memory, from one frozen mmap image, or from
+a *sharded deployment*: a directory of per-shard images written by
+:func:`shard_store`, attached zero-copy by a pool of worker processes
+and evaluated scatter-gather by :class:`ShardGroup` — with label-pruned,
+pipelined frontier exchange for multi-shard RPQs and owners()-routed
+SPARQL evaluation (the ``query`` op) against the shard images.  All
+messages are typed wire-v2 dataclasses (:class:`RpqRequest` …
+:class:`StatsResponse`); the pre-typed v1 dict encoding is rejected
+with an upgrade hint.
 
 Public surface:
 
@@ -64,6 +66,8 @@ from .protocol import (
     MutateResponse,
     PingRequest,
     PingResponse,
+    QueryRequest,
+    QueryResponse,
     Request,
     Response,
     RpqRequest,
@@ -104,6 +108,8 @@ __all__ = [
     "PingRequest",
     "PingResponse",
     "ProtocolError",
+    "QueryRequest",
+    "QueryResponse",
     "ReproServer",
     "Request",
     "RequestAPI",

@@ -13,9 +13,9 @@ tests rely on.
 
 The convenience wrappers construct typed v2 requests (see
 :mod:`repro.service.protocol`), so ordinary callers are on the current
-wire encoding without thinking about it; ``request(op, params)`` still
-sends the deprecated version-less encoding for code that migrates
-later.
+wire encoding without thinking about it; ``request(op, params)`` now
+stamps the v2 version on its loose dicts too — the version-less (v1)
+encoding is rejected by current servers.
 
 The client multiplexes: requests are written as they are made, a
 single reader task dispatches responses to per-id futures, so any
@@ -33,10 +33,12 @@ from typing import Any, Dict, List, Optional as Opt, Sequence, Tuple
 from ..errors import ServiceError
 from .protocol import (
     MAX_FRAME_BYTES,
+    WIRE_VERSION,
     BatteryRequest,
     LogBatteryRequest,
     MutateRequest,
     PingRequest,
+    QueryRequest,
     Request,
     RpqRequest,
     SparqlRequest,
@@ -74,12 +76,16 @@ class RequestAPI:
         *,
         deadline_ms: Opt[float] = None,
     ) -> Dict[str, Any]:
-        """Send one request in the deprecated version-less encoding;
-        return the full response envelope.  Kept for one release so
-        pre-typed callers migrate on their own schedule — new code
-        should construct typed requests and :meth:`send` them (the
-        convenience wrappers below already do)."""
-        message: Dict[str, Any] = {"op": op, "params": params or {}}
+        """Send one loose-dict request (stamped with the current wire
+        version — servers reject version-less v1 frames); return the
+        full response envelope.  New code should construct typed
+        requests and :meth:`send` them (the convenience wrappers below
+        already do)."""
+        message: Dict[str, Any] = {
+            "v": WIRE_VERSION,
+            "op": op,
+            "params": params or {},
+        }
         if deadline_ms is not None:
             message["deadline_ms"] = deadline_ms
         return await self.request_message(message)
@@ -144,6 +150,15 @@ class RequestAPI:
     ) -> Dict[str, Any]:
         return await self._result_of(
             SparqlRequest(query=query, deadline_ms=deadline_ms)
+        )
+
+    async def query(
+        self, store: str, query: str, *, deadline_ms: Opt[float] = None
+    ) -> Dict[str, Any]:
+        """Full SPARQL evaluation against a registered store (owners()-
+        routed on sharded stores)."""
+        return await self._result_of(
+            QueryRequest(store=store, query=query, deadline_ms=deadline_ms)
         )
 
     async def log_battery(

@@ -15,7 +15,12 @@ requested rank; the relative error is bounded by the bucket ratio
 benchmarks record exact wall-clock timings separately.
 
 All updates happen on the event-loop thread (the scheduler's worker
-threads never touch metrics), so no locking is needed.
+threads never touch metrics), so no locking is needed.  The one
+exception is the sharded exchange accounting (``scatter_bytes`` /
+``gather_bytes`` / ``shard_rounds`` / ``pruned_entries``), which a
+:class:`~repro.service.shard.ShardGroup` folds in from a scheduler
+worker thread under its own coordinator lock — observability counters
+whose reads are snapshots anyway.
 """
 
 from __future__ import annotations
@@ -155,9 +160,17 @@ class ServiceMetrics:
         self.connections = 0
         self.disconnects = 0  #: responses dropped on a gone connection
         self.protocol_errors = 0
-        #: requests in the deprecated pre-typed (v1) wire encoding — a
-        #: migration signal; the encoding is dropped next release
+        #: *rejected* requests in the removed pre-typed (v1) wire
+        #: encoding — each one answered with a typed BadRequest carrying
+        #: an upgrade hint; a non-zero count means a straggler client
         self.legacy_requests = 0
+        # sharded frontier-exchange accounting, mirrored from every
+        # mounted ShardGroup (estimated wire payload — deterministic
+        # across hosts, see repro.service.shard)
+        self.scatter_bytes = 0
+        self.gather_bytes = 0
+        self.shard_rounds = 0
+        self.pruned_entries = 0
 
     def endpoint(self, op: str) -> EndpointMetrics:
         metrics = self._endpoints.get(op)
@@ -197,6 +210,10 @@ class ServiceMetrics:
             "disconnects": self.disconnects,
             "protocol_errors": self.protocol_errors,
             "legacy_requests": self.legacy_requests,
+            "scatter_bytes": self.scatter_bytes,
+            "gather_bytes": self.gather_bytes,
+            "shard_rounds": self.shard_rounds,
+            "pruned_entries": self.pruned_entries,
             "endpoints": {
                 op: metrics.snapshot()
                 for op, metrics in sorted(self._endpoints.items())

@@ -10,10 +10,10 @@ unbounded line.
 
 Wire version 2 (current) speaks *typed messages*: each operation has a
 frozen request dataclass (:class:`RpqRequest`, :class:`SparqlRequest`,
-:class:`LogBatteryRequest`, :class:`BatteryRequest`,
-:class:`MutateRequest`, :class:`StatsRequest`, :class:`PingRequest`)
-and a matching response type, all carrying ``to_wire()`` /
-``from_wire()``.  On the wire a v2 request is::
+:class:`QueryRequest`, :class:`LogBatteryRequest`,
+:class:`BatteryRequest`, :class:`MutateRequest`, :class:`StatsRequest`,
+:class:`PingRequest`) and a matching response type, all carrying
+``to_wire()`` / ``from_wire()``.  On the wire a v2 request is::
 
     {"v": 2, "id": str, "op": str, "params": {...}, "deadline_ms"?: num}
 
@@ -28,13 +28,14 @@ so every answer is traceable to how it was produced; ``code`` is the
 stable identifier of one of the typed
 :class:`~repro.errors.ServiceError` subclasses.
 
-**Deprecated — version 1**: requests without a ``"v"`` field are the
-pre-typed encoding (same fields, no version stamp).  The server still
-accepts them for one release and answers in kind (no ``"v"`` on the
-response), so old clients keep working; it counts them in
-``metrics.legacy_requests`` as a migration signal.  New code should
-construct typed requests (or use the :class:`~.client.RequestAPI`
-wrappers, which do).
+**Removed — version 1**: requests without a ``"v"`` field were the
+pre-typed encoding, accepted alongside v2 for one deprecation release.
+That window is over: the server now rejects a version-less request with
+a typed :class:`~repro.errors.BadRequest` carrying an upgrade hint, and
+counts the attempt in ``metrics.legacy_requests`` (the counter survives
+as a rejected-v1 signal, so operators can see stragglers before they
+page).  Construct typed requests (or use the
+:class:`~.client.RequestAPI` wrappers, which do).
 
 Responses may arrive in any order; the ``id`` is the correlation key
 (the server handles requests of one connection concurrently, and the
@@ -63,9 +64,9 @@ from ..errors import (
 #: Hard bound on one frame's JSON payload (requests *and* responses).
 MAX_FRAME_BYTES = 16 * 1024 * 1024
 
-#: Current wire encoding version.  Version 1 (no ``"v"`` field) is the
-#: pre-typed dict encoding, accepted for one release — see the module
-#: docstring's deprecation note.
+#: Current wire encoding version.  Version 1 (no ``"v"`` field) was the
+#: pre-typed dict encoding; its deprecation window has closed and the
+#: server now rejects it — see the module docstring.
 WIRE_VERSION = 2
 
 _LENGTH = struct.Struct(">I")
@@ -245,6 +246,18 @@ class SparqlRequest(Request):
 
 
 @dataclass(frozen=True, kw_only=True)
+class QueryRequest(Request):
+    """Evaluate a SPARQL query against a named store (operation
+    ``query``) — full evaluation, unlike :class:`SparqlRequest` which
+    only parses and analyzes the text.  On a sharded store the pattern
+    accesses are owners()-routed through the shard images."""
+
+    op: ClassVar[str] = "query"
+    store: str = ""
+    query: str = ""
+
+
+@dataclass(frozen=True, kw_only=True)
 class LogBatteryRequest(Request):
     """One query through the full log battery (operation name ``log``)."""
 
@@ -281,6 +294,7 @@ REQUEST_TYPES: Dict[str, Type[Request]] = {
         StatsRequest,
         RpqRequest,
         SparqlRequest,
+        QueryRequest,
         LogBatteryRequest,
         BatteryRequest,
         MutateRequest,
@@ -374,6 +388,23 @@ class SparqlResponse(Response):
 
 
 @dataclass(frozen=True, kw_only=True)
+class QueryResponse(Response):
+    """A full SPARQL evaluation: ``kind`` is ``select`` (``rows`` +
+    ``count``), ``ask`` (``boolean``) or ``graph`` (``triples``); an
+    unparseable or unsupported query answers ``valid=False`` with a
+    ``reason`` instead of an error envelope (the query was understood
+    well enough to be judged, like the ``sparql`` analysis op)."""
+
+    valid: bool = False
+    kind: Opt[str] = None
+    rows: Opt[List[Dict[str, str]]] = None
+    count: Opt[int] = None
+    boolean: Opt[bool] = None
+    triples: Opt[List[List[str]]] = None
+    reason: Opt[str] = None
+
+
+@dataclass(frozen=True, kw_only=True)
 class LogBatteryResponse(Response):
     valid: bool = False
     record: Opt[Dict[str, Any]] = None
@@ -439,6 +470,7 @@ RESPONSE_TYPES: Dict[str, Type[Response]] = {
     "stats": StatsResponse,
     "rpq": RpqResponse,
     "sparql": SparqlResponse,
+    "query": QueryResponse,
     "log": LogBatteryResponse,
     "battery": BatteryResponse,
     "mutate": MutateResponse,
@@ -465,7 +497,16 @@ def request(
     params: Opt[Dict[str, Any]] = None,
     deadline_ms: Opt[float] = None,
 ) -> Dict[str, Any]:
-    message: Dict[str, Any] = {"id": request_id, "op": op, "params": params or {}}
+    """A v2 request envelope from loose parts (the typed dataclasses'
+    ``to_wire()`` is the first-class constructor; this is the escape
+    hatch for ops without a dataclass yet, and it stamps the version
+    so it never produces a rejected v1 frame)."""
+    message: Dict[str, Any] = {
+        "v": WIRE_VERSION,
+        "id": request_id,
+        "op": op,
+        "params": params or {},
+    }
     if deadline_ms is not None:
         message["deadline_ms"] = deadline_ms
     return message

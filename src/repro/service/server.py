@@ -21,6 +21,13 @@ Operations
 * ``sparql`` — parse + structural analysis of one SPARQL query
   (canonical text via :func:`~repro.sparql.serialize.serialize_query`,
   features, operator set, triple count);
+* ``query`` — *full evaluation* of one SPARQL query against a
+  registered store (SELECT rows, ASK boolean, CONSTRUCT/DESCRIBE
+  triples).  On a sharded store the evaluator's pattern accesses run
+  through the :class:`~repro.service.shard.ShardPatternExecutor`:
+  concrete-predicate patterns read their owner shard's image directly
+  (``ShardManifest.owners()`` routing) instead of gathering a union
+  store;
 * ``log`` — the full per-query log-battery record
   (:func:`~repro.logs.battery.analyze_query_fused`, shipped in its
   JSON-able :func:`~repro.logs.analyzer.encode_analysis` form — the
@@ -38,11 +45,12 @@ Operations
   fingerprints;
 * ``ping`` — liveness.
 
-Both wire encodings are accepted: version-2 typed messages (see
-:mod:`repro.service.protocol`) and — **deprecated, one more release** —
-the version-less pre-typed dicts, counted in
-``metrics.legacy_requests``.  Responses answer in the requester's
-encoding.
+Only version-2 typed messages are accepted (see
+:mod:`repro.service.protocol`); a version-less pre-typed (v1) request —
+whose deprecation window has closed — is rejected with a typed
+``bad_request`` carrying an upgrade hint and counted in
+``metrics.legacy_requests``.  Every response is stamped with the wire
+version.
 
 Sharded deployments
 -------------------
@@ -104,6 +112,7 @@ from ..errors import (
     StoreFrozenError,
     StoreImageError,
     StoreUnavailableError,
+    UnsupportedFeatureError,
 )
 from ..graphs.engine import ast_key
 from ..graphs.paths import evaluate_rpq, exists_simple_path, exists_trail
@@ -119,6 +128,7 @@ from ..sparql.features import (
     operator_set,
     query_features,
 )
+from ..sparql.evaluation import Evaluator, _as_node
 from ..sparql.parser import parse_query
 from ..sparql.serialize import serialize_query
 from .client import RequestAPI, connect
@@ -137,7 +147,7 @@ from .scheduler import DEFAULT_MAX_QUEUE, DEFAULT_MAX_WORKERS, Scheduler
 from .shard import MANIFEST_NAME, ShardGroup
 
 #: operations that go through cache + scheduler
-COMPUTE_OPS = ("rpq", "sparql", "log", "battery")
+COMPUTE_OPS = ("rpq", "sparql", "query", "log", "battery")
 
 #: what may be registered as a store: a live store, an already-mounted
 #: shard group, a path to a frozen image, or a path to a shard
@@ -174,6 +184,9 @@ def _resolve_store(
 #: version folded into the sparql endpoint's cache fingerprint; bump
 #: when the endpoint's result payload changes shape
 SPARQL_RESULT_VERSION = "sparql-1"
+
+#: same role for the query (full SPARQL evaluation) endpoint
+QUERY_RESULT_VERSION = "query-1"
 
 _SEMANTICS = ("walk", "simple", "trail")
 
@@ -264,11 +277,17 @@ class ServiceCore:
         )
         self.cache = ResultCache(self.config.cache_entries)
         self.metrics = ServiceMetrics()
+        for store in self.stores.values():
+            if isinstance(store, ShardGroup):
+                store.service_metrics = self.metrics
 
     def add_store(self, name: str, store: StoreSpec) -> None:
         """Register a live store, a frozen-image path, or a shard
         directory under ``name``."""
-        self.stores[name] = _resolve_store(store, self.config.shard_replicas)
+        resolved = _resolve_store(store, self.config.shard_replicas)
+        if isinstance(resolved, ShardGroup):
+            resolved.service_metrics = self.metrics
+        self.stores[name] = resolved
         self._gates[name] = _StoreGate()
 
     @property
@@ -291,34 +310,41 @@ class ServiceCore:
         """One request dict in, one response dict out.  Never raises:
         every failure becomes a typed error response.
 
-        Accepts both wire encodings and answers in kind: a message with
-        a ``"v"`` field is a typed v2 request (strictly parsed through
+        Only the typed v2 encoding is accepted (strictly parsed through
         :class:`~repro.service.protocol.Request` — unknown parameters
-        are rejected) and gets a version-stamped response; a message
-        without one is the deprecated pre-typed encoding, counted in
-        ``metrics.legacy_requests``."""
+        are rejected); a version-less v1 request is rejected with an
+        upgrade hint and counted in ``metrics.legacy_requests``.  Every
+        response carries the wire version stamp."""
         started = time.monotonic()
-        typed = "v" in message
         request_id = message.get("id")
         if request_id is not None and not isinstance(request_id, str):
             request_id = str(request_id)
 
         def finish(response: Dict[str, Any]) -> Dict[str, Any]:
-            if typed:
-                response["v"] = WIRE_VERSION
+            response["v"] = WIRE_VERSION
             return response
 
-        if not typed:
+        if "v" not in message:
             self.metrics.legacy_requests += 1
-        elif message.get("v") != WIRE_VERSION:
+            self.metrics.record("?", started, "error", BadRequest.code)
+            return finish(
+                error_response(
+                    request_id,
+                    BadRequest.code,
+                    "the version-less (v1) wire encoding is no longer "
+                    f'accepted; send typed v2 requests with "v": '
+                    f"{WIRE_VERSION} — see repro.service.protocol or use "
+                    "the repro.service.client.RequestAPI wrappers",
+                )
+            )
+        if message.get("v") != WIRE_VERSION:
             self.metrics.record("?", started, "error", BadRequest.code)
             return finish(
                 error_response(
                     request_id,
                     BadRequest.code,
                     f"unsupported wire version {message.get('v')!r} "
-                    f"(this server speaks {WIRE_VERSION} and the "
-                    f"deprecated version-less encoding)",
+                    f"(this server speaks {WIRE_VERSION})",
                 )
             )
         op = message.get("op")
@@ -330,12 +356,7 @@ class ServiceCore:
                 )
             )
         try:
-            if typed:
-                params = Request.parse(message).params()
-            else:
-                params = message.get("params") or {}
-                if not isinstance(params, dict):
-                    raise BadRequest("'params' must be an object")
+            params = Request.parse(message).params()
             deadline = self._deadline_of(message)
             if op == "ping":
                 response = ok_response(request_id, {"pong": True})
@@ -395,6 +416,8 @@ class ServiceCore:
             key, fn = self._prepare_rpq(params)
         elif op == "sparql":
             key, fn = self._prepare_sparql(params)
+        elif op == "query":
+            key, fn = self._prepare_query(params)
         elif op == "battery":
             key, fn = self._prepare_battery(params)
         else:
@@ -537,6 +560,79 @@ class ServiceCore:
                 "triples": count_triple_patterns(query),
                 "features": sorted(query_features(query)),
                 "operators": sorted(operator_set(query)),
+            }
+
+        return key, fn
+
+    def _prepare_query(self, params: Dict[str, Any]):
+        """Full SPARQL evaluation against a registered store.  Sharded
+        stores evaluate through the group's owners()-routed
+        :class:`~repro.service.shard.ShardPatternExecutor`; local stores
+        evaluate under the store's read gate.  SELECT rows are shipped
+        in canonical (sorted-JSON) order *after* solution modifiers, so
+        the payload is deterministic and cache keys are deployment-
+        independent."""
+        name, store = self._store_of(params)
+        text = self._query_text(params)
+        sharded = isinstance(store, ShardGroup)
+        gate = self._gates[name]
+        key = result_key(
+            "query",
+            store.fingerprint(),
+            json.dumps(
+                [QUERY_RESULT_VERSION, normalize_text(text)],
+                ensure_ascii=False,
+            ),
+            "query",
+        )
+
+        def fn() -> Dict[str, Any]:
+            try:
+                query = parse_query(text)
+            except (SPARQLParseError, RecursionError) as exc:
+                return {"valid": False, "reason": str(exc)}
+
+            def run():
+                if sharded:
+                    evaluator = Evaluator(None, executor=store.executor())
+                else:
+                    evaluator = Evaluator(store)
+                return evaluator.evaluate(query)
+
+            try:
+                result = run() if sharded else gate.read(run)
+            except UnsupportedFeatureError as exc:
+                return {"valid": False, "reason": str(exc)}
+            if query.query_type == "SELECT":
+                rows = [
+                    {
+                        var: _as_node(value)
+                        for var, value in solution.items()
+                        if not var.startswith("_bnode_")
+                    }
+                    for solution in result
+                ]
+                rows.sort(
+                    key=lambda row: json.dumps(
+                        row, sort_keys=True, ensure_ascii=False
+                    )
+                )
+                return {
+                    "valid": True,
+                    "kind": "select",
+                    "rows": rows,
+                    "count": len(rows),
+                }
+            if query.query_type == "ASK":
+                return {
+                    "valid": True,
+                    "kind": "ask",
+                    "boolean": bool(result),
+                }
+            return {
+                "valid": True,
+                "kind": "graph",
+                "triples": sorted(list(triple) for triple in result.triples()),
             }
 
         return key, fn

@@ -22,14 +22,48 @@ closes the loop:
 * :class:`ShardGroup` is the coordinator: it routes whole queries to a
   single shard when every predicate of the expression lives there
   (consistent-hash routing, the fast path), and otherwise runs the RPQ
-  product BFS as a **name-level frontier exchange** — each round the
-  frontier ``(source token, node name, NFA state mask)`` entries are
-  scattered to every owning shard, advanced one edge level against the
-  shard-local adjacency (:meth:`~repro.graphs.engine.CompiledRPQ.frontier_step`),
+  product BFS as a **name-level frontier exchange** — frontier
+  ``(source token, node name, NFA state mask)`` entries are scattered
+  to owning shards, advanced one edge level against the shard-local
+  adjacency (:meth:`~repro.graphs.engine.CompiledRPQ.frontier_step`),
   and the partial frontiers merged by the coordinator, which alone
   decides which state bits are new.  Log batteries scatter
   ``(key, text, multiplicity)`` chunks over the workers and merge the
   counter partials via :func:`~repro.logs.analyzer.combine_reports`.
+* :class:`ShardPatternExecutor` gives the SPARQL evaluator the same
+  owners() routing: concrete-predicate triple patterns and path steps
+  read the owner shard's image directly (coordinator-side zero-copy
+  attach — the pages are already mapped by the shard's workers), and
+  variable-predicate scans union per-predicate owner reads, so ``query``
+  requests never fall back to a gathered union store.
+
+The exchange is *payload-aware and pipelined*:
+
+* **Label pruning** (``label_prune=True``) — the coordinator attaches
+  each shard image itself and consults the per-node label summary
+  written at :func:`shard_store` time (image format 2, see
+  :mod:`repro.store.mmapstore`): a frontier entry ships to a shard only
+  when its mask has a pending transition on a predicate the shard owns
+  *and* the node actually has a matching local edge.  Skewed workloads
+  stop paying broadcast cost; entries a broadcast would have shipped
+  are counted in ``pruned_entries``.  Images without a summary
+  (format 1, or > 63 predicates) degrade gracefully to shard-level
+  predicate pruning plus node-existence pruning.
+* **Pipelined rounds** (``pipelined=True``) — instead of a per-round
+  barrier, a completion-driven loop keeps one frontier-step call in
+  flight per shard: as each worker returns, its partial is merged and
+  the next level is dispatched immediately to idle shards while
+  stragglers drain.  The reached/newness bookkeeping stays coordinator-
+  owned; the reached table is a monotone join over bitmasks, so the
+  completion order cannot change the fixpoint and answers stay
+  deterministic (the equivalence tests pin pipelined == barrier ==
+  single-process).
+
+``scatter_bytes`` / ``gather_bytes`` / ``rounds`` / ``pruned_entries``
+counters (estimated wire payload: token + name UTF-8 bytes plus a
+constant per entry, deterministic across hosts) accumulate on the group
+and mirror into the service's :class:`~.metrics.ServiceMetrics` when
+the group is mounted in a :class:`~.server.ServiceCore`.
 
 Partitioning by predicate makes single-predicate reads (and any
 expression whose alphabet maps to one shard) local to one worker, while
@@ -58,7 +92,7 @@ import os
 import threading
 from bisect import bisect_right
 from collections import OrderedDict
-from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures import FIRST_COMPLETED, ProcessPoolExecutor, wait
 from concurrent.futures.process import BrokenProcessPool
 from dataclasses import dataclass, field
 from functools import lru_cache
@@ -67,7 +101,9 @@ from typing import (
     Any,
     Callable,
     Dict,
+    FrozenSet,
     Iterable,
+    Iterator,
     List,
     Optional as Opt,
     Sequence,
@@ -82,6 +118,7 @@ from ..logs.analyzer import LogReport, combine_reports
 from ..logs.corpus import normalize_text
 from ..logs.pipeline import _study_worker
 from ..regex.parser import parse as parse_regex
+from ..sparql.evaluation import PatternExecutor
 
 #: manifest format version (bump on incompatible layout changes)
 MANIFEST_FORMAT = 1
@@ -98,10 +135,29 @@ RING_POINTS = 64
 #: by the worker count, same discipline as repro.core.parallelism)
 BATTERY_CHUNK_SIZE = 256
 
-#: union-store LRU entries kept per group for multi-shard simple/trail
-#: decisions (keyed by the expression's predicate set; shard images are
-#: frozen, so entries never go stale)
+#: default union-store LRU entries kept per group for multi-shard
+#: simple/trail decisions (a :class:`ShardGroup` parameter since the
+#: capacity is workload-dependent)
 _UNION_CACHE_ENTRIES = 8
+
+#: estimated per-entry wire overhead of one frontier-exchange entry
+#: beyond its token/name text: the 8-byte state mask plus framing.  The
+#: byte counters exist to compare pruned against broadcast payload, so
+#: the accounting must be deterministic and host-independent — it is an
+#: estimate of serialized size, not a measurement of pickle output.
+ENTRY_OVERHEAD_BYTES = 12
+
+
+def _entries_bytes(entries: Iterable[Tuple[str, str, int]]) -> int:
+    """Estimated scatter/gather payload of frontier entries."""
+    total = 0
+    for token, name, _mask in entries:
+        total += (
+            len(token.encode("utf-8"))
+            + len(name.encode("utf-8"))
+            + ENTRY_OVERHEAD_BYTES
+        )
+    return total
 
 
 def _point(value: str) -> int:
@@ -407,12 +463,35 @@ class ShardGroup:
     ``sharded-service`` differential oracle holds them to it.
     """
 
-    def __init__(self, target: Any, replicas: int = 1):
+    def __init__(
+        self,
+        target: Any,
+        replicas: int = 1,
+        *,
+        pipelined: bool = True,
+        label_prune: bool = True,
+        union_cache_entries: int = _UNION_CACHE_ENTRIES,
+    ):
         if replicas < 1:
             raise ValueError("every shard needs at least one attachment")
         self.manifest = ShardManifest.load(target)
         self.replicas = replicas
+        #: completion-driven frontier exchange (False: per-round barrier;
+        #: the answers are identical either way — equivalence-tested)
+        self.pipelined = pipelined
+        #: label-pruned scatter (False: broadcast the frontier to every
+        #: owner shard, the pre-pruning behaviour — kept for comparison
+        #: benchmarks and equivalence tests)
+        self.label_prune = label_prune
         self.failovers = 0
+        # exchange payload accounting (see module docstring); mirrored
+        # into the service metrics registry when mounted in a core
+        self.scatter_bytes = 0
+        self.gather_bytes = 0
+        self.rounds = 0
+        self.pruned_entries = 0
+        self.scattered_entries = 0
+        self.service_metrics: Opt[Any] = None
         self._lock = threading.Lock()
         #: test/chaos instrumentation: called once per gather round
         self.gather_hook: Opt[Callable[[], None]] = None
@@ -424,7 +503,12 @@ class ShardGroup:
             for shard in range(self.manifest.shards)
         ]
         self._node_names: Opt[List[str]] = None
-        self._union_cache: "OrderedDict[frozenset, TripleStore]" = OrderedDict()
+        self._union_cache_entries = union_cache_entries
+        self._union_cache: "OrderedDict[Tuple[str, frozenset], TripleStore]" = (
+            OrderedDict()
+        )
+        self._mapped: List[Opt[Any]] = [None] * self.manifest.shards
+        self._executor: Opt["ShardPatternExecutor"] = None
 
     # -- identity ----------------------------------------------------------------
 
@@ -482,7 +566,67 @@ class ShardGroup:
                 for attachments in self.workers
                 for worker in attachments
             ),
+            "pipelined": self.pipelined,
+            "label_prune": self.label_prune,
+            "scatter_bytes": self.scatter_bytes,
+            "gather_bytes": self.gather_bytes,
+            "rounds": self.rounds,
+            "pruned_entries": self.pruned_entries,
+            "scattered_entries": self.scattered_entries,
         }
+
+    def _account(
+        self,
+        *,
+        scatter: int = 0,
+        gather: int = 0,
+        rounds: int = 0,
+        pruned: int = 0,
+        entries: int = 0,
+    ) -> None:
+        """Fold one walk's exchange accounting into the group counters
+        and, when mounted in a service core, the shared metrics
+        registry (walks run concurrently on scheduler threads, hence
+        the lock)."""
+        with self._lock:
+            self.scatter_bytes += scatter
+            self.gather_bytes += gather
+            self.rounds += rounds
+            self.pruned_entries += pruned
+            self.scattered_entries += entries
+            metrics = self.service_metrics
+            if metrics is not None:
+                metrics.scatter_bytes += scatter
+                metrics.gather_bytes += gather
+                metrics.shard_rounds += rounds
+                metrics.pruned_entries += pruned
+
+    # -- coordinator-side image attach -------------------------------------------
+
+    def _shard_mapped(self, shard: int):
+        """The shard's image mapped into *this* process (zero-copy; the
+        physical pages are shared with the shard's worker processes).
+        Scatter pruning reads the per-node label summaries through it,
+        and :class:`ShardPatternExecutor` serves owners()-routed SPARQL
+        reads from it without an IPC round trip.
+
+        The per-process :func:`~repro.store.mmapstore.attach` cache owns
+        the mapping — several groups over one directory share it, so
+        :meth:`close` deliberately leaves it attached."""
+        mapped = self._mapped[shard]
+        if mapped is None:
+            from ..store.mmapstore import attach
+
+            mapped = attach(self.manifest.image_path(shard))
+            self._mapped[shard] = mapped
+        return mapped
+
+    def executor(self) -> "ShardPatternExecutor":
+        """The group's owners()-routed SPARQL pattern executor (one per
+        group; the underlying shard images are frozen)."""
+        if self._executor is None:
+            self._executor = ShardPatternExecutor(self)
+        return self._executor
 
     # -- calls with failover -----------------------------------------------------
 
@@ -622,6 +766,34 @@ class ShardGroup:
             plan, expr_text, owners, sources, target_filter, answers
         )
 
+    def _exchange_contexts(
+        self, plan, owners: List[int]
+    ) -> Dict[int, List[Tuple[str, List[int], bool, Opt[int]]]]:
+        """Per owner shard, the NFA atoms whose predicate the shard owns
+        as ``(label, delta, inverse, summary bit)``.  The summary bit is
+        the predicate's position in the *shard image's* label bitmasks
+        (``None`` when the image carries no summary — format-1 images or
+        > 63 predicates — in which case node-level pruning degrades to
+        node-existence pruning for that atom)."""
+        contexts: Dict[int, List[Tuple[str, List[int], bool, Opt[int]]]] = {}
+        for shard in owners:
+            mapped = self._shard_mapped(shard)
+            summarized = mapped.has_label_summary
+            atoms: List[Tuple[str, List[int], bool, Opt[int]]] = []
+            for label in plan.atoms:
+                inverse = label.startswith("^")
+                predicate = label[1:] if inverse else label
+                if self.manifest.predicates.get(predicate) != shard:
+                    continue
+                bit: Opt[int] = None
+                if summarized:
+                    pid = mapped.predicate_id(predicate)
+                    if pid is not None:
+                        bit = 1 << pid
+                atoms.append((label, plan.deltas[label], inverse, bit))
+            contexts[shard] = atoms
+        return contexts
+
     def _walk_frontier_exchange(
         self,
         plan,
@@ -633,7 +805,17 @@ class ShardGroup:
     ) -> Set[Tuple[str, str]]:
         """The distributed product BFS: the coordinator owns the
         ``(source, node) -> state mask`` table and which bits are new;
-        workers own the edges and advance the frontier one level."""
+        workers own the edges and advance the frontier one level.
+
+        Scatter is label-pruned (an entry ships to a shard only when
+        its mask has a pending transition the shard's labels — and,
+        with an image summary, the node's own labels — can serve) and
+        the rounds are pipelined (completion-driven re-dispatch per
+        shard) unless the group was built with those modes disabled.
+        Both axes change payload and overlap, never the answer set: the
+        reached table is a monotone bitmask join, so any completion
+        order converges to the same fixpoint.
+        """
         if sources is not None:
             seeds = sorted(set(sources))
         else:
@@ -654,44 +836,205 @@ class ShardGroup:
             return answers
         start_mask = plan.start_mask
         finals_mask = plan.finals_mask
-        reached: Dict[Tuple[str, str], int] = {
-            (name, name): start_mask for name in seeds
-        }
+        step_mask = plan._step_mask
         # seed entries carry the full start mask; hits are only ever
         # recorded off edge steps (the empty-walk diagonal is the
         # caller's, exactly as in the single-process engine)
-        frontier: List[Tuple[str, str, int]] = [
-            (name, name, start_mask) for name in seeds
-        ]
-        while frontier:
-            partials = self.scatter(
-                [
-                    (
-                        shard,
-                        _task_frontier_step,
-                        (self.workers[shard][0].image, expr_text, frontier),
-                    )
-                    for shard in owners
-                ]
-            )
-            merged: Dict[Tuple[str, str], int] = {}
-            for partial in partials:
-                for token, name, mask in partial:
-                    key = (token, name)
-                    merged[key] = merged.get(key, 0) | mask
-            frontier = []
-            for (token, name), mask in merged.items():
+        reached: Dict[Tuple[str, str], int] = {
+            (name, name): start_mask for name in seeds
+        }
+        contexts = (
+            self._exchange_contexts(plan, owners) if self.label_prune else None
+        )
+        # (relevant, has unsummarized atom, pending out bits, in bits)
+        # per (shard, mask) — masks repeat heavily across a frontier
+        need_memo: Dict[Tuple[int, int], Tuple[bool, bool, int, int]] = {}
+        pending: Dict[int, Dict[Tuple[str, str], int]] = {
+            shard: {} for shard in owners
+        }
+        stats = {"scatter": 0, "gather": 0, "rounds": 0, "pruned": 0, "entries": 0}
+
+        def needs(shard: int, mask: int) -> Tuple[bool, bool, int, int]:
+            key = (shard, mask)
+            got = need_memo.get(key)
+            if got is None:
+                relevant = False
+                unsummarized = False
+                out_bits = 0
+                in_bits = 0
+                for label, delta, inverse, bit in contexts[shard]:
+                    if step_mask(label, delta, mask):
+                        relevant = True
+                        if bit is None:
+                            unsummarized = True
+                        elif inverse:
+                            in_bits |= bit
+                        else:
+                            out_bits |= bit
+                got = (relevant, unsummarized, out_bits, in_bits)
+                need_memo[key] = got
+            return got
+
+        def enqueue(token: str, name: str, mask: int) -> None:
+            """Buffer one gained entry towards every shard that can
+            extend it (all owners when pruning is off)."""
+            key = (token, name)
+            for shard in owners:
+                if contexts is None:
+                    buffer = pending[shard]
+                    buffer[key] = buffer.get(key, 0) | mask
+                    continue
+                ship = False
+                relevant, unsummarized, out_bits, in_bits = needs(shard, mask)
+                if relevant:
+                    mapped = self._mapped[shard]
+                    nid = mapped.node_id(name)
+                    if nid is not None:
+                        if unsummarized:
+                            ship = True
+                        elif (
+                            out_bits and mapped.out_label_mask(nid) & out_bits
+                        ) or (in_bits and mapped.in_label_mask(nid) & in_bits):
+                            ship = True
+                if ship:
+                    buffer = pending[shard]
+                    buffer[key] = buffer.get(key, 0) | mask
+                else:
+                    stats["pruned"] += 1
+
+        def merge_partial(partial: List[Tuple[str, str, int]]) -> None:
+            """Fold one worker's advanced frontier into the reached
+            table; gained bits record hits and re-enter the buffers."""
+            stats["gather"] += _entries_bytes(partial)
+            for token, name, mask in partial:
                 old = reached.get((token, name), 0)
                 gained = mask & ~old
                 if not gained:
                     continue
                 reached[(token, name)] = old | gained
-                frontier.append((token, name, gained))
                 if gained & finals_mask and (
                     target_filter is None or name in target_filter
                 ):
                     answers.add((token, name))
+                enqueue(token, name, gained)
+
+        def drain(shard: int) -> Opt[List[Tuple[str, str, int]]]:
+            """Take the shard's buffered entries for dispatch (None
+            when it has nothing pending)."""
+            buffer = pending[shard]
+            if not buffer:
+                return None
+            entries = [(t, n, m) for (t, n), m in buffer.items()]
+            pending[shard] = {}
+            stats["scatter"] += _entries_bytes(entries)
+            stats["entries"] += len(entries)
+            stats["rounds"] += 1
+            return entries
+
+        for name in seeds:
+            enqueue(name, name, start_mask)
+        try:
+            if self.pipelined:
+                self._exchange_pipelined(
+                    expr_text, owners, pending, drain, merge_partial
+                )
+            else:
+                self._exchange_barrier(
+                    expr_text, owners, pending, drain, merge_partial
+                )
+        finally:
+            self._account(
+                scatter=stats["scatter"],
+                gather=stats["gather"],
+                rounds=stats["rounds"],
+                pruned=stats["pruned"],
+                entries=stats["entries"],
+            )
         return answers
+
+    def _exchange_barrier(
+        self, expr_text: str, owners: List[int], pending, drain, merge_partial
+    ) -> None:
+        """Round-barrier exchange: scatter every non-empty buffer,
+        gather all partials, merge, repeat."""
+        while True:
+            jobs: List[Tuple[int, Callable, Tuple]] = []
+            for shard in owners:
+                entries = drain(shard)
+                if entries is None:
+                    continue
+                jobs.append(
+                    (
+                        shard,
+                        _task_frontier_step,
+                        (self.workers[shard][0].image, expr_text, entries),
+                    )
+                )
+            if not jobs:
+                return
+            for partial in self.scatter(jobs):
+                merge_partial(partial)
+
+    def _exchange_pipelined(
+        self, expr_text: str, owners: List[int], pending, drain, merge_partial
+    ) -> None:
+        """Completion-driven exchange: at most one frontier-step call in
+        flight per shard (the workers are single-slot); each completion
+        merges immediately and idle shards re-dispatch while stragglers
+        drain.  A worker that dies mid-call fails over synchronously
+        through :meth:`call_shard` (which respawns as a last resort)."""
+        inflight: Dict[Any, Tuple[int, ShardWorker, List]] = {}
+
+        def fallback(shard: int, entries: List) -> None:
+            self.failovers += 1
+            merge_partial(
+                self.call_shard(
+                    shard,
+                    _task_frontier_step,
+                    self.workers[shard][0].image,
+                    expr_text,
+                    entries,
+                )
+            )
+
+        def dispatch(shard: int) -> None:
+            entries = drain(shard)
+            if entries is None:
+                return
+            worker = self._live_worker(shard)
+            try:
+                future = worker.submit(
+                    _task_frontier_step, worker.image, expr_text, entries
+                )
+            except (BrokenProcessPool, RuntimeError):
+                worker.broken = True
+                fallback(shard, entries)
+                return
+            inflight[future] = (shard, worker, entries)
+
+        while True:
+            busy = {shard for shard, _, _ in inflight.values()}
+            for shard in owners:
+                if shard not in busy:
+                    dispatch(shard)
+            if not inflight:
+                if any(pending[shard] for shard in owners):
+                    # every dispatch fell back synchronously (all
+                    # workers broken) and refilled buffers; keep going
+                    continue
+                return
+            done, _ = wait(list(inflight), return_when=FIRST_COMPLETED)
+            for future in done:
+                shard, worker, entries = inflight.pop(future)
+                try:
+                    partial = future.result()
+                except BrokenProcessPool:
+                    worker.broken = True
+                    fallback(shard, entries)
+                    continue
+                merge_partial(partial)
+            if self.gather_hook is not None:
+                self.gather_hook()
 
     # -- RPQ: simple-path / trail semantics --------------------------------------
 
@@ -735,9 +1078,10 @@ class ShardGroup:
         side store (simple/trail DFS needs global used-node/used-edge
         state, which does not decompose over shards).  Shard edge sets
         are disjoint, so trail edge-multiplicity is preserved; the
-        result is LRU-cached per predicate set — frozen shards never
-        invalidate it."""
-        key = frozenset(predicates)
+        result is LRU-cached per ``(source fingerprint, predicate set)``
+        — frozen shards never invalidate an entry, but a rebuilt group
+        over a different source store can never collide with one."""
+        key = (self.manifest.source_fingerprint, frozenset(predicates))
         cached = self._union_cache.get(key)
         if cached is not None:
             self._union_cache.move_to_end(key)
@@ -756,7 +1100,7 @@ class ShardGroup:
             for s, p, o in edges:
                 union.add(s, p, o)
         self._union_cache[key] = union
-        while len(self._union_cache) > _UNION_CACHE_ENTRIES:
+        while len(self._union_cache) > self._union_cache_entries:
             self._union_cache.popitem(last=False)
         return union
 
@@ -812,3 +1156,92 @@ class ShardGroup:
         report.valid = len(texts) - invalid
         report.unique = len(order) - invalid_unique
         return report
+
+
+class ShardPatternExecutor(PatternExecutor):
+    """Owners()-routed SPARQL data surface over a :class:`ShardGroup`.
+
+    Every concrete-predicate access goes straight to the shard that
+    owns the predicate — through the coordinator-side zero-copy mapping
+    of that shard's image, so pattern evaluation pays neither an IPC
+    round trip nor the union-store gather the existence queries use.
+    Variable-predicate accesses union over the owner shards in
+    deterministic (shard, predicate) order.  Shard images partition the
+    source store's triples exactly, so the union *is* the source store.
+    """
+
+    def __init__(self, group: "ShardGroup"):
+        self.group = group
+        # no single backing store — the base class attribute stays
+        # unset on purpose so any accidental direct use fails loudly
+        self.store = None
+
+    def _owner_mapped(self, predicate: str):
+        """The owner shard's coordinator-side mapping, or ``None`` for
+        a predicate the source store never contained."""
+        shard = self.group.manifest.predicates.get(predicate)
+        if shard is None:
+            return None
+        return self.group._shard_mapped(shard)
+
+    def _shards(self) -> List[int]:
+        return list(range(self.group.manifest.shards))
+
+    def scan(
+        self, s: Opt[str], p: Opt[str], o: Opt[str]
+    ) -> Iterator[Tuple[str, str, str]]:
+        if p is None:
+            for predicate in sorted(self.group.manifest.predicates):
+                yield from self.scan(s, predicate, o)
+            return
+        mapped = self._owner_mapped(p)
+        if mapped is None:
+            return
+        if s is not None:
+            targets = mapped.successors(s, p)
+            if o is not None:
+                if o in targets:
+                    yield (s, p, o)
+                return
+            for target in sorted(targets):
+                yield (s, p, target)
+            return
+        if o is not None:
+            for source in sorted(mapped.predecessors(o, p)):
+                yield (source, p, o)
+            return
+        # both ends free: hydration-free CSR scan of the owner image
+        yield from mapped.triples(None, p, None)
+
+    def successors(self, node: str, predicate: str) -> FrozenSet[str]:
+        mapped = self._owner_mapped(predicate)
+        if mapped is None:
+            return frozenset()
+        return mapped.successors(node, predicate)
+
+    def predecessors(self, node: str, predicate: str) -> FrozenSet[str]:
+        mapped = self._owner_mapped(predicate)
+        if mapped is None:
+            return frozenset()
+        return mapped.predecessors(node, predicate)
+
+    def out_edges(self, node: str) -> Iterator[Tuple[str, str]]:
+        for shard in self._shards():
+            mapped = self.group._shard_mapped(shard)
+            if mapped.node_id(node) is None:
+                continue
+            for predicate in mapped.predicate_names():
+                for target in sorted(mapped.successors(node, predicate)):
+                    yield (predicate, target)
+
+    def in_edges(self, node: str) -> Iterator[Tuple[str, str]]:
+        for shard in self._shards():
+            mapped = self.group._shard_mapped(shard)
+            if mapped.node_id(node) is None:
+                continue
+            for predicate in mapped.predicate_names():
+                for source in sorted(mapped.predecessors(node, predicate)):
+                    yield (predicate, source)
+
+    def nodes(self) -> FrozenSet[str]:
+        return frozenset(self.group.node_names())

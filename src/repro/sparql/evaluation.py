@@ -138,17 +138,67 @@ def _compatible(left: Solution, right: Solution) -> Opt[Solution]:
     return merged
 
 
+class PatternExecutor:
+    """The ground data accesses pattern evaluation performs, as one
+    replaceable surface.
+
+    The :class:`Evaluator` never touches a store directly — every
+    triple scan, path step, and node enumeration goes through its
+    executor.  The default implementation answers from one
+    :class:`~repro.graphs.rdf.TripleStore`; the sharded service
+    subclasses it (``repro.service.shard.ShardPatternExecutor``) to
+    route each concrete-predicate access to the shard that *owns* the
+    predicate (``ShardManifest.owners()``) instead of gathering a union
+    store, and to union variable-predicate scans over the owner shards.
+    """
+
+    def __init__(self, store: TripleStore):
+        self.store = store
+
+    def scan(
+        self, s: Opt[str], p: Opt[str], o: Opt[str]
+    ) -> Iterable[tuple]:
+        """All ``(subject, predicate, object)`` triples matching the
+        grounded slots (``None`` = free)."""
+        return self.store.triples(s, p, o)
+
+    def successors(self, node: str, predicate: str) -> Iterable[str]:
+        return self.store.successors(node, predicate)
+
+    def predecessors(self, node: str, predicate: str) -> Iterable[str]:
+        return self.store.predecessors(node, predicate)
+
+    def out_edges(self, node: str) -> Iterable[tuple]:
+        """``(predicate, target)`` pairs leaving ``node``."""
+        return self.store.out_edges(node)
+
+    def in_edges(self, node: str) -> Iterable[tuple]:
+        """``(predicate, source)`` pairs entering ``node``."""
+        return self.store.in_edges(node)
+
+    def nodes(self) -> Iterable[str]:
+        return self.store.nodes()
+
+
 class Evaluator:
-    """Evaluates patterns and whole queries over a triple store."""
+    """Evaluates patterns and whole queries over a triple store (or,
+    via an explicit ``executor``, over whatever data surface answers
+    the :class:`PatternExecutor` protocol)."""
 
     def __init__(
         self,
-        store: TripleStore,
+        store: Opt[TripleStore],
         service_resolver: Opt[
             Callable[[str, Pattern], List[Solution]]
         ] = None,
+        executor: Opt[PatternExecutor] = None,
     ):
+        if store is None and executor is None:
+            raise ValueError("an Evaluator needs a store or an executor")
         self.store = store
+        self.executor = (
+            executor if executor is not None else PatternExecutor(store)
+        )
         self.service_resolver = service_resolver
 
     # -- pattern evaluation ------------------------------------------------------
@@ -284,7 +334,7 @@ class Evaluator:
         s = _pattern_slot(pattern.subject, solution)
         p = _pattern_slot(pattern.predicate, solution)
         o = _pattern_slot(pattern.object, solution)
-        for subject, predicate, obj in self.store.triples(s, p, o):
+        for subject, predicate, obj in self.executor.scan(s, p, o):
             step1 = _bind_term(pattern.subject, subject, solution)
             if step1 is None:
                 continue
@@ -305,7 +355,7 @@ class Evaluator:
         sources = (
             [source_value]
             if source_value is not None
-            else sorted(self.store.nodes())
+            else sorted(self.executor.nodes())
         )
         start_states = nfa.epsilon_closure(nfa.initial)
         for source in sources:
@@ -347,10 +397,10 @@ class Evaluator:
                 else:
                     forbidden_forward.add(atom)
             out = set()
-            for predicate, target in self.store.out_edges(node):
+            for predicate, target in self.executor.out_edges(node):
                 if predicate not in forbidden_forward:
                     out.add(target)
-            for predicate, source in self.store.in_edges(node):
+            for predicate, source in self.executor.in_edges(node):
                 if f"{predicate}" in forbidden_inverse:
                     continue
                 if forbidden_inverse:
@@ -359,8 +409,8 @@ class Evaluator:
             # mentions inverse atoms
             return out
         if label.startswith("^"):
-            return self.store.predecessors(node, label[1:])
-        return self.store.successors(node, label)
+            return self.executor.predecessors(node, label[1:])
+        return self.executor.successors(node, label)
 
     # -- expression evaluation -----------------------------------------------------
 
@@ -697,7 +747,7 @@ class Evaluator:
                         if term.name in solution:
                             nodes.append(_as_node(solution[term.name]))
             for node in nodes:
-                for s, p, o in self.store.triples(s=node):
+                for s, p, o in self.executor.scan(node, None, None):
                     result.add(s, p, o)
             return result
         raise UnsupportedFeatureError(

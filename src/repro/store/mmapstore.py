@@ -11,7 +11,7 @@ an on-disk image, and every consumer — worker processes, the service
 tier, the next session after a restart — attaches to the same image by
 path and reads the same physical pages.
 
-Image layout (format 1)
+Image layout (format 2)
 -----------------------
 
 ::
@@ -29,6 +29,19 @@ Image layout (format 1)
                    keys (sorted node ids with at least one edge),
                    indptr (len(keys)+1 prefix offsets), targets
                    (neighbour ids, sorted per key)
+                 * optional (format >= 2, <= 63 predicates):
+                   label_out / label_in — one int64 bitmask per node,
+                   bit ``pid`` set when the node has at least one
+                   outgoing (resp. incoming) edge with predicate ``pid``
+
+Format 2 adds the optional per-node label summary (the sharded tier's
+frontier-exchange coordinator prunes scatter payload with it: an entry
+ships to a shard only when the entry's pending NFA transitions can
+actually read one of the node's local labels).  Images with more than
+63 predicates omit the summary (a node bitmask must fit one int64), and
+format-1 images predate it — readers treat both as "no summary" and
+degrade to shard-level predicate pruning.  Format-1 images remain fully
+loadable.
 
 All arrays are little-endian int64.  The header carries the writing
 store's content fingerprint (the same order-independent digest
@@ -73,7 +86,13 @@ from ..errors import StoreFrozenError, StoreImageError
 from ..graphs.rdf import TripleStore
 
 MAGIC = b"REPROIMG"
-FORMAT_VERSION = 1
+FORMAT_VERSION = 2
+#: header formats this reader accepts (format 1 lacks the label-summary
+#: sections; everything else is identical)
+SUPPORTED_FORMATS = (1, 2)
+#: per-node label bitmasks are one int64 each — predicate ids above 62
+#: have no bit, so images with more predicates omit the summary
+MAX_SUMMARY_PREDICATES = 63
 _PREFIX = struct.Struct("<8sQ")  # magic + header length
 _ITEM = struct.Struct("<q")
 
@@ -107,13 +126,25 @@ def _pack(values: List[int]) -> bytes:
     return bytes(out)
 
 
-def write_image(store: TripleStore, path: PathLike) -> str:
+def write_image(
+    store: TripleStore, path: PathLike, *, image_format: int = FORMAT_VERSION
+) -> str:
     """Freeze ``store`` into an image at ``path`` (atomic: written to a
     sibling temp file, fsynced, then renamed over).  Returns the
-    content fingerprint recorded in the header."""
+    content fingerprint recorded in the header.
+
+    ``image_format`` pins the written header format (tests and
+    migration tooling write format-1 images to prove old images still
+    load); format 2 — the default — adds the per-node label-summary
+    sections when the store has few enough predicates to bitmask.
+    """
     if isinstance(store, MappedTripleStore):
         raise StoreFrozenError(
             "store is already a mapped image; copy the file instead"
+        )
+    if image_format not in SUPPORTED_FORMATS:
+        raise StoreImageError(
+            f"cannot write unknown image format {image_format!r}"
         )
     path = Path(path)
     names = store.node_names()
@@ -132,6 +163,11 @@ def write_image(store: TripleStore, path: PathLike) -> str:
         ("node_blob", node_blob),
         ("node_offsets", _pack(offsets)),
     ]
+    summarize = (
+        image_format >= 2 and len(predicates) <= MAX_SUMMARY_PREDICATES
+    )
+    out_masks = [0] * len(names) if summarize else None
+    in_masks = [0] * len(names) if summarize else None
     csr_table: List[List[str]] = []
     for pid in range(len(predicates)):
         entry: List[str] = []
@@ -140,6 +176,11 @@ def write_image(store: TripleStore, path: PathLike) -> str:
             ("b", store.backward_adjacency(pid)),
         ):
             keys, indptr, targets = _csr_of(adjacency)
+            if summarize:
+                masks = out_masks if direction == "f" else in_masks
+                bit = 1 << pid
+                for key in keys:
+                    masks[key] |= bit
             for part, values in (
                 ("keys", keys),
                 ("indptr", indptr),
@@ -149,9 +190,12 @@ def write_image(store: TripleStore, path: PathLike) -> str:
                 sections.append((section_name, _pack(values)))
                 entry.append(section_name)
         csr_table.append(entry)
+    if summarize:
+        sections.append(("label_out", _pack(out_masks)))
+        sections.append(("label_in", _pack(in_masks)))
 
     header: Dict[str, Any] = {
-        "format": FORMAT_VERSION,
+        "format": image_format,
         "byteorder": "little",
         "fingerprint": store.fingerprint(),
         "content_acc": f"{store._content_acc:x}",
@@ -159,7 +203,10 @@ def write_image(store: TripleStore, path: PathLike) -> str:
         "nodes": len(names),
         "predicates": predicates,
         "csr": csr_table,
+        "label_summary": bool(summarize),
     }
+    if image_format < 2:
+        del header["label_summary"]
     # lay the sections out after the header, 8-byte aligned
     placed: Dict[str, Tuple[int, int]] = {}
     # two passes: the header's own length shifts the offsets, so fix the
@@ -261,7 +308,7 @@ def read_header(path: PathLike) -> Dict[str, Any]:
         raise StoreImageError(f"{path}: corrupt image header: {exc}")
     if not isinstance(header, dict):
         raise StoreImageError(f"{path}: image header is not an object")
-    if header.get("format") != FORMAT_VERSION:
+    if header.get("format") not in SUPPORTED_FORMATS:
         raise StoreImageError(
             f"{path}: unsupported image format {header.get('format')!r}"
         )
@@ -443,6 +490,21 @@ class MappedTripleStore(TripleStore):
             fk, fi, ft, bk, bi, bt = entry
             self._fwd.append(_CSRAdjacency(int64(fk), int64(fi), int64(ft)))
             self._bwd.append(_CSRAdjacency(int64(bk), int64(bi), int64(bt)))
+        self._label_out = None
+        self._label_in = None
+        if header.get("label_summary") and "label_out" in sections:
+            label_out = int64("label_out")
+            label_in = int64("label_in")
+            if (
+                len(label_out) != self._num_nodes
+                or len(label_in) != self._num_nodes
+            ):
+                raise StoreImageError(
+                    f"{self._path}: label summary disagrees with the "
+                    f"node count"
+                )
+            self._label_out = label_out
+            self._label_in = label_in
         self._succ_cache = {}
         self._pred_cache = {}
         self._names: Opt[List[str]] = None
@@ -471,6 +533,9 @@ class MappedTripleStore(TripleStore):
         self._closed = True
         for adjacency in (*self._fwd, *self._bwd):
             adjacency._release()
+        if self._label_out is not None:
+            self._label_out.release()
+            self._label_in.release()
         self._node_offsets.release()
         self._node_blob.release()
         self._mv.release()
@@ -501,6 +566,24 @@ class MappedTripleStore(TripleStore):
         to the live store's at :func:`write_image` time, across every
         process that maps this image."""
         return self._header_fingerprint
+
+    # -- per-node label summary (format >= 2) -------------------------------------
+
+    @property
+    def has_label_summary(self) -> bool:
+        """Whether this image carries the per-node label bitmasks
+        (format >= 2, few enough predicates)."""
+        return self._label_out is not None
+
+    def out_label_mask(self, nid: int) -> int:
+        """Bitmask of predicate ids the node has outgoing edges under
+        (0 when the image has no summary — callers must check
+        :attr:`has_label_summary` before pruning on it)."""
+        return self._label_out[nid] if self._label_out is not None else 0
+
+    def in_label_mask(self, nid: int) -> int:
+        """Bitmask of predicate ids the node has incoming edges under."""
+        return self._label_in[nid] if self._label_in is not None else 0
 
     # -- engine-facing integer API ------------------------------------------------
 

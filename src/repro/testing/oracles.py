@@ -936,17 +936,51 @@ class MmapStoreOracle(Oracle):
 # ---------------------------------------------------------------------------
 
 
+#: bracketed vocabulary for full-evaluation (op ``query``) cases — the
+#: evaluator matches predicates by the IRI's lexical form, so the store
+#: must use the same ``<...>`` spelling the query text does
+_QUERY_PREDICATES = ("<p>", "<q>", "<r>", "<hot>")
+_QUERY_NODES = tuple(f"<n{i}>" for i in range(8))
+#: safe evaluation templates: no ORDER BY / LIMIT (tie order is
+#: implementation-defined; the service ships rows canonically sorted)
+_QUERY_TEMPLATES = (
+    "SELECT ?x ?y WHERE { ?x %P0 ?y }",
+    "SELECT ?x ?z WHERE { ?x %P0 ?y . ?y %P1 ?z }",
+    "SELECT ?x ?p ?y WHERE { ?x ?p ?y }",
+    "ASK { ?x %P0 ?y }",
+    "SELECT ?x WHERE { { ?x %P0 ?y } UNION { ?x %P1 ?y } }",
+    "SELECT ?x ?y WHERE { ?x %P0 ?y OPTIONAL { ?y %P1 ?z } }",
+    "SELECT ?x ?y WHERE { ?x %P0+ ?y }",
+    "SELECT ?x ?y WHERE { ?x (%P0|%P1)* ?y }",
+    "SELECT DISTINCT ?x WHERE { ?x %P0 ?y . ?x %P1 ?z }",
+)
+#: exchange-stressing RPQ expressions for the label-skewed / cyclic
+#: stores: hot-sandwiched paths, cycles over every predicate, and an
+#: absent predicate ("s") whose rounds have empty label intersections
+_SKEW_EXPRS = (
+    "hot* (p|q) hot*",
+    "(hot|p)*",
+    "hot hot*",
+    "(p|q|r)*",
+    "q hot* ^p",
+    "s s*",
+    "(p|s)* hot",
+)
+
+
 class ShardedServiceOracle(Oracle):
     name = "sharded-service"
     description = (
         "EmbeddedService over a sharded deployment (scatter-gather "
         "worker processes) vs the same service over the in-memory "
-        "store, engine and cached answers"
+        "store: engine and cached answers for rpq, battery and full "
+        "SPARQL evaluation (owners()-routed query op)"
     )
 
     def generate(self, rng: random.Random) -> Dict[str, Any]:
         shards = rng.choice([2, 3, 4])
-        if rng.random() < 0.7:
+        roll = rng.random()
+        if roll < 0.45:
             case = random_rpq_case(rng)
             return {
                 "kind": "rpq",
@@ -955,6 +989,57 @@ class ShardedServiceOracle(Oracle):
                 "source": case["source"],
                 "target": case["target"],
                 "semantics": case["semantics"],
+                "shards": shards,
+            }
+        if roll < 0.7:
+            # label-skewed cyclic store: a cold multi-predicate ring
+            # (cyclic frontiers that revisit nodes with new masks) plus
+            # a hot predicate carrying most triples — the exchange's
+            # pruning and pipelining stress case
+            nodes = [f"n{i}" for i in range(rng.randrange(4, 8))]
+            triples = set()
+            for index, node in enumerate(nodes):
+                triples.add(
+                    (
+                        node,
+                        rng.choice(("p", "q", "r")),
+                        nodes[(index + 1) % len(nodes)],
+                    )
+                )
+            for _ in range(rng.randrange(4, 20)):
+                triples.add(
+                    (rng.choice(nodes), "hot", rng.choice(nodes))
+                )
+            endpoints = nodes + ["ghost"]
+            return {
+                "kind": "rpq",
+                "triples": [list(t) for t in sorted(triples)],
+                "expr": rng.choice(_SKEW_EXPRS),
+                "source": rng.choice(endpoints),
+                "target": rng.choice(endpoints),
+                "semantics": rng.choice(("walk", "walk", "simple", "trail")),
+                "shards": shards,
+            }
+        if roll < 0.9:
+            node_pool = _QUERY_NODES[: rng.randrange(3, len(_QUERY_NODES) + 1)]
+            triples = sorted(
+                {
+                    (
+                        rng.choice(node_pool),
+                        rng.choice(_QUERY_PREDICATES),
+                        rng.choice(node_pool),
+                    )
+                    for _ in range(rng.randrange(0, 16))
+                }
+            )
+            template = rng.choice(_QUERY_TEMPLATES)
+            query = template.replace(
+                "%P0", rng.choice(_QUERY_PREDICATES)
+            ).replace("%P1", rng.choice(_QUERY_PREDICATES))
+            return {
+                "kind": "query",
+                "triples": [list(t) for t in triples],
+                "query": query,
                 "shards": shards,
             }
         case = random_rpq_case(rng)
@@ -999,6 +1084,9 @@ class ShardedServiceOracle(Oracle):
                         params["source"] = case["source"]
                         params["target"] = case["target"]
                     op = "rpq"
+                elif case["kind"] == "query":
+                    params = {"store": "g", "query": case["query"]}
+                    op = "query"
                 else:
                     params = {
                         "store": "g",
@@ -1051,6 +1139,8 @@ class ShardedServiceOracle(Oracle):
         if case["kind"] == "rpq":
             for text in text_candidates(case["expr"]):
                 yield {**case, "expr": text}
+        elif case["kind"] == "query":
+            pass  # query texts shrink poorly; the triples already do
         else:
             for index in range(len(case["queries"])):
                 smaller = list(case["queries"])

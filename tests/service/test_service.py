@@ -184,7 +184,7 @@ def test_bad_requests_are_typed():
             with pytest.raises(BadRequest, match="source"):
                 await service.rpq("g", "p", "simple")
             with pytest.raises(BadRequest, match="query"):
-                await service.call("sparql", {})
+                await service.call("sparql", {"query": 7})
             with pytest.raises(BadRequest, match="unknown operation"):
                 await service.call("frobnicate")
             with pytest.raises(BadRequest, match="deadline_ms"):

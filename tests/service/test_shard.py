@@ -414,3 +414,228 @@ def test_battery_through_the_service_is_deployment_independent(tmp_path):
             assert a == b == c
 
     run(scenario())
+
+
+# -- label-pruned, pipelined exchange -----------------------------------------
+
+
+def skewed_store(shards: int = 3, hot: int = 120, cold: int = 12, seed: int = 3):
+    """A label-skewed store: one hot predicate carrying most triples and
+    cold predicates on other shards (the ring guarantees distinct
+    owners)."""
+    preds = distinct_shard_predicates(shards, shards)
+    hot_pred, cold_preds = preds[0], preds[1:]
+    rng = random.Random(seed)
+    names = [f"n{i}" for i in range(20)]
+    store = TripleStore()
+    while len(store) < hot:
+        store.add(rng.choice(names), hot_pred, rng.choice(names))
+    added = 0
+    while added < cold:
+        added += store.add(
+            rng.choice(names), rng.choice(cold_preds), rng.choice(names)
+        )
+    return store, hot_pred, cold_preds
+
+
+def exchange_groups(path, **common):
+    return {
+        (lp, pipe): ShardGroup(path, pipelined=pipe, label_prune=lp, **common)
+        for lp in (False, True)
+        for pipe in (False, True)
+    }
+
+
+def test_pruned_and_unpruned_exchange_agree_and_pruning_cuts_payload(tmp_path):
+    store, hot, colds = skewed_store()
+    shard_store(store, tmp_path / "g", shards=3)
+    groups = exchange_groups(tmp_path / "g")
+    try:
+        texts = [
+            f"{hot}* ({colds[0]} | {colds[1]}) {hot}*",
+            f"({hot} | {colds[0]})*",
+            f"{colds[0]} {hot}* ^{colds[1]}",
+        ]
+        for text in texts:
+            expected = evaluate_rpq(store, parse_regex(text, multi_char=True))
+            for (lp, pipe), group in groups.items():
+                assert group.evaluate_walk(text, None, None) == expected, (
+                    text,
+                    lp,
+                    pipe,
+                )
+        pruned = groups[(True, False)]
+        unpruned = groups[(False, False)]
+        # identical workload, byte-identical accounting scheme: pruning
+        # must strictly cut scatter payload on a skewed store and count
+        # what a broadcast would have shipped
+        assert pruned.scatter_bytes < unpruned.scatter_bytes
+        assert pruned.pruned_entries > 0
+        assert unpruned.pruned_entries == 0
+        assert pruned.rounds > 0 and unpruned.rounds > 0
+        assert pruned.gather_bytes > 0 and unpruned.gather_bytes > 0
+    finally:
+        for group in groups.values():
+            group.close()
+
+
+def test_pipelined_and_barrier_exchanges_are_deterministic(tmp_path):
+    store, hot, colds = skewed_store(seed=9)
+    shard_store(store, tmp_path / "g", shards=3)
+    barrier = ShardGroup(tmp_path / "g", pipelined=False)
+    pipelined = ShardGroup(tmp_path / "g", pipelined=True)
+    try:
+        text = f"({hot} | {colds[0]} | {colds[1]})*"
+        expected = evaluate_rpq(store, parse_regex(text, multi_char=True))
+        # completion order varies run to run; answers may not
+        for _ in range(3):
+            assert pipelined.evaluate_walk(text, None, None) == expected
+            assert barrier.evaluate_walk(text, None, None) == expected
+    finally:
+        barrier.close()
+        pipelined.close()
+
+
+def test_union_cache_is_fingerprint_keyed_with_bounded_capacity(tmp_path):
+    store, hot, colds = skewed_store(hot=20, cold=20)
+    shard_store(store, tmp_path / "g", shards=3)
+    group = ShardGroup(tmp_path / "g", union_cache_entries=1)
+    try:
+        group.exists(f"{hot} {colds[0]}", "n0", "n1", "simple")
+        assert len(group._union_cache) == 1
+        first_key = next(iter(group._union_cache))
+        assert first_key[0] == group.manifest.source_fingerprint
+        group.exists(f"{colds[0]} {colds[1]}", "n0", "n1", "trail")
+        # a different predicate set evicted the first entry (capacity 1)
+        assert len(group._union_cache) == 1
+        assert next(iter(group._union_cache)) != first_key
+    finally:
+        group.close()
+
+
+def test_exchange_pruning_survives_worker_death(tmp_path):
+    store, hot, colds = skewed_store(seed=21)
+    shard_store(store, tmp_path / "g", shards=3)
+    group = ShardGroup(tmp_path / "g", pipelined=True, label_prune=True)
+    try:
+        text = f"({hot} | {colds[0]})*"
+        expected = evaluate_rpq(store, parse_regex(text, multi_char=True))
+        assert group.evaluate_walk(text, None, None) == expected
+        kill_worker(group.workers[0][0])  # kill a primary between runs
+        assert group.evaluate_walk(text, None, None) == expected
+        assert group.failovers >= 1
+    finally:
+        group.close()
+
+
+# -- owners()-routed SPARQL executor ------------------------------------------
+
+
+def sparql_vocab_store(seed: int = 13, triples: int = 60):
+    """A store whose names are SPARQL lexical forms (bracketed IRIs), so
+    query texts match store strings directly."""
+    rng = random.Random(seed)
+    nodes = [f"<n{i}>" for i in range(10)]
+    preds = ["<p>", "<q>", "<r>"]
+    store = TripleStore()
+    while len(store) < triples:
+        store.add(rng.choice(nodes), rng.choice(preds), rng.choice(nodes))
+    return store
+
+
+def test_shard_pattern_executor_matches_in_memory_evaluator(tmp_path):
+    from repro.sparql.evaluation import Evaluator
+    from repro.sparql.parser import parse_query
+
+    store = sparql_vocab_store()
+    shard_store(store, tmp_path / "g", shards=3)
+    group = ShardGroup(tmp_path / "g")
+    try:
+        for text in (
+            "SELECT ?x ?y WHERE { ?x <p> ?y }",
+            "SELECT ?x ?z WHERE { ?x <p> ?y . ?y <q> ?z }",
+            "SELECT ?x ?p ?y WHERE { ?x ?p ?y }",
+            "ASK { ?x <r> ?y }",
+            "SELECT ?x ?y WHERE { ?x (<p>|<q>)+ ?y }",
+        ):
+            query = parse_query(text)
+            expected = Evaluator(store).evaluate(query)
+            actual = Evaluator(None, executor=group.executor()).evaluate(query)
+            if isinstance(expected, bool):
+                assert actual == expected, text
+            else:
+                key = lambda row: sorted(row.items())
+                assert sorted(actual, key=key) == sorted(
+                    expected, key=key
+                ), text
+    finally:
+        group.close()
+
+
+def test_executor_scans_are_coordinator_side(tmp_path):
+    store = sparql_vocab_store(triples=30)
+    shard_store(store, tmp_path / "g", shards=3)
+    group = ShardGroup(tmp_path / "g")
+    try:
+        rounds = []
+        group.gather_hook = lambda: rounds.append(1)
+        executor = group.executor()
+        scanned = sorted(executor.scan(None, "<p>", None))
+        assert scanned == sorted(store.triples(None, "<p>", None))
+        assert sorted(executor.scan(None, None, None)) == sorted(
+            store.triples()
+        )
+        assert executor.successors("<n0>", "<p>") == store.successors(
+            "<n0>", "<p>"
+        )
+        # owners() routing reads the mapped images directly: no worker
+        # round trips, so the gather hook never fires
+        assert rounds == []
+    finally:
+        group.close()
+
+
+def test_query_op_is_deployment_independent_and_cached(tmp_path):
+    async def scenario():
+        store = sparql_vocab_store()
+        shard_store(store, tmp_path / "g", shards=3)
+        text = "SELECT ?x ?z WHERE { ?x <p> ?y . ?y <q> ?z }"
+        async with EmbeddedService(
+            {"g": tmp_path / "g"}
+        ) as sharded, EmbeddedService({"g": store}) as single:
+            for _ in range(2):  # engine answer, then cached answer
+                a = await sharded.query("g", text)
+                b = await single.query("g", text)
+                assert a == b
+                assert a["valid"] is True and a["kind"] == "select"
+                assert a["count"] == len(a["rows"])
+            ask = await sharded.query("g", "ASK { ?x <r> ?y }")
+            assert ask["kind"] == "ask" and isinstance(ask["boolean"], bool)
+            bad = await sharded.query("g", "SELECT ?x WHERE {{{")
+            assert bad["valid"] is False and "reason" in bad
+
+    run(scenario())
+
+
+def test_exchange_counters_surface_through_stats_and_metrics(tmp_path):
+    async def scenario():
+        store, hot, colds = skewed_store()
+        shard_store(store, tmp_path / "g", shards=3)
+        async with EmbeddedService({"g": tmp_path / "g"}) as service:
+            text = f"({hot} | {colds[0]})*"
+            await service.rpq("g", text)
+            stats = await service.stats()
+            shard_stats = stats["shards"]["g"]
+            assert shard_stats["label_prune"] is True
+            assert shard_stats["pipelined"] is True
+            assert shard_stats["scatter_bytes"] > 0
+            assert shard_stats["gather_bytes"] > 0
+            assert shard_stats["rounds"] > 0
+            # the group's counters mirror into the service metrics
+            metrics = stats["metrics"]
+            assert metrics["scatter_bytes"] == shard_stats["scatter_bytes"]
+            assert metrics["gather_bytes"] == shard_stats["gather_bytes"]
+            assert metrics["shard_rounds"] == shard_stats["rounds"]
+            assert metrics["pruned_entries"] == shard_stats["pruned_entries"]
+
+    run(scenario())

@@ -1,6 +1,6 @@
 """The typed (wire v2) request/response layer: dataclass round-trips,
-strict request decoding, legacy-encoding compatibility, the
-``open_service`` factory, and typed store-registration failures."""
+strict request decoding, legacy (v1) rejection, the ``open_service``
+factory, and typed store-registration failures."""
 
 import asyncio
 
@@ -26,6 +26,7 @@ from repro.service.protocol import (
     LogBatteryRequest,
     MutateRequest,
     PingRequest,
+    QueryRequest,
     Request,
     RpqRequest,
     RpqResponse,
@@ -74,6 +75,9 @@ def small_store() -> TripleStore:
             id="r4", store="g", expr="p", sources=["a"], targets=["b", "c"]
         ),
         SparqlRequest(id="r5", query="SELECT ?x WHERE { ?x ?p ?y }"),
+        QueryRequest(
+            id="r5q", store="g", query="SELECT ?x WHERE { ?x <p> ?y }"
+        ),
         LogBatteryRequest(id="r6", query="ASK { ?s ?p ?o }"),
         BatteryRequest(id="r7", queries=["ASK { ?s ?p ?o }"], source="t"),
         MutateRequest(id="r8", store="g", triples=[["x", "p", "y"]]),
@@ -145,25 +149,26 @@ def test_error_from_response_reconstructs_store_unavailable():
     assert isinstance(exc, ServiceError)
 
 
-# -- server-side encoding compatibility ---------------------------------------
+# -- server-side encoding (v2 only; v1 rejected) ------------------------------
 
 
-def test_typed_and_legacy_requests_get_identical_results():
+def test_loose_and_typed_requests_get_identical_results():
     async def scenario():
         store = small_store()
         async with EmbeddedService({"g": store}) as service:
-            legacy = await service.request(
+            # request() builds a loose dict but stamps the v2 version,
+            # so it stays on the accepted encoding
+            loose = await service.request(
                 "rpq", {"store": "g", "expr": "p p*"}
             )
             typed = await service.send(
                 RpqRequest(store="g", expr="p p*")
             )
-            assert legacy["ok"]
+            assert loose["ok"]
+            assert loose["v"] == WIRE_VERSION
             assert isinstance(typed, RpqResponse)
-            assert typed.pairs == legacy["result"]["pairs"]
-            assert typed.count == legacy["result"]["count"]
-            # legacy envelope has no version; typed envelope is stamped
-            assert "v" not in legacy
+            assert typed.pairs == loose["result"]["pairs"]
+            assert typed.count == loose["result"]["count"]
             raw_typed = await service.request_message(
                 RpqRequest(id="x1", store="g", expr="p p*").to_wire()
             )
@@ -172,14 +177,22 @@ def test_typed_and_legacy_requests_get_identical_results():
     run(scenario())
 
 
-def test_legacy_requests_are_counted_for_the_deprecation_window():
+def test_legacy_v1_requests_are_rejected_with_an_upgrade_hint():
     async def scenario():
         store = small_store()
         async with EmbeddedService({"g": store}) as service:
-            await service.request("ping")
-            await service.request("ping")
+            for _ in range(2):
+                response = await service.request_message(
+                    {"op": "ping", "params": {}}
+                )
+                assert not response["ok"]
+                assert response["error"]["code"] == "bad_request"
+                assert '"v": 2' in response["error"]["message"]
+                # the rejection itself answers in the current encoding
+                assert response["v"] == WIRE_VERSION
             await service.send(PingRequest())
             stats = await service.stats()
+            # the counter survives as a rejected-v1 straggler signal
             assert stats["metrics"]["legacy_requests"] == 2
 
     run(scenario())
@@ -210,13 +223,11 @@ def test_typed_requests_are_strict_over_the_full_stack():
             )
             assert not response["ok"]
             assert response["error"]["code"] == "bad_request"
-            # the identical params are accepted in the legacy encoding
-            # (unknown params were never validated there — one release
-            # of compatibility)
-            legacy = await service.request(
+            # the same params without the junk go through fine
+            good = await service.request(
                 "rpq", {"store": "g", "expr": "p"}
             )
-            assert legacy["ok"]
+            assert good["ok"]
 
     run(scenario())
 

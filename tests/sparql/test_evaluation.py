@@ -288,3 +288,33 @@ class TestOtherQueryTypes:
     def test_describe(self):
         result = run("DESCRIBE <alice>")
         assert len(result) == 3
+
+
+class TestPatternExecutor:
+    """The evaluator's data-access seam: a custom executor must be a
+    drop-in replacement for direct store access."""
+
+    def test_store_backed_executor_matches_direct_evaluation(self):
+        from repro.sparql.evaluation import PatternExecutor
+
+        data = store()
+        executor = PatternExecutor(data)
+        for text in (
+            "SELECT ?x ?y WHERE { ?x <knows> ?y }",
+            "SELECT ?a ?c WHERE { ?a <knows> ?b . ?b <knows> ?c }",
+            "SELECT ?s ?p ?o WHERE { ?s ?p ?o }",
+            "SELECT ?x WHERE { <alice> <knows>+ ?x }",
+            "ASK { ?x <type> <Person> }",
+        ):
+            query = parse_query(text)
+            direct = Evaluator(data).evaluate(query)
+            routed = Evaluator(None, executor=executor).evaluate(query)
+            if isinstance(direct, bool):
+                assert routed == direct, text
+            else:
+                key = lambda row: sorted(row.items())
+                assert sorted(routed, key=key) == sorted(direct, key=key)
+
+    def test_evaluator_requires_a_store_or_an_executor(self):
+        with pytest.raises(ValueError):
+            Evaluator(None)

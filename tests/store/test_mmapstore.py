@@ -29,7 +29,7 @@ from repro.store import (
     read_header,
     write_image,
 )
-from repro.store.mmapstore import detach_all
+from repro.store.mmapstore import FORMAT_VERSION, detach_all
 
 
 def build_store(seed=7, nodes=40, triples=220) -> TripleStore:
@@ -209,7 +209,7 @@ class TestImageErrors:
     def test_unsupported_format_version(self, image, tmp_path):
         _, path = image
         header = read_header(path)
-        assert header["format"] == 1
+        assert header["format"] == FORMAT_VERSION
         import json as _json
         import struct
 
@@ -319,3 +319,48 @@ class TestSparqlOverMapped:
             live = sorted(map(tuple, evaluate(store, query)))
             frozen = sorted(map(tuple, evaluate(mapped, query)))
             assert live == frozen
+
+
+class TestLabelSummaries:
+    """Format-2 images carry optional per-node label bitmasks that the
+    sharded frontier exchange uses to prune scatter payloads."""
+
+    def test_format_2_round_trips_label_masks(self, tmp_path):
+        store = build_store()
+        path = tmp_path / "v2.img"
+        write_image(store, path)
+        mapped = attach(path)
+        assert read_header(path)["format"] == FORMAT_VERSION
+        assert mapped.has_label_summary
+        pid = {name: mapped.predicate_id(name) for name in "abc"}
+        for name in sorted(store.nodes()):
+            nid = mapped.node_id(name)
+            out_mask = mapped.out_label_mask(nid)
+            in_mask = mapped.in_label_mask(nid)
+            for pred in "abc":
+                has_out = bool(store.successors(name, pred))
+                has_in = bool(store.predecessors(name, pred))
+                assert bool(out_mask & (1 << pid[pred])) == has_out
+                assert bool(in_mask & (1 << pid[pred])) == has_in
+
+    def test_format_1_images_still_load_without_summaries(self, tmp_path):
+        store = build_store()
+        path = tmp_path / "v1.img"
+        write_image(store, path, image_format=1)
+        assert read_header(path)["format"] == 1
+        mapped = attach(path)
+        assert not mapped.has_label_summary
+        assert mapped.out_label_mask(0) == 0
+        assert mapped.in_label_mask(0) == 0
+        # answers are unaffected: summaries are an optimization hint
+        assert set(mapped.triples()) == set(store.triples())
+
+    def test_wide_predicate_vocabularies_omit_the_summary(self, tmp_path):
+        store = TripleStore()
+        for index in range(70):  # beyond the 63-bit mask capacity
+            store.add("s", f"p{index}", f"o{index}")
+        path = tmp_path / "wide.img"
+        write_image(store, path)
+        mapped = attach(path)
+        assert not mapped.has_label_summary
+        assert set(mapped.triples()) == set(store.triples())
