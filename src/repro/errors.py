@@ -65,6 +65,13 @@ class ValidationError(ReproError):
     for an exception rather than a boolean result."""
 
 
+class MalformedStreamError(ReproError):
+    """Raised when a SAX-style event stream is structurally broken —
+    unbalanced start/end events, a second root element, an unknown event
+    kind — as opposed to a well-formed stream that merely violates the
+    schema (which raises :class:`ValidationError`)."""
+
+
 class SchemaError(ReproError):
     """Raised when a schema itself is ill-formed (e.g. an EDTD whose type map
     is inconsistent, or a DTD referencing undeclared labels in strict mode)."""

@@ -76,6 +76,8 @@ from .protocol import (
     SparqlResponse,
     StatsRequest,
     StatsResponse,
+    ValidateRequest,
+    ValidateResponse,
     parse_response,
 )
 from .resultcache import ResultCache, result_key
@@ -133,6 +135,8 @@ __all__ = [
     "StatsResponse",
     "StoreFrozenError",
     "StoreUnavailableError",
+    "ValidateRequest",
+    "ValidateResponse",
     "WIRE_VERSION",
     "connect",
     "open_service",

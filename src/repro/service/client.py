@@ -43,6 +43,7 @@ from .protocol import (
     RpqRequest,
     SparqlRequest,
     StatsRequest,
+    ValidateRequest,
     encode_frame,
     error_from_response,
     parse_response,
@@ -181,6 +182,33 @@ class RequestAPI:
                 queries=list(queries),
                 source=source,
                 store=store,
+                deadline_ms=deadline_ms,
+            )
+        )
+
+    async def validate(
+        self,
+        rules: Dict[str, str],
+        *,
+        schema_kind: str = "dtd",
+        start: Opt[Sequence[str]] = None,
+        mu: Opt[Dict[str, str]] = None,
+        document: Opt[str] = None,
+        format: str = "xml",
+        events: Opt[Sequence[Sequence[str]]] = None,
+        deadline_ms: Opt[float] = None,
+    ) -> Dict[str, Any]:
+        """Stream-validate one document (or event list) against a
+        DTD/EDTD/BonXai schema shipped as textual rules."""
+        return await self._result_of(
+            ValidateRequest(
+                schema_kind=schema_kind,
+                rules=dict(rules),
+                start=list(start) if start is not None else None,
+                mu=dict(mu) if mu is not None else None,
+                document=document,
+                format=format,
+                events=[list(e) for e in events] if events is not None else None,
                 deadline_ms=deadline_ms,
             )
         )

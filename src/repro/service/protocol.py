@@ -280,6 +280,31 @@ class BatteryRequest(Request):
 
 
 @dataclass(frozen=True, kw_only=True)
+class ValidateRequest(Request):
+    """Stream-validate a document against a tree schema (operation
+    ``validate``).
+
+    ``schema_kind`` selects the formalism (``dtd``, ``edtd`` or
+    ``bonxai``); ``rules``/``start``/``mu`` are the textual schema in
+    the same shape the ``from_rules`` constructors take.  The document
+    is either ``document`` text in ``format`` (``xml`` or ``json``) or
+    an explicit ``events`` list.  The server compiles the schema to an
+    NFTA once (LRU-cached by schema fingerprint) and runs it in a
+    single streaming pass — results are cached by (schema fingerprint,
+    document digest), and the op is store-less so it serves identically
+    on embedded and sharded deployments."""
+
+    op: ClassVar[str] = "validate"
+    schema_kind: str = "dtd"
+    rules: Dict[str, str] = field(default_factory=dict)
+    start: Opt[List[str]] = None
+    mu: Opt[Dict[str, str]] = None
+    document: Opt[str] = None
+    format: str = "xml"
+    events: Opt[List[List[str]]] = None
+
+
+@dataclass(frozen=True, kw_only=True)
 class MutateRequest(Request):
     op: ClassVar[str] = "mutate"
     store: str = ""
@@ -297,6 +322,7 @@ REQUEST_TYPES: Dict[str, Type[Request]] = {
         QueryRequest,
         LogBatteryRequest,
         BatteryRequest,
+        ValidateRequest,
         MutateRequest,
     )
 }
@@ -424,6 +450,21 @@ class BatteryResponse(Response):
 
 
 @dataclass(frozen=True, kw_only=True)
+class ValidateResponse(Response):
+    """A streaming validation verdict: ``valid`` plus a ``reason`` when
+    rejected; ``stack_depth`` is the validator's high-water frame count
+    (the memory bound actually observed) and ``states`` the compiled
+    automaton size.  An unparseable document answers ``valid=False``
+    with a reason, like the ``sparql`` analysis op; only a broken
+    *schema* is a ``bad_request`` error."""
+
+    valid: bool = False
+    reason: Opt[str] = None
+    stack_depth: Opt[int] = None
+    states: Opt[int] = None
+
+
+@dataclass(frozen=True, kw_only=True)
 class MutateResponse(Response):
     added: int = 0
     size: int = 0
@@ -473,6 +514,7 @@ RESPONSE_TYPES: Dict[str, Type[Response]] = {
     "query": QueryResponse,
     "log": LogBatteryResponse,
     "battery": BatteryResponse,
+    "validate": ValidateResponse,
     "mutate": MutateResponse,
 }
 

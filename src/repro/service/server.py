@@ -38,6 +38,13 @@ Operations
   :func:`~repro.logs.analyzer.encode_report`); on a sharded store the
   chunks scatter over the shard worker processes and the counter
   partials merge via :func:`~repro.logs.analyzer.combine_reports`;
+* ``validate`` — stream-validate an XML/JSON document (or an explicit
+  event list) against a DTD / EDTD / BonXai schema shipped as textual
+  rules.  The schema compiles once into a
+  :class:`~repro.trees.automata.TreeAutomaton` (LRU-cached by schema
+  fingerprint) and runs in a single constant-memory pass; results are
+  cached by (schema fingerprint, document digest).  Store-less, so it
+  serves identically on embedded and sharded deployments;
 * ``mutate`` — add triples to a registered store (admitted through the
   scheduler like any other work; a per-store read-write gate excludes
   it from running concurrently with engine reads);
@@ -98,6 +105,7 @@ import itertools
 import json
 import threading
 import time
+from collections import OrderedDict
 from dataclasses import dataclass
 from pathlib import Path
 from typing import Any, Dict, Iterable, List, Optional as Opt, Tuple, Union
@@ -105,7 +113,10 @@ from typing import Any, Dict, Iterable, List, Optional as Opt, Tuple, Union
 from ..errors import (
     BadRequest,
     DeadlineExceeded,
+    DTDParseError,
+    JSONParseError,
     RegexParseError,
+    SchemaError,
     ServiceError,
     ServiceOverloaded,
     SPARQLParseError,
@@ -113,6 +124,7 @@ from ..errors import (
     StoreImageError,
     StoreUnavailableError,
     UnsupportedFeatureError,
+    XMLParseError,
 )
 from ..graphs.engine import ast_key
 from ..graphs.paths import evaluate_rpq, exists_simple_path, exists_trail
@@ -147,7 +159,7 @@ from .scheduler import DEFAULT_MAX_QUEUE, DEFAULT_MAX_WORKERS, Scheduler
 from .shard import MANIFEST_NAME, ShardGroup
 
 #: operations that go through cache + scheduler
-COMPUTE_OPS = ("rpq", "sparql", "query", "log", "battery")
+COMPUTE_OPS = ("rpq", "sparql", "query", "log", "battery", "validate")
 
 #: what may be registered as a store: a live store, an already-mounted
 #: shard group, a path to a frozen image, or a path to a shard
@@ -187,6 +199,14 @@ SPARQL_RESULT_VERSION = "sparql-1"
 
 #: same role for the query (full SPARQL evaluation) endpoint
 QUERY_RESULT_VERSION = "query-1"
+
+#: same role for the validate (streaming tree-schema validation)
+#: endpoint; also folded into the compiled-automaton LRU key
+VALIDATE_RESULT_VERSION = "validate-1"
+
+#: compiled NFTA cache bound (schemas are tiny next to results, but the
+#: compile is the expensive step worth reusing across documents)
+VALIDATE_AUTOMATA_CACHE = 64
 
 _SEMANTICS = ("walk", "simple", "trail")
 
@@ -277,6 +297,8 @@ class ServiceCore:
         )
         self.cache = ResultCache(self.config.cache_entries)
         self.metrics = ServiceMetrics()
+        #: schema fingerprint -> compiled TreeAutomaton (LRU)
+        self._automata: "OrderedDict[str, Any]" = OrderedDict()
         for store in self.stores.values():
             if isinstance(store, ShardGroup):
                 store.service_metrics = self.metrics
@@ -420,6 +442,8 @@ class ServiceCore:
             key, fn = self._prepare_query(params)
         elif op == "battery":
             key, fn = self._prepare_battery(params)
+        elif op == "validate":
+            key, fn = self._prepare_validate(params)
         else:
             key, fn = self._prepare_log(params)
         hit, payload = self.cache.get(key)
@@ -561,6 +585,129 @@ class ServiceCore:
                 "features": sorted(query_features(query)),
                 "operators": sorted(operator_set(query)),
             }
+
+        return key, fn
+
+    def _schema_automaton(self, kind: str, rules, start, mu, fingerprint: str):
+        """Compile (or fetch from the LRU) the NFTA for a wire schema.
+        A broken schema is the *requester's* fault -> ``BadRequest``."""
+        from ..trees.automata import TreeAutomaton, compile_schema
+        from ..trees.bonxai import PatternSchema
+        from ..trees.dtd import DTD
+        from ..trees.edtd import EDTD
+
+        cached = self._automata.get(fingerprint)
+        if cached is not None:
+            self._automata.move_to_end(fingerprint)
+            return cached
+        try:
+            if kind == "dtd":
+                automaton = TreeAutomaton.from_dtd(
+                    DTD.from_rules(rules, start=start or [])
+                )
+            elif kind == "edtd":
+                automaton = TreeAutomaton.from_edtd(
+                    EDTD.from_rules(rules, start=start or [], mu=mu)
+                )
+            else:
+                automaton = compile_schema(PatternSchema.from_rules(rules))
+        except (DTDParseError, RegexParseError, SchemaError, ValueError) as exc:
+            raise BadRequest(f"invalid {kind} schema: {exc}")
+        self._automata[fingerprint] = automaton
+        while len(self._automata) > VALIDATE_AUTOMATA_CACHE:
+            self._automata.popitem(last=False)
+        return automaton
+
+    def _prepare_validate(self, params: Dict[str, Any]):
+        """Streaming tree-schema validation.  Store-less (works the same
+        on embedded and sharded deployments); cached by
+        (schema fingerprint, document digest)."""
+        from ..core.hashing import text_key
+        from ..trees.automata import StreamingTreeValidator
+        from ..trees.streaming import events_of
+
+        kind = params.get("schema_kind", "dtd")
+        if kind not in ("dtd", "edtd", "bonxai"):
+            raise BadRequest(f"unknown schema kind {kind!r}")
+        rules = params.get("rules")
+        if not isinstance(rules, dict) or not all(
+            isinstance(k, str) and isinstance(v, str) for k, v in rules.items()
+        ):
+            raise BadRequest("'rules' must map labels to content-model strings")
+        start = params.get("start")
+        if start is not None and not (
+            isinstance(start, list) and all(isinstance(s, str) for s in start)
+        ):
+            raise BadRequest("'start' must be a list of labels")
+        mu = params.get("mu")
+        if mu is not None and not (
+            isinstance(mu, dict)
+            and all(
+                isinstance(k, str) and isinstance(v, str) for k, v in mu.items()
+            )
+        ):
+            raise BadRequest("'mu' must map types to labels")
+        document = params.get("document")
+        events = params.get("events")
+        fmt = params.get("format", "xml")
+        if fmt not in ("xml", "json"):
+            raise BadRequest(f"unknown document format {fmt!r}")
+        if (document is None) == (events is None):
+            raise BadRequest("exactly one of 'document' and 'events' is required")
+        if document is not None and not isinstance(document, str):
+            raise BadRequest("'document' must be a string")
+        if events is not None and not isinstance(events, list):
+            raise BadRequest("'events' must be a list of [kind, payload] pairs")
+
+        schema_fingerprint = text_key(
+            json.dumps(
+                [
+                    VALIDATE_RESULT_VERSION,
+                    kind,
+                    sorted(rules.items()),
+                    sorted(start or []),
+                    sorted((mu or {}).items()),
+                ],
+                ensure_ascii=False,
+                separators=(",", ":"),
+            )
+        )
+        document_digest = text_key(
+            json.dumps(
+                [fmt, document] if document is not None else ["events", events],
+                ensure_ascii=False,
+                separators=(",", ":"),
+            )
+        )
+        key = result_key("validate", schema_fingerprint, document_digest, "validate")
+        automaton = self._schema_automaton(kind, rules, start, mu, schema_fingerprint)
+
+        def fn() -> Dict[str, Any]:
+            validator = StreamingTreeValidator(automaton)
+            payload: Dict[str, Any] = {"states": automaton.state_count()}
+            try:
+                stream = (
+                    iter(events)
+                    if events is not None
+                    else events_of(document, format=fmt)
+                )
+                for event in stream:
+                    if not validator.feed(event):
+                        break
+            except (XMLParseError, JSONParseError) as exc:
+                # an unparseable document is a verdict, not a fault
+                payload.update(valid=False, reason=str(exc))
+                payload["stack_depth"] = validator.max_stack_depth
+                return payload
+            valid = validator.finish()
+            payload["valid"] = valid
+            payload["stack_depth"] = validator.max_stack_depth
+            if not valid:
+                payload["reason"] = (
+                    validator.failure
+                    or "stream ended before the document closed"
+                )
+            return payload
 
         return key, fn
 

@@ -234,37 +234,41 @@ def random_json_text(rng: random.Random) -> str:
 _DTD_LABELS = ("a", "b", "c", "d")
 
 
-def _random_content_model(rng: random.Random, depth: int) -> str:
+def _random_content_model(
+    rng: random.Random,
+    depth: int,
+    atoms: Tuple[str, ...] = _DTD_LABELS,
+) -> str:
     """A textual rule body parseable by ``parse_regex(multi_char=True)``;
     composites are always parenthesized so the rendering is unambiguous."""
     if depth <= 0:
         if rng.random() < 0.15:
             return "()"
-        return rng.choice(_DTD_LABELS)
+        return rng.choice(atoms)
     kind = rng.randrange(6)
     if kind == 0:
         return (
             "("
-            + _random_content_model(rng, depth - 1)
+            + _random_content_model(rng, depth - 1, atoms)
             + " "
-            + _random_content_model(rng, depth - 1)
+            + _random_content_model(rng, depth - 1, atoms)
             + ")"
         )
     if kind == 1:
         return (
             "("
-            + _random_content_model(rng, depth - 1)
+            + _random_content_model(rng, depth - 1, atoms)
             + "|"
-            + _random_content_model(rng, depth - 1)
+            + _random_content_model(rng, depth - 1, atoms)
             + ")"
         )
     if kind == 2:
-        return "(" + _random_content_model(rng, depth - 1) + ")*"
+        return "(" + _random_content_model(rng, depth - 1, atoms) + ")*"
     if kind == 3:
-        return "(" + _random_content_model(rng, depth - 1) + ")?"
+        return "(" + _random_content_model(rng, depth - 1, atoms) + ")?"
     if kind == 4:
-        return "(" + _random_content_model(rng, depth - 1) + ")+"
-    return _random_content_model(rng, depth - 1)
+        return "(" + _random_content_model(rng, depth - 1, atoms) + ")+"
+    return _random_content_model(rng, depth - 1, atoms)
 
 
 def random_dtd_rules(
@@ -284,6 +288,37 @@ def random_dtd_rules(
     start = rng.choice(_DTD_LABELS)
     rules.setdefault(start, _random_content_model(rng, 1))
     return rules, start
+
+
+_EDTD_TYPES = ("ta", "tb", "tc", "td", "te")
+_EDTD_TARGET_LABELS = ("a", "b", "c")
+
+
+def random_edtd_rules(
+    rng: random.Random,
+) -> Tuple[Dict[str, str], List[str], Dict[str, str]]:
+    """Textual rules for :meth:`repro.trees.edtd.EDTD.from_rules` plus
+    start types and the renaming µ.  Types are drawn from a pool larger
+    than the label set µ maps onto, so µ-collisions (two types with the
+    same element name — the non-single-type regime where streaming needs
+    candidate *sets*) are the common case, not the corner case."""
+    types = [t for t in _EDTD_TYPES if rng.random() < 0.8]
+    if not types:
+        types = [rng.choice(_EDTD_TYPES)]
+    atoms = tuple(types)
+    rules = {
+        t: (
+            ""
+            if rng.random() < 0.25
+            else _random_content_model(rng, rng.randrange(1, 3), atoms)
+        )
+        for t in types
+    }
+    mu = {t: rng.choice(_EDTD_TARGET_LABELS) for t in types}
+    start = sorted(
+        {rng.choice(types) for _ in range(rng.randrange(1, 3))}
+    )
+    return rules, start, mu
 
 
 def random_event_stream(rng: random.Random) -> List[Event]:

@@ -22,6 +22,7 @@ from ..errors import (
     DTDParseError,
     JSONParseError,
     RegexParseError,
+    SchemaError,
     SPARQLParseError,
 )
 from ..graphs.paths import (
@@ -50,13 +51,20 @@ from ..regex.automata import glushkov
 from ..regex.determinism import is_deterministic
 from ..sparql.parser import parse_query
 from ..sparql.serialize import serialize_query
+from ..trees.automata import (
+    TreeAutomaton,
+    contains_determinize,
+    validate_events,
+)
 from ..trees.dtd import DTD
+from ..trees.edtd import EDTD
 from ..trees.json_parser import parse_json
 from ..trees.streaming import validate_stream
 from ..trees.tree import Tree, TreeNode
 from .generators import (
     Event,
     random_dtd_rules,
+    random_edtd_rules,
     random_event_stream,
     random_json_text,
     random_regex_ast,
@@ -1149,6 +1157,173 @@ class ShardedServiceOracle(Oracle):
                     yield {**case, "queries": smaller}
 
 
+# ---------------------------------------------------------------------------
+# Tree automata: streaming NFTA run vs EDTD.validate; antichain inclusion
+# vs determinize-and-product and bounded tree enumeration
+# ---------------------------------------------------------------------------
+
+
+def _small_trees(labels: Tuple[str, ...], budget: int) -> List[Tree]:
+    """A deterministic, breadth-ordered enumeration of small unranked
+    trees over ``labels`` (depth ≤ 2, each node ≤ 2 children), capped at
+    ``budget`` trees — the brute-force membership probe behind the
+    inclusion oracle."""
+
+    def layer(depth: int) -> List[TreeNode]:
+        if depth <= 0:
+            return [TreeNode(label) for label in labels]
+        below = layer(depth - 1)
+        nodes: List[TreeNode] = []
+        child_seqs: List[List[TreeNode]] = [[]]
+        child_seqs += [[c] for c in below]
+        if depth == 1:
+            child_seqs += [[c1, c2] for c1 in below for c2 in below]
+        for label in labels:
+            for seq in child_seqs:
+                node = TreeNode(label)
+                for child in seq:
+                    node.add_child(_copy_node(child))
+                nodes.append(node)
+        return nodes
+
+    trees = [Tree(node) for node in layer(2)]
+    return trees[:budget]
+
+
+def _copy_node(node: TreeNode) -> TreeNode:
+    fresh = TreeNode(node.label)
+    for child in node.children:
+        fresh.add_child(_copy_node(child))
+    return fresh
+
+
+def _edtd_of(spec: Dict[str, Any]) -> Opt[EDTD]:
+    try:
+        return EDTD.from_rules(
+            spec["rules"], start=list(spec["start"]), mu=dict(spec["mu"])
+        )
+    except (DTDParseError, RegexParseError, SchemaError, ValueError):
+        return None  # malformed rule text is outside the oracle
+
+
+class TreeAutomataOracle(Oracle):
+    name = "tree-automata"
+    description = (
+        "streaming NFTA run vs EDTD.validate; antichain inclusion vs "
+        "determinize-and-product and small-tree enumeration"
+    )
+
+    def generate(self, rng: random.Random) -> Dict[str, Any]:
+        if rng.random() < 0.6:
+            rules, start, mu = random_edtd_rules(rng)
+            return {
+                "kind": "stream",
+                "rules": rules,
+                "start": start,
+                "mu": mu,
+                "events": [list(e) for e in random_event_stream(rng)],
+            }
+        rules_a, start_a, mu_a = random_edtd_rules(rng)
+        if rng.random() < 0.3:
+            # bias toward inclusion actually holding: B is A plus slack
+            rules_b = dict(rules_a)
+            for t in list(rules_b):
+                if rng.random() < 0.5:
+                    rules_b[t] = f"(({rules_b[t]})|({t}*))" if rules_b[t] else f"({t}*)"
+            side_b = {"rules": rules_b, "start": start_a, "mu": mu_a}
+        else:
+            rules_b, start_b, mu_b = random_edtd_rules(rng)
+            side_b = {"rules": rules_b, "start": start_b, "mu": mu_b}
+        return {
+            "kind": "inclusion",
+            "a": {"rules": rules_a, "start": start_a, "mu": mu_a},
+            "b": side_b,
+        }
+
+    def check(self, case: Dict[str, Any]) -> Opt[str]:
+        if case["kind"] == "stream":
+            return self._check_stream(case)
+        return self._check_inclusion(case)
+
+    def _check_stream(self, case: Dict[str, Any]) -> Opt[str]:
+        edtd = _edtd_of(case)
+        if edtd is None:
+            return None
+        events = [tuple(e) for e in case["events"]]
+        automaton = TreeAutomaton.from_edtd(edtd)
+        streaming = validate_events(automaton, events)
+        tree = _tree_of_events(events)
+        reference = tree is not None and edtd.validate(tree)
+        if streaming != reference:
+            return (
+                f"stream/in-memory divergence: streaming={streaming} "
+                f"EDTD.validate={reference}"
+            )
+        reduced = validate_events(automaton.reduce(), events)
+        if reduced != streaming:
+            return (
+                f"reduction changed the verdict: full={streaming} "
+                f"reduced={reduced}"
+            )
+        return None
+
+    def _check_inclusion(self, case: Dict[str, Any]) -> Opt[str]:
+        edtd_a = _edtd_of(case["a"])
+        edtd_b = _edtd_of(case["b"])
+        if edtd_a is None or edtd_b is None:
+            return None
+        aut_a = TreeAutomaton.from_edtd(edtd_a)
+        aut_b = TreeAutomaton.from_edtd(edtd_b)
+        antichain = aut_a.included_in(aut_b)
+        reference = contains_determinize(aut_a, aut_b)
+        if antichain != reference:
+            return (
+                f"inclusion divergence: antichain={antichain} "
+                f"determinize-product={reference}"
+            )
+        labels = tuple(
+            sorted(set(aut_a.alphabet) | set(aut_b.alphabet))
+        ) or ("a",)
+        for tree in _small_trees(labels, budget=150):
+            in_a = aut_a.validate(tree)
+            if in_a != edtd_a.validate(tree):
+                return "membership divergence: TreeAutomaton vs EDTD (A)"
+            if antichain and in_a and not aut_b.validate(tree):
+                return (
+                    "enumeration counterexample: inclusion reported True "
+                    "but a small tree is in A and not in B"
+                )
+        return None
+
+    def shrink_candidates(
+        self, case: Dict[str, Any]
+    ) -> Iterable[Dict[str, Any]]:
+        if case["kind"] == "stream":
+            for events in sequence_candidates(case["events"]):
+                yield {**case, "events": events}
+            for t, body in case["rules"].items():
+                if body:
+                    yield {**case, "rules": {**case["rules"], t: ""}}
+        else:
+            for side in ("a", "b"):
+                spec = case[side]
+                for t in list(spec["rules"]):
+                    if t in spec["start"]:
+                        continue
+                    smaller = dict(spec["rules"])
+                    del smaller[t]
+                    yield {**case, side: {**spec, "rules": smaller}}
+                for t, body in spec["rules"].items():
+                    if body:
+                        yield {
+                            **case,
+                            side: {
+                                **spec,
+                                "rules": {**spec["rules"], t: ""},
+                            },
+                        }
+
+
 ORACLES: Dict[str, Oracle] = {
     oracle.name: oracle
     for oracle in (
@@ -1163,5 +1338,6 @@ ORACLES: Dict[str, Oracle] = {
         FusedBatteryOracle(),
         MmapStoreOracle(),
         ShardedServiceOracle(),
+        TreeAutomataOracle(),
     )
 }

@@ -7,13 +7,29 @@ Public surface:
   :func:`attempt_repair`, :func:`parse_json`, :func:`parse_json_tree`
 * Schemas: :class:`DTD`, :func:`parse_dtd`, :class:`EDTD`,
   :func:`validate_single_type`, :class:`PatternSchema`
-* Streaming: :class:`StreamingDTDValidator`, :func:`validate_stream`
+* Streaming: :class:`StreamingDTDValidator`, :func:`validate_stream`,
+  :func:`events_of` (chunked XML/JSON sources), :func:`iter_xml_events`,
+  :func:`iter_json_events`
+* Tree automata: :class:`TreeAutomaton` (antichain inclusion,
+  simulation reduction), :class:`StreamingTreeValidator`,
+  :func:`validate_events`, :func:`schema_contains`
 * Inference: :func:`infer_sore`, :func:`infer_chare`, :func:`learn_k_ore`,
   :func:`infer_dtd`
 * Queries: :class:`XPathQuery`
 * Corpora: :func:`generate_corpus`, :func:`random_dtd_corpus`
 """
 
+from .automata import (
+    StreamingTreeValidator,
+    TreeAutomaton,
+    compile_schema,
+    contains_determinize,
+    schema_contains,
+    schema_equivalent,
+    universal_automaton,
+    validate_events,
+    validate_events_or_raise,
+)
 from .bonxai import PathPattern, PatternRule, PatternSchema
 from .dtd import (
     DTD,
@@ -34,6 +50,7 @@ from .inference import (
     soa_to_sore,
 )
 from .json_parser import (
+    iter_json_events,
     json_nesting_depth,
     json_to_tree,
     parse_json,
@@ -74,6 +91,7 @@ from .xml_parser import (
     XMLError,
     attempt_repair,
     check_well_formedness,
+    iter_xml_events,
     parse_xml,
 )
 from .xpath import (
@@ -90,6 +108,17 @@ from .xpath_corpus import (
 )
 
 __all__ = [
+    "StreamingTreeValidator",
+    "TreeAutomaton",
+    "compile_schema",
+    "contains_determinize",
+    "schema_contains",
+    "schema_equivalent",
+    "universal_automaton",
+    "validate_events",
+    "validate_events_or_raise",
+    "iter_json_events",
+    "iter_xml_events",
     "PathPattern",
     "PatternRule",
     "PatternSchema",

@@ -1,0 +1,159 @@
+"""Pull-based chunked character feeding for the incremental parsers.
+
+:class:`ChunkFeeder` turns any text source — a ``str``, ``bytes``, or a
+file-like object whose ``read(n)`` returns either — into a buffered
+character stream with *bounded* memory: the internal buffer holds at
+most the unconsumed tail of one token plus one read chunk, and the
+consumed prefix is compacted away as the caller advances.  Byte inputs
+are decoded incrementally (UTF-8 by default), so multi-byte characters
+split across chunk boundaries are handled transparently.
+
+Both :func:`repro.trees.xml_parser.iter_xml_events` and
+:func:`repro.trees.json_parser.iter_json_events` scan through this
+class, which is what lets them emit SAX-style event streams from
+multi-gigabyte documents without ever materializing the text, let alone
+a :class:`~repro.trees.tree.Tree`.
+"""
+
+from __future__ import annotations
+
+import codecs
+from typing import Callable, Optional
+
+__all__ = ["ChunkFeeder"]
+
+DEFAULT_CHUNK_SIZE = 65536
+
+
+class ChunkFeeder:
+    """Buffered incremental reader over ``str`` / ``bytes`` / file-like.
+
+    ``error_factory`` builds the exception raised on a byte-decoding
+    failure, so each parser surfaces its own typed error (XML's
+    ``bad-encoding`` category, for instance) instead of a raw
+    :class:`UnicodeDecodeError`.
+    """
+
+    def __init__(
+        self,
+        source,
+        chunk_size: int = DEFAULT_CHUNK_SIZE,
+        encoding: str = "utf-8",
+        error_factory: Optional[Callable[[str, int], Exception]] = None,
+    ):
+        self.chunk_size = max(1, int(chunk_size))
+        self.error_factory = error_factory
+        self.buf = ""
+        self.pos = 0
+        self.base = 0  # absolute offset of buf[0] in the whole input
+        self.eof = False
+        self._decoder = None
+        if isinstance(source, str):
+            self.buf = source
+            self.eof = True
+            self._pull = None
+        elif isinstance(source, (bytes, bytearray, memoryview)):
+            data = bytes(source)
+            self._decoder = codecs.getincrementaldecoder(encoding)()
+            offset = 0
+
+            def pull_bytes() -> Optional[bytes]:
+                nonlocal offset
+                if offset >= len(data):
+                    return None
+                chunk = data[offset : offset + self.chunk_size]
+                offset += len(chunk)
+                return chunk
+
+            self._pull = pull_bytes
+        elif hasattr(source, "read"):
+            self._decoder = codecs.getincrementaldecoder(encoding)()
+
+            def pull_read():
+                chunk = source.read(self.chunk_size)
+                return chunk if chunk else None
+
+            self._pull = pull_read
+        else:
+            raise TypeError(
+                f"cannot feed from {type(source).__name__}: "
+                "expected str, bytes, or a file-like object"
+            )
+
+    @property
+    def position(self) -> int:
+        """Absolute character offset of the read head (for errors)."""
+        return self.base + self.pos
+
+    def _decode_error(self, exc: UnicodeDecodeError) -> Exception:
+        if self.error_factory is not None:
+            return self.error_factory(str(exc), self.base + len(self.buf))
+        return exc
+
+    def refill(self) -> bool:
+        """Pull one more chunk into the buffer; False once at EOF."""
+        if self.eof:
+            return False
+        # Compact the consumed prefix so memory stays bounded by the
+        # largest single token, not by the document.
+        if self.pos > self.chunk_size:
+            self.base += self.pos
+            self.buf = self.buf[self.pos :]
+            self.pos = 0
+        chunk = self._pull() if self._pull is not None else None
+        if chunk is None:
+            self.eof = True
+            if self._decoder is not None:
+                try:
+                    tail = self._decoder.decode(b"", final=True)
+                except UnicodeDecodeError as exc:
+                    raise self._decode_error(exc) from None
+                self.buf += tail
+                return bool(tail)
+            return False
+        if isinstance(chunk, str):
+            self.buf += chunk
+        else:
+            if self._decoder is None:
+                self._decoder = codecs.getincrementaldecoder("utf-8")()
+            try:
+                self.buf += self._decoder.decode(chunk)
+            except UnicodeDecodeError as exc:
+                raise self._decode_error(exc) from None
+        return True
+
+    def ensure(self, n: int) -> bool:
+        """Make at least ``n`` unread characters available if possible."""
+        while len(self.buf) - self.pos < n:
+            if not self.refill():
+                return False
+        return True
+
+    def peek(self, offset: int = 0) -> Optional[str]:
+        if not self.ensure(offset + 1):
+            return None
+        return self.buf[self.pos + offset]
+
+    def advance(self, n: int = 1) -> None:
+        self.pos += n
+
+    def startswith(self, prefix: str) -> bool:
+        if not self.ensure(len(prefix)):
+            return False
+        return self.buf.startswith(prefix, self.pos)
+
+    def take_until(self, needle: str) -> Optional[str]:
+        """Consume and return everything up to ``needle`` (which is also
+        consumed but not returned); None when the input ends first."""
+        search_from = self.pos
+        while True:
+            idx = self.buf.find(needle, search_from)
+            if idx != -1:
+                out = self.buf[self.pos : idx]
+                self.pos = idx + len(needle)
+                return out
+            # keep a needle-sized overlap so a match split across chunks
+            # is still found
+            search_from = max(self.pos, len(self.buf) - len(needle) + 1)
+            if not self.refill():
+                return None

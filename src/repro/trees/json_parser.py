@@ -293,3 +293,284 @@ def json_nesting_depth(value: Any) -> int:
             return 1
         return 1 + max(json_nesting_depth(v) for v in value)
     return 1
+
+
+# ----------------------------------------------------------------------
+# Incremental event streaming (chunked, no value / Tree construction)
+# ----------------------------------------------------------------------
+
+_WHITESPACE = " \t\n\r"
+_HEX_DIGITS = set("0123456789abcdefABCDEF")
+
+
+def _json_decode_error(message: str, position: int) -> JSONParseError:
+    return JSONParseError(message, position=position, category=BAD_LITERAL)
+
+
+class _ChunkedJSONScanner:
+    """Charwise scanner over a :class:`~repro.trees.chunked.ChunkFeeder`
+    that validates tokens as it discards them."""
+
+    def __init__(self, source, chunk_size: int):
+        from .chunked import ChunkFeeder
+
+        self.feeder = ChunkFeeder(
+            source, chunk_size, error_factory=_json_decode_error
+        )
+
+    def error(self, message: str, category: str) -> JSONParseError:
+        return JSONParseError(
+            message, position=self.feeder.position, category=category
+        )
+
+    def peek(self):
+        return self.feeder.peek()
+
+    def advance(self):
+        self.feeder.advance()
+
+    def skip_whitespace(self) -> None:
+        while True:
+            ch = self.feeder.peek()
+            if ch is None or ch not in _WHITESPACE:
+                return
+            self.feeder.advance()
+
+    def expect(self, expected: str, category: str) -> None:
+        ch = self.feeder.peek()
+        if ch != expected:
+            if ch is None:
+                raise self.error("unexpected end of input", UNEXPECTED_END)
+            raise self.error(
+                f"expected {expected!r}, found {ch!r}", category
+            )
+        self.feeder.advance()
+
+    def read_string(self) -> str:
+        """Consume a quoted string (opening quote included) and return
+        its decoded value; mirrors the strict parser's escape rules."""
+        self.expect('"', MISSING_DELIMITER)
+        out = []
+        while True:
+            ch = self.feeder.peek()
+            if ch is None:
+                raise self.error("unterminated string", UNTERMINATED_STRING)
+            self.feeder.advance()
+            if ch == '"':
+                return "".join(out)
+            if ch == "\\":
+                esc = self.feeder.peek()
+                if esc is None:
+                    raise self.error(
+                        "unterminated escape", UNTERMINATED_STRING
+                    )
+                self.feeder.advance()
+                if esc == "u":
+                    out.append(self._read_unicode_escape())
+                elif esc in '"\\/':
+                    out.append(esc)
+                elif esc == "b":
+                    out.append("\b")
+                elif esc == "f":
+                    out.append("\f")
+                elif esc == "n":
+                    out.append("\n")
+                elif esc == "r":
+                    out.append("\r")
+                elif esc == "t":
+                    out.append("\t")
+                else:
+                    raise self.error(f"bad escape \\{esc}", BAD_ESCAPE)
+            elif ord(ch) < 0x20:
+                raise self.error(
+                    f"raw control character {ch!r} in string",
+                    CONTROL_CHAR,
+                )
+            else:
+                out.append(ch)
+
+    def _read_hex4(self) -> int:
+        digits = []
+        for _ in range(4):
+            ch = self.feeder.peek()
+            if ch is None or ch not in _HEX_DIGITS:
+                raise self.error("bad \\u escape", BAD_ESCAPE)
+            digits.append(ch)
+            self.feeder.advance()
+        return int("".join(digits), 16)
+
+    def _read_unicode_escape(self) -> str:
+        # Mirrors the strict parser: escaped surrogate pairs combine
+        # into one astral code point, unpaired surrogates are kept, and
+        # a high surrogate followed by a non-low escape re-enters the
+        # loop (the second unit may itself start a pair).
+        out = []
+        unit = self._read_hex4()
+        while True:
+            paired = (
+                0xD800 <= unit <= 0xDBFF
+                and self.feeder.peek() == "\\"
+                and self.feeder.peek(1) == "u"
+            )
+            if not paired:
+                out.append(chr(unit))
+                return "".join(out)
+            self.feeder.advance()
+            self.feeder.advance()
+            low = self._read_hex4()
+            if 0xDC00 <= low <= 0xDFFF:
+                code = 0x10000 + ((unit - 0xD800) << 10) + (low - 0xDC00)
+                out.append(chr(code))
+                return "".join(out)
+            out.append(chr(unit))
+            unit = low
+
+    def skip_scalar(self) -> None:
+        """Consume one literal or number, validating its shape."""
+        ch = self.feeder.peek()
+        if ch == '"':
+            self.read_string()
+            return
+        if ch is None:
+            raise self.error("unexpected end of input", UNEXPECTED_END)
+        if ch.isalpha():
+            word = []
+            while True:
+                ch = self.feeder.peek()
+                if ch is None or not ch.isalpha():
+                    break
+                word.append(ch)
+                self.feeder.advance()
+            if "".join(word) not in ("true", "false", "null"):
+                raise self.error(
+                    f"bad literal {''.join(word)!r}", BAD_LITERAL
+                )
+            return
+        self._skip_number()
+
+    def _skip_number(self) -> None:
+        ch = self.feeder.peek()
+        if ch == "-":
+            self.feeder.advance()
+            ch = self.feeder.peek()
+        if ch is None or not ch.isdigit():
+            raise self.error("malformed number", BAD_LITERAL)
+        if ch == "0":
+            self.feeder.advance()
+        else:
+            while (c := self.feeder.peek()) is not None and c.isdigit():
+                self.feeder.advance()
+        if self.feeder.peek() == ".":
+            self.feeder.advance()
+            if (c := self.feeder.peek()) is None or not c.isdigit():
+                raise self.error(
+                    "expected digits after decimal point", BAD_LITERAL
+                )
+            while (c := self.feeder.peek()) is not None and c.isdigit():
+                self.feeder.advance()
+        if self.feeder.peek() in ("e", "E"):
+            self.feeder.advance()
+            if self.feeder.peek() in ("+", "-"):
+                self.feeder.advance()
+            if (c := self.feeder.peek()) is None or not c.isdigit():
+                raise self.error("expected digits in exponent", BAD_LITERAL)
+            while (c := self.feeder.peek()) is not None and c.isdigit():
+                self.feeder.advance()
+
+
+def iter_json_events(
+    source,
+    chunk_size: int = 65536,
+    root_label: str = "$",
+    item_label: str = "item",
+):
+    """Yield ``("start", label)`` / ``("end", label)`` events
+    incrementally from JSON ``source`` (a ``str``, ``bytes``, or
+    file-like object), following :func:`json_to_tree`'s labeling: the
+    root is ``root_label``, object members are labelled by their key,
+    array elements by ``item_label``, and scalars are leaves.
+
+    The document is tokenized in ``chunk_size`` pieces and never parsed
+    into a value, so memory is bounded by nesting depth plus one chunk.
+    Malformed input raises :class:`~repro.errors.JSONParseError` with
+    the strict parser's category taxonomy.  (One deliberate divergence
+    from ``events_of(parse_json_tree(text))``: duplicate object keys
+    each yield their own events here, while ``dict`` semantics keep only
+    the last.)
+    """
+    scanner = _ChunkedJSONScanner(source, chunk_size)
+    scanner.skip_whitespace()
+    # Stack of ("obj" | "arr", label-of-container).
+    stack: List[Tuple[str, str]] = []
+    label = root_label
+    while True:
+        # Parse one value labelled `label`.
+        ch = scanner.peek()
+        if ch is None:
+            raise scanner.error("unexpected end of input", UNEXPECTED_END)
+        closed = False
+        if ch == "{":
+            scanner.advance()
+            yield ("start", label)
+            scanner.skip_whitespace()
+            if scanner.peek() == "}":
+                scanner.advance()
+                yield ("end", label)
+                closed = True
+            else:
+                stack.append(("obj", label))
+                label = scanner.read_string()
+                scanner.skip_whitespace()
+                scanner.expect(":", MISSING_DELIMITER)
+                scanner.skip_whitespace()
+        elif ch == "[":
+            scanner.advance()
+            yield ("start", label)
+            scanner.skip_whitespace()
+            if scanner.peek() == "]":
+                scanner.advance()
+                yield ("end", label)
+                closed = True
+            else:
+                stack.append(("arr", label))
+                label = item_label
+        else:
+            scanner.skip_scalar()
+            yield ("start", label)
+            yield ("end", label)
+            closed = True
+        # Unwind finished containers / advance to the next sibling.
+        while closed and stack:
+            kind, container_label = stack[-1]
+            scanner.skip_whitespace()
+            ch = scanner.peek()
+            if ch == ",":
+                scanner.advance()
+                scanner.skip_whitespace()
+                if kind == "obj":
+                    label = scanner.read_string()
+                    scanner.skip_whitespace()
+                    scanner.expect(":", MISSING_DELIMITER)
+                    scanner.skip_whitespace()
+                else:
+                    label = item_label
+                closed = False
+            elif (kind == "obj" and ch == "}") or (kind == "arr" and ch == "]"):
+                scanner.advance()
+                stack.pop()
+                yield ("end", container_label)
+            elif ch is None:
+                raise scanner.error("unexpected end of input", UNEXPECTED_END)
+            else:
+                raise scanner.error(
+                    f"expected {',' if kind == 'arr' else ', or closing brace'}"
+                    f", found {ch!r}",
+                    MISSING_DELIMITER,
+                )
+        if closed and not stack:
+            scanner.skip_whitespace()
+            if scanner.peek() is not None:
+                raise scanner.error(
+                    "trailing data after document", TRAILING_DATA
+                )
+            return

@@ -13,6 +13,12 @@ so the bench/tests can demonstrate the bound.
 
 Events are ``("start", label)`` / ``("end", label)`` pairs; text events
 are ignored by the structural abstraction.
+
+Arbitrary (recursive, non-single-type) schemas stream through the
+generalized NFTA validator in :mod:`repro.trees.automata`, for which
+:class:`StreamingDTDValidator` is the one-candidate-per-label special
+case.  :func:`events_of` feeds either validator straight from chunked
+file-like XML/JSON input without materializing a tree.
 """
 
 from __future__ import annotations
@@ -28,9 +34,42 @@ from .tree import Tree, TreeNode
 Event = Tuple[str, str]
 
 
-def events_of(tree: Tree) -> Iterator[Event]:
-    """The event stream of a tree (document order)."""
+def events_of(
+    source, *, format: Opt[str] = None, chunk_size: int = 65536
+) -> Iterator[Event]:
+    """The document-order event stream of ``source``.
 
+    ``source`` may be a :class:`~repro.trees.tree.Tree` (walked
+    directly), or a ``str`` / ``bytes`` / file-like object tokenized
+    *incrementally* in ``chunk_size`` pieces via
+    :func:`~repro.trees.xml_parser.iter_xml_events` or
+    :func:`~repro.trees.json_parser.iter_json_events` — no tree is ever
+    built, so multi-GB corpora stream in memory bounded by document
+    depth.  ``format`` forces ``"xml"`` or ``"json"``; when omitted,
+    textual input is sniffed by its first non-whitespace character
+    (``<`` means XML) and file-like input defaults to XML.
+    """
+    if isinstance(source, Tree):
+        return _tree_events(source)
+    if format is None:
+        if isinstance(source, (str, bytes, bytearray)):
+            head = source.lstrip()[:1]
+            xml = head in ("<", b"<")
+        else:
+            xml = True
+        format = "xml" if xml else "json"
+    if format == "xml":
+        from .xml_parser import iter_xml_events
+
+        return iter_xml_events(source, chunk_size=chunk_size)
+    if format == "json":
+        from .json_parser import iter_json_events
+
+        return iter_json_events(source, chunk_size=chunk_size)
+    raise ValueError(f"unknown event-stream format {format!r}")
+
+
+def _tree_events(tree: Tree) -> Iterator[Event]:
     def emit(node: TreeNode) -> Iterator[Event]:
         yield ("start", node.label)
         for child in node.children:

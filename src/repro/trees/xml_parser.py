@@ -570,3 +570,220 @@ def _close_all_open(text: str) -> str:
         if not self_closing:
             stack.append(name)
     return text + "".join(f"</{name}>" for name in reversed(stack))
+
+
+# ----------------------------------------------------------------------
+# Incremental event streaming (chunked, no Tree construction)
+# ----------------------------------------------------------------------
+
+
+def _xml_decode_error(message: str, position: int) -> XMLParseError:
+    return XMLParseError(message, position=position, category=BAD_ENCODING)
+
+
+def iter_xml_events(source, chunk_size: int = 65536):
+    """Yield ``("start", name)`` / ``("end", name)`` / ``("text", data)``
+    events incrementally from ``source`` — a ``str``, ``bytes``, or a
+    file-like object read in ``chunk_size`` pieces.
+
+    No :class:`~repro.trees.tree.Tree` is ever built: memory is bounded
+    by the largest single token (tag, comment, CDATA section) plus one
+    chunk, so multi-GB documents stream in constant memory.  The
+    tokenizer is deliberately structure-agnostic — tag balance and
+    root-count checks are the *consumer's* job (the streaming validators
+    detect them as malformed streams) — but lexically broken input
+    (premature end of markup, bad names, undecodable bytes) raises
+    :class:`~repro.errors.XMLParseError` with the study's category.
+
+    Self-closing elements yield a ``start`` immediately followed by the
+    matching ``end``.  Comments, processing instructions, DOCTYPE and
+    the XML declaration are skipped; CDATA yields its content as text.
+    Entity references in text are *not* decoded (validation only looks
+    at structure).  Text may be split across several ``text`` events at
+    chunk boundaries.
+    """
+    from .chunked import ChunkFeeder
+
+    feeder = ChunkFeeder(source, chunk_size, error_factory=_xml_decode_error)
+    yield from _iter_xml_events(feeder)
+
+
+def _read_stream_name(feeder) -> str:
+    first = feeder.peek()
+    if first is None or first not in _NAME_START:
+        raise XMLParseError(
+            f"expected a name, found {first!r}",
+            position=feeder.position,
+            category=UNESCAPED_CHAR,
+        )
+    chars = [first]
+    feeder.advance()
+    while True:
+        ch = feeder.peek()
+        if ch is None or ch not in _NAME_CHARS:
+            return "".join(chars)
+        chars.append(ch)
+        feeder.advance()
+
+
+def _skip_stream_doctype(feeder) -> None:
+    depth = 0
+    while True:
+        ch = feeder.peek()
+        if ch is None:
+            raise XMLParseError(
+                "unterminated markup declaration",
+                position=feeder.position,
+                category=PREMATURE_END,
+            )
+        feeder.advance()
+        if ch == "[":
+            depth += 1
+        elif ch == "]":
+            depth -= 1
+        elif ch == ">" and depth <= 0:
+            return
+
+
+def _iter_xml_events(feeder):
+    while True:
+        ch = feeder.peek()
+        if ch is None:
+            return
+        if ch != "<":
+            # Text run: emit what the buffer holds and loop; splitting
+            # long runs keeps memory at one chunk.
+            idx = feeder.buf.find("<", feeder.pos)
+            end = len(feeder.buf) if idx == -1 else idx
+            if end > feeder.pos:
+                yield ("text", feeder.buf[feeder.pos : end])
+                feeder.pos = end
+            continue
+        # Markup.  Classify by prefix (longest is 9 chars).
+        feeder.ensure(9)
+        if feeder.startswith("<!--"):
+            feeder.advance(4)
+            if feeder.take_until("-->") is None:
+                raise XMLParseError(
+                    "unterminated comment",
+                    position=feeder.position,
+                    category=PREMATURE_END,
+                )
+            continue
+        if feeder.startswith("<![CDATA["):
+            feeder.advance(9)
+            content = feeder.take_until("]]>")
+            if content is None:
+                raise XMLParseError(
+                    "unterminated CDATA section",
+                    position=feeder.position,
+                    category=PREMATURE_END,
+                )
+            if content:
+                yield ("text", content)
+            continue
+        if feeder.startswith("<?"):
+            feeder.advance(2)
+            if feeder.take_until("?>") is None:
+                raise XMLParseError(
+                    "unterminated processing instruction",
+                    position=feeder.position,
+                    category=PREMATURE_END,
+                )
+            continue
+        if feeder.startswith("<!"):
+            feeder.advance(2)
+            _skip_stream_doctype(feeder)
+            continue
+        if feeder.startswith("</"):
+            feeder.advance(2)
+            name = _read_stream_name(feeder)
+            while True:
+                ch = feeder.peek()
+                if ch is None:
+                    raise XMLParseError(
+                        "premature end of data in end tag",
+                        position=feeder.position,
+                        category=PREMATURE_END,
+                    )
+                feeder.advance()
+                if ch == ">":
+                    break
+                if not ch.isspace():
+                    raise XMLParseError(
+                        f"unexpected {ch!r} in end tag",
+                        position=feeder.position,
+                        category=BAD_ATTRIBUTE,
+                    )
+            yield ("end", name)
+            continue
+        # Start tag: strict attribute lexing (name, '=', quoted value),
+        # matching the categories parse_xml raises for the same input.
+        feeder.advance(1)
+        name = _read_stream_name(feeder)
+        self_closing = False
+        while True:
+            ch = feeder.peek()
+            if ch is None:
+                raise XMLParseError(
+                    "premature end of data in tag",
+                    position=feeder.position,
+                    category=PREMATURE_END,
+                )
+            if ch.isspace():
+                feeder.advance()
+                continue
+            if ch == ">":
+                feeder.advance()
+                break
+            if ch == "/":
+                feeder.advance()
+                if feeder.peek() != ">":
+                    raise XMLParseError(
+                        f"malformed attribute near {feeder.peek()!r}",
+                        position=feeder.position,
+                        category=BAD_ATTRIBUTE,
+                    )
+                feeder.advance()
+                self_closing = True
+                break
+            if ch not in _NAME_START:
+                raise XMLParseError(
+                    f"malformed attribute near {ch!r}",
+                    position=feeder.position,
+                    category=BAD_ATTRIBUTE,
+                )
+            attr = _read_stream_name(feeder)
+            while feeder.peek() is not None and feeder.peek().isspace():
+                feeder.advance()
+            if feeder.peek() != "=":
+                raise XMLParseError(
+                    f"attribute {attr!r} without value",
+                    position=feeder.position,
+                    category=BAD_ATTRIBUTE,
+                )
+            feeder.advance()
+            while feeder.peek() is not None and feeder.peek().isspace():
+                feeder.advance()
+            quote = feeder.peek()
+            if quote not in ("'", '"'):
+                raise XMLParseError(
+                    f"unquoted value for attribute {attr!r}",
+                    position=feeder.position,
+                    category=BAD_ATTRIBUTE,
+                )
+            feeder.advance()
+            while True:
+                vch = feeder.peek()
+                if vch is None:
+                    raise XMLParseError(
+                        f"unterminated value for attribute {attr!r}",
+                        position=feeder.position,
+                        category=PREMATURE_END,
+                    )
+                feeder.advance()
+                if vch == quote:
+                    break
+        yield ("start", name)
+        if self_closing:
+            yield ("end", name)

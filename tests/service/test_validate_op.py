@@ -1,0 +1,158 @@
+"""The ``validate`` wire op: streaming schema validation served from
+the embedded core and over TCP, cached by (schema fingerprint,
+document digest), with typed request/response encoding and typed
+failures for broken schemas vs merely invalid documents."""
+
+import asyncio
+
+import pytest
+
+from repro.errors import BadRequest
+from repro.service import (
+    EmbeddedService,
+    ReproServer,
+    ValidateRequest,
+    ValidateResponse,
+    connect,
+    open_service,
+)
+
+RULES = {"r": "(a|b)*", "a": "(b?)", "b": ""}
+
+
+def run(coro):
+    return asyncio.run(coro)
+
+
+def test_validate_xml_document_embedded():
+    async def scenario():
+        service = await open_service({})
+        assert isinstance(service, EmbeddedService)
+        result = await service.validate(
+            RULES, start=["r"], document="<r><a><b/></a><b/></r>"
+        )
+        assert result["valid"] is True
+        assert result["stack_depth"] == 3
+        assert result["states"] > 0
+        await service.close()
+
+    run(scenario())
+
+
+def test_validate_result_is_cached_by_schema_and_document():
+    async def scenario():
+        service = await open_service({})
+        params = {
+            "schema_kind": "dtd",
+            "rules": RULES,
+            "start": ["r"],
+            "document": "<r><a/></r>",
+            "format": "xml",
+        }
+        first = await service.request("validate", dict(params))
+        again = await service.request("validate", dict(params))
+        assert first["result"] == again["result"]
+        assert first["served_from"] == "engine"
+        assert again["served_from"] == "cache"
+        # a different document misses
+        other = await service.request(
+            "validate", {**params, "document": "<r><b/></r>"}
+        )
+        assert other["served_from"] == "engine"
+        await service.close()
+
+    run(scenario())
+
+
+def test_validate_invalid_and_malformed_are_verdicts_not_errors():
+    async def scenario():
+        service = await open_service({})
+        invalid = await service.validate(
+            RULES, start=["r"], document="<r><c/></r>"
+        )
+        assert invalid["valid"] is False
+        assert "c" in invalid["reason"]
+        malformed = await service.validate(
+            RULES, start=["r"], document="<r><a></r>"
+        )
+        assert malformed["valid"] is False
+        assert malformed["reason"]
+        unparseable = await service.validate(
+            RULES, start=["r"], document="<r><a x=1/></r>"
+        )
+        assert unparseable["valid"] is False
+        await service.close()
+
+    run(scenario())
+
+
+def test_validate_broken_schema_is_bad_request():
+    async def scenario():
+        service = await open_service({})
+        with pytest.raises(BadRequest):
+            await service.validate({"r": "(((("}, start=["r"], document="<r/>")
+        with pytest.raises(BadRequest):
+            await service.validate(RULES, start=["r"])  # no document
+        with pytest.raises(BadRequest):
+            await service.validate(
+                RULES,
+                start=["r"],
+                document="<r/>",
+                events=[["start", "r"], ["end", "r"]],
+            )  # both
+        with pytest.raises(BadRequest):
+            await service.validate(
+                RULES, schema_kind="relaxng", start=["r"], document="<r/>"
+            )
+        await service.close()
+
+    run(scenario())
+
+
+def test_validate_edtd_json_and_event_list_kinds():
+    async def scenario():
+        service = await open_service({})
+        json_verdict = await service.validate(
+            {"t": "(u)*", "u": ""},
+            schema_kind="edtd",
+            start=["t"],
+            mu={"t": "$", "u": "x"},
+            document='{"x": 1, "x": 2}',
+            format="json",
+        )
+        assert json_verdict["valid"] is True
+        event_verdict = await service.validate(
+            RULES,
+            start=["r"],
+            events=[["start", "r"], ["start", "a"], ["end", "a"], ["end", "r"]],
+        )
+        assert event_verdict["valid"] is True
+        bonxai = await service.validate(
+            {"/r": "(a*)", "//a": "(b?)", "//b": ""},
+            schema_kind="bonxai",
+            document="<r><a><b/></a></r>",
+        )
+        assert bonxai["valid"] is True
+        await service.close()
+
+    run(scenario())
+
+
+def test_validate_typed_send_and_tcp_round_trip():
+    async def scenario():
+        async with ReproServer({}) as server:
+            async with await connect(*server.address) as client:
+                response = await client.send(
+                    ValidateRequest(
+                        rules=RULES, start=["r"], document="<r><a/></r>"
+                    )
+                )
+                assert isinstance(response, ValidateResponse)
+                assert response.valid is True
+                assert response.stack_depth == 2
+                result = await client.validate(
+                    RULES, start=["r"], document="<r><z/></r>"
+                )
+                assert result["valid"] is False
+
+    run(scenario())

@@ -1,0 +1,280 @@
+"""The bottom-up NFTA engine: compilation from DTD/EDTD/BonXai,
+antichain universality/inclusion, simulation reduction, and the
+constant-memory streaming run — with the hard edges pinned (recursive
+schemas, empty and universal languages, µ-collisions, malformed
+streams)."""
+
+import random
+
+import pytest
+
+from repro.errors import MalformedStreamError, ValidationError
+from repro.trees import (
+    DTD,
+    EDTD,
+    PatternSchema,
+    StreamingTreeValidator,
+    Tree,
+    TreeNode,
+    TreeAutomaton,
+    compile_schema,
+    contains_determinize,
+    random_tree,
+    schema_contains,
+    schema_equivalent,
+    universal_automaton,
+    validate_events,
+    validate_events_or_raise,
+    validate_stream,
+)
+from repro.trees.streaming import events_of
+
+
+def chain_events(label, depth):
+    return [("start", label)] * depth + [("end", label)] * depth
+
+
+# ---------------------------------------------------------------------------
+# compilation parity with the in-memory validators
+# ---------------------------------------------------------------------------
+
+
+def test_dtd_compilation_validates_like_the_dtd():
+    dtd = DTD.from_rules(
+        {"r": "(a|b)*", "a": "(b?)", "b": ""}, start=["r"]
+    )
+    automaton = TreeAutomaton.from_dtd(dtd)
+    rng = random.Random(11)
+    for _ in range(60):
+        tree = random_tree(dtd, rng)
+        assert automaton.validate(tree) == dtd.validate(tree)
+
+
+def test_edtd_compilation_validates_like_the_edtd():
+    edtd = EDTD.from_rules(
+        {"t1": "(t2 t2)", "t2": "", "t3": "(t2)*"},
+        start=["t1", "t3"],
+        mu={"t1": "a", "t2": "a", "t3": "a"},
+    )
+    automaton = TreeAutomaton.from_edtd(edtd)
+    root = TreeNode("a")
+    root.add_child(TreeNode("a"))
+    root.add_child(TreeNode("a"))
+    two = Tree(root)
+    assert automaton.validate(two) and edtd.validate(two)
+    root3 = TreeNode("a")
+    for _ in range(3):
+        root3.add_child(TreeNode("a"))
+    three = Tree(root3)
+    assert automaton.validate(three) == edtd.validate(three) is True
+    # t1 requires exactly two; t3 admits any count — candidate sets matter
+
+
+def test_bonxai_compilation_goes_through_the_edtd():
+    schema = PatternSchema.from_rules(
+        {"/r": "(a*)", "//a": "(b?)", "//b": ""}
+    )
+    automaton = compile_schema(schema)
+    assert validate_events(automaton, events_of("<r><a><b/></a></r>"))
+    assert not validate_events(automaton, events_of("<r><b/></r>"))
+
+
+# ---------------------------------------------------------------------------
+# empty / universal languages, inclusion, µ-collisions
+# ---------------------------------------------------------------------------
+
+
+def test_empty_language_detected_and_included_in_everything():
+    empty = TreeAutomaton.from_edtd(
+        EDTD.from_rules(
+            {"t": "(t t*)"}, start=["t"], mu={"t": "a"}
+        )
+    )
+    assert empty.is_empty()
+    anything = TreeAutomaton.from_dtd(
+        DTD.from_rules({"b": ""}, start=["b"])
+    )
+    assert empty.included_in(anything)
+    assert not anything.included_in(empty)
+
+
+def test_universal_schema_recognized():
+    looser = TreeAutomaton.from_dtd(
+        DTD.from_rules({"a": "(a)*"}, start=["a"])
+    )
+    assert looser.is_universal()
+    assert looser.equivalent_to(universal_automaton(["a"]))
+    strict = TreeAutomaton.from_dtd(
+        DTD.from_rules({"a": "(a?)"}, start=["a"])
+    )
+    assert not strict.is_universal()
+
+
+def test_mu_collision_inclusion():
+    # A: even-length unary a-chains; B: all unary a-chains.  Both sides
+    # of A map two distinct types onto the same label 'a'.
+    even = TreeAutomaton.from_edtd(
+        EDTD.from_rules(
+            {"tx": "(ty)", "ty": "(tx)?"},
+            start=["tx"],
+            mu={"tx": "a", "ty": "a"},
+        )
+    )
+    chains = TreeAutomaton.from_edtd(
+        EDTD.from_rules({"ts": "(ts)?"}, start=["ts"], mu={"ts": "a"})
+    )
+    assert even.included_in(chains)
+    assert not chains.included_in(even)
+    assert validate_events(even, chain_events("a", 4))
+    assert not validate_events(even, chain_events("a", 3))
+
+
+def test_antichain_agrees_with_determinize_product():
+    rng = random.Random(5)
+    from repro.testing.generators import random_edtd_rules
+
+    pairs = 0
+    while pairs < 25:
+        rules_a, start_a, mu_a = random_edtd_rules(rng)
+        rules_b, start_b, mu_b = random_edtd_rules(rng)
+        a = TreeAutomaton.from_edtd(
+            EDTD.from_rules(rules_a, start=start_a, mu=mu_a)
+        )
+        b = TreeAutomaton.from_edtd(
+            EDTD.from_rules(rules_b, start=start_b, mu=mu_b)
+        )
+        assert a.included_in(b) == contains_determinize(a, b)
+        pairs += 1
+
+
+def test_schema_level_helpers():
+    small = DTD.from_rules({"r": "(a a)", "a": ""}, start=["r"])
+    big = DTD.from_rules({"r": "(a)*", "a": ""}, start=["r"])
+    assert schema_contains(big, small)
+    assert not schema_contains(small, big)
+    assert schema_equivalent(big, big)
+    assert not schema_equivalent(big, small)
+
+
+# ---------------------------------------------------------------------------
+# simulation reduction
+# ---------------------------------------------------------------------------
+
+
+def test_reduce_merges_duplicate_types_and_preserves_language():
+    edtd = EDTD.from_rules(
+        {"t1": "((t2|t3))*", "t2": "", "t3": "", "t4": "((t2|t3))*"},
+        start=["t1", "t4"],
+        mu={"t1": "r", "t2": "a", "t3": "a", "t4": "r"},
+    )
+    automaton = TreeAutomaton.from_edtd(edtd)
+    reduced = automaton.reduce()
+    assert reduced.state_count() < automaton.state_count()
+    assert reduced.equivalent_to(automaton)
+    events = [("start", "r"), ("start", "a"), ("end", "a"), ("end", "r")]
+    assert validate_events(reduced, events) == validate_events(
+        automaton, events
+    )
+
+
+def test_reduce_is_identity_safe_on_already_minimal_automata():
+    automaton = TreeAutomaton.from_dtd(
+        DTD.from_rules({"r": "(a)", "a": ""}, start=["r"])
+    )
+    reduced = automaton.reduce()
+    assert reduced.equivalent_to(automaton)
+
+
+# ---------------------------------------------------------------------------
+# streaming run: memory accounting, recursion, typed failures
+# ---------------------------------------------------------------------------
+
+
+def test_recursive_dtd_stack_high_water_grows_with_depth():
+    dtd = DTD.from_rules({"a": "(a)*"}, start=["a"])
+    automaton = TreeAutomaton.from_dtd(dtd)
+    highs = []
+    for depth in (2, 6, 14):
+        validator = StreamingTreeValidator(automaton)
+        for event in chain_events("a", depth):
+            validator.feed(event)
+        assert validator.finish()
+        assert validator.max_stack_depth == depth
+        highs.append(validator.max_tracked_cells)
+    # cells grow linearly with depth for the recursive chain: one
+    # candidate cell per open element
+    assert highs[0] < highs[1] < highs[2]
+    assert highs[2] == 14
+
+
+def test_streaming_parity_with_validate_stream_and_edtd_validate():
+    from repro.testing.generators import (
+        random_dtd_rules,
+        random_event_stream,
+    )
+    from repro.testing.oracles import _tree_of_events
+
+    rng = random.Random(23)
+    for _ in range(80):
+        rules, start = random_dtd_rules(rng)
+        dtd = DTD.from_rules(rules, start=[start])
+        automaton = TreeAutomaton.from_dtd(dtd)
+        events = random_event_stream(rng)
+        assert validate_events(automaton, events) == validate_stream(
+            dtd, events
+        )
+        tree = _tree_of_events(list(events))
+        if tree is not None:
+            assert validate_events(automaton, events) == dtd.validate(tree)
+
+
+def test_malformed_streams_raise_typed_errors():
+    dtd = DTD.from_rules({"a": "(b)*", "b": ""}, start=["a"])
+    with pytest.raises(MalformedStreamError):
+        validate_events_or_raise(dtd, [("start", "a"), ("end", "b")])
+    with pytest.raises(MalformedStreamError):
+        validate_events_or_raise(
+            dtd,
+            [("start", "a"), ("end", "a"), ("start", "a"), ("end", "a")],
+        )
+    with pytest.raises(MalformedStreamError):
+        validate_events_or_raise(dtd, [("start", "a")])  # left open
+    with pytest.raises(MalformedStreamError):
+        validate_events_or_raise(dtd, [("boom", "a")])
+    with pytest.raises(MalformedStreamError):
+        validate_events_or_raise(dtd, [])
+
+
+def test_invalid_documents_raise_validation_error():
+    dtd = DTD.from_rules({"a": "(b b)", "b": ""}, start=["a"])
+    with pytest.raises(ValidationError):
+        validate_events_or_raise(
+            dtd, [("start", "a"), ("start", "b"), ("end", "b"), ("end", "a")]
+        )
+    validator = validate_events_or_raise(
+        dtd,
+        [
+            ("start", "a"),
+            ("start", "b"),
+            ("end", "b"),
+            ("start", "b"),
+            ("end", "b"),
+            ("end", "a"),
+        ],
+    )
+    assert validator.finish()
+    assert validator.failure is None
+
+
+def test_streaming_failure_flags_distinguish_the_two_kinds():
+    dtd = DTD.from_rules({"a": ""}, start=["a"])
+    automaton = TreeAutomaton.from_dtd(dtd)
+    bad_schema = StreamingTreeValidator(automaton)
+    for event in [("start", "b"), ("end", "b")]:
+        bad_schema.feed(event)
+    assert not bad_schema.finish()
+    assert bad_schema.failure and not bad_schema.malformed
+    bad_stream = StreamingTreeValidator(automaton)
+    bad_stream.feed(("end", "a"))
+    assert not bad_stream.finish()
+    assert bad_stream.failure and bad_stream.malformed
